@@ -1,0 +1,144 @@
+// Reproduces Figures 5 and 6 (Experiment 1): the imputation query plan
+// (Fig. 4a) run over 5 000 tuples with clean/dirty alternation, first
+// without feedback (PACE as plain UNION — Fig. 5) and then with PACE
+// producing assumed feedback to IMPUTE (Fig. 6).
+//
+// Paper-reported values: 97% of imputed tuples arrive beyond the
+// tolerated divergence without feedback; only 29% of imputed tuples
+// are dropped with feedback enabled.
+//
+// Output: the summary table plus fig5.csv / fig6.csv containing the
+// (series, tuple id, output time) points behind the scatter plots.
+
+#include <cstdio>
+#include <algorithm>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "exec/sim_executor.h"
+#include "metrics/report.h"
+#include "metrics/timeliness.h"
+#include "workload/pipelines.h"
+
+namespace nstream {
+namespace {
+
+struct RunOutput {
+  TimelinessReport report;
+  ImputationPlan built;
+  double sim_end_ms = 0;
+};
+
+RunOutput RunOnce(bool feedback) {
+  ImputationPlanConfig config;
+  config.stream.num_tuples = 5'000;      // the paper's run length
+  config.stream.inter_arrival_ms = 40;   // ~200 s of stream
+  config.impute_cost_ms = 112.0;         // archival query latency
+  config.tolerance_ms = 5'000;           // PACE's tolerated divergence
+  config.feedback_enabled = feedback;
+
+  RunOutput out;
+  out.built = BuildImputationPlan(config);
+  SimExecutorOptions sim;
+  sim.cost.SetDefaultTupleCostMs(0.05);
+  SimExecutor exec(sim);
+  Status st = exec.Run(out.built.plan.get());
+  if (!st.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  out.sim_end_ms = exec.now_ms();
+
+  TimelinessOptions topt;
+  topt.ts_attr = kImpTimestamp;
+  topt.flag_attr = kImpFlag;
+  topt.tolerance_ms = config.tolerance_ms;
+  topt.total_expected_imputed = out.built.expected_dirty;
+  out.report = AnalyzeTimeliness(out.built.sink->collected(), topt);
+  return out;
+}
+
+void WriteCsv(const char* path, const TimelinessReport& report) {
+  std::ofstream f(path);
+  f << SeriesCsv(report);
+  std::printf("  series written to %s (%zu clean, %zu imputed points)\n",
+              path, report.clean.size(), report.imputed.size());
+}
+
+}  // namespace
+}  // namespace nstream
+
+int main() {
+  using namespace nstream;
+
+  std::printf("%s", ExperimentBanner(
+                        "E1 (Figures 5 & 6)",
+                        "Imputation query plan: output pattern with and "
+                        "without feedback punctuation")
+                        .c_str());
+  std::printf(
+      "plan: DUPLICATE -> sigma_C / sigma_notC -> IMPUTE -> PACE "
+      "(Fig. 4a)\nworkload: 5000 tuples, alternating clean/dirty, "
+      "40 ms inter-arrival; IMPUTE 112 ms/query; tolerance 5 s\n\n");
+
+  RunOutput without = RunOnce(/*feedback=*/false);
+  RunOutput with = RunOnce(/*feedback=*/true);
+
+  TextTable table({"metric", "no feedback (Fig.5)",
+                   "feedback (Fig.6)", "paper"});
+  table.AddRow({"imputed dropped-or-late",
+                FormatDouble(100 * without.report
+                                       .imputed_dropped_or_late_fraction(),
+                             1) +
+                    "%",
+                FormatDouble(
+                    100 * with.report.imputed_dropped_or_late_fraction(),
+                    1) +
+                    "%",
+                "97% / 29%"});
+  table.AddRow(
+      {"imputed delivered",
+       std::to_string(without.report.imputed_delivered),
+       std::to_string(with.report.imputed_delivered), "-"});
+  table.AddRow({"clean delivered",
+                std::to_string(without.report.clean_delivered),
+                std::to_string(with.report.clean_delivered), "-"});
+  table.AddRow(
+      {"max imputed lag (s)",
+       FormatDouble(static_cast<double>(
+                        without.report.imputed.empty()
+                            ? 0
+                            : without.report.imputed.back().lag_ms) /
+                        1000.0,
+                    1),
+       FormatDouble(
+           [&] {
+             TimeMs mx = 0;
+             for (const auto& p : with.report.imputed) {
+               mx = std::max(mx, p.lag_ms);
+             }
+             return static_cast<double>(mx) / 1000.0;
+           }(),
+           1),
+       "diverges / bounded"});
+  table.AddRow({"feedback messages", "0",
+                std::to_string(with.built.pace->stats().feedback_sent),
+                "-"});
+  table.AddRow(
+      {"archival queries avoided", "0",
+       std::to_string(with.built.impute->stats().work_avoided), "-"});
+  std::printf("%s\n", table.Render().c_str());
+
+  WriteCsv("fig5.csv", without.report);
+  WriteCsv("fig6.csv", with.report);
+
+  // Shape checks (exit non-zero if the reproduction regresses).
+  bool ok =
+      without.report.imputed_dropped_or_late_fraction() > 0.85 &&
+      with.report.imputed_dropped_or_late_fraction() < 0.45 &&
+      with.report.imputed_dropped_or_late_fraction() > 0.10;
+  std::printf("\nshape check (%s): no-feedback >85%% late, feedback "
+              "10-45%% dropped\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Ablation: punctuation-pattern matching and subsumption cost.
+// Feedback metadata rides the hot path (every guarded tuple is tested
+// against installed patterns), so these costs bound the overhead of
+// the whole mechanism — the reason Experiment 2 sees "no discernible
+// overhead" from more frequent feedback.
+
+#include <benchmark/benchmark.h>
+
+#include "core/guards.h"
+#include "punct/punct_pattern.h"
+#include "types/tuple.h"
+
+namespace nstream {
+namespace {
+
+Tuple MakeTuple(int64_t i) {
+  return TupleBuilder()
+      .I64(i % 9)
+      .I64(i % 360)
+      .Ts(i * 20'000)
+      .D(static_cast<double>(i % 70))
+      .Build();
+}
+
+PunctPattern MakePattern(int64_t i) {
+  return PunctPattern::AllWildcard(4)
+      .With(0, AttrPattern::Ne(Value::Int64(i % 9)))
+      .With(2, AttrPattern::Range(Value::Timestamp(i * 1'000),
+                                  Value::Timestamp((i + 60) * 1'000)));
+}
+
+void BM_PatternMatch(benchmark::State& state) {
+  PunctPattern p = MakePattern(7);
+  Tuple t = MakeTuple(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Matches(t));
+  }
+}
+BENCHMARK(BM_PatternMatch);
+
+void BM_PatternMatchWildcardOnly(benchmark::State& state) {
+  PunctPattern p = PunctPattern::AllWildcard(4);
+  Tuple t = MakeTuple(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Matches(t));
+  }
+}
+BENCHMARK(BM_PatternMatchWildcardOnly);
+
+void BM_PatternSubsumes(benchmark::State& state) {
+  PunctPattern wide = MakePattern(7);
+  PunctPattern narrow =
+      MakePattern(7).With(1, AttrPattern::Eq(Value::Int64(5)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wide.Subsumes(narrow));
+  }
+}
+BENCHMARK(BM_PatternSubsumes);
+
+void BM_GuardSetBlocks(benchmark::State& state) {
+  // Cost of an input guard holding `k` active patterns — the per-tuple
+  // overhead an exploiting operator pays.
+  GuardSet guards;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    guards.Add(MakePattern(i * 101));
+  }
+  Tuple t = MakeTuple(999);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guards.Blocks(t));
+  }
+  state.SetLabel(std::to_string(guards.size()) + " guards");
+}
+BENCHMARK(BM_GuardSetBlocks)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GuardSetAddWithSubsumption(benchmark::State& state) {
+  // Installing a guard dedups against existing patterns.
+  for (auto _ : state) {
+    state.PauseTiming();
+    GuardSet guards;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      guards.Add(MakePattern(i * 101));
+    }
+    state.ResumeTiming();
+    guards.Add(MakePattern(state.range(0) * 101));
+    benchmark::DoNotOptimize(guards.size());
+  }
+}
+BENCHMARK(BM_GuardSetAddWithSubsumption)->Arg(4)->Arg(64);
+
+}  // namespace
+}  // namespace nstream
+
+BENCHMARK_MAIN();

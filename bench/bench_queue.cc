@@ -1,0 +1,92 @@
+// Ablation: inter-operator queue batching (§5). NiagaraST pages tuples
+// to limit synchronization and context switches; this bench sweeps the
+// page size and shows why punctuation must flush pages (a punctuation
+// stuck behind an unfilled page stalls downstream progress).
+
+#include <benchmark/benchmark.h>
+
+#include "stream/data_queue.h"
+#include "types/tuple.h"
+
+namespace nstream {
+namespace {
+
+Tuple MakeTuple(int64_t i) {
+  return TupleBuilder().I64(i).D(static_cast<double>(i)).Build();
+}
+
+void BM_QueuePushPop_PageSize(benchmark::State& state) {
+  const int page_size = static_cast<int>(state.range(0));
+  const int kBatch = 4096;
+  for (auto _ : state) {
+    DataQueue q(DataQueueOptions{page_size, 0});
+    for (int i = 0; i < kBatch; ++i) q.PushTuple(MakeTuple(i));
+    q.PushEos();
+    size_t popped = 0;
+    while (auto page = q.TryPopPage()) popped += page->size();
+    benchmark::DoNotOptimize(popped);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_QueuePushPop_PageSize)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048);
+
+void BM_QueuePunctuationFlushRate(benchmark::State& state) {
+  // Punctuation every `k` tuples: more punctuation = more (smaller)
+  // pages = more queue transitions. Quantifies the batching loss that
+  // aggressive punctuation cadence costs.
+  const int punct_every = static_cast<int>(state.range(0));
+  const int kBatch = 4096;
+  uint64_t pages = 0;
+  for (auto _ : state) {
+    DataQueue q(DataQueueOptions{128, 0});
+    for (int i = 0; i < kBatch; ++i) {
+      q.PushTuple(MakeTuple(i));
+      if (i % punct_every == punct_every - 1) {
+        q.PushPunctuation(Punctuation(
+            PunctPattern::AllWildcard(2).With(
+                0, AttrPattern::Le(Value::Int64(i)))));
+      }
+    }
+    q.PushEos();
+    while (auto page = q.TryPopPage()) ++pages;
+    benchmark::DoNotOptimize(pages);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.SetLabel("pages/run=" +
+                 std::to_string(pages / std::max<uint64_t>(
+                                            1, state.iterations())));
+}
+BENCHMARK(BM_QueuePunctuationFlushRate)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+void BM_QueuePurgeMatching(benchmark::State& state) {
+  // Cost of an exploiting purge sweep over a deep backlog (IMPUTE's
+  // response to PACE feedback in Experiment 1).
+  const int kBacklog = static_cast<int>(state.range(0));
+  PunctPattern old_half = PunctPattern::AllWildcard(2).With(
+      0, AttrPattern::Le(Value::Int64(kBacklog / 2)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    DataQueue q(DataQueueOptions{128, 0});
+    for (int i = 0; i < kBacklog; ++i) q.PushTuple(MakeTuple(i));
+    state.ResumeTiming();
+    int purged = q.PurgeMatching(old_half);
+    benchmark::DoNotOptimize(purged);
+  }
+  state.SetItemsProcessed(state.iterations() * kBacklog);
+}
+BENCHMARK(BM_QueuePurgeMatching)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace nstream
+
+BENCHMARK_MAIN();

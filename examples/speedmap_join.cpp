@@ -1,0 +1,160 @@
+// The paper's motivating scenario (Fig. 1b): a traffic operations
+// center builds a speed map from fixed sensors OUTER-JOINed with
+// cleaned, aggregated probe-vehicle data — but vehicle readings only
+// matter for congested segments (sensor speed < 45 MPH).
+//
+//   sensors  -> AVG(segment,1min) ---------------.
+//                                                  LEFT OUTER JOIN  -> map
+//   vehicles -> CLEAN -> AVG(segment,1min) -------/   (gate: <45 MPH)
+//
+// The join's adaptive gate discovers uncongested (segment, window)
+// pairs and sends assumed feedback to the vehicle branch, so cleaning
+// and aggregation for those segments is skipped — the exact waste the
+// introduction calls out.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "exec/sync_executor.h"
+#include "ops/select.h"
+#include "ops/sink.h"
+#include "ops/symmetric_hash_join.h"
+#include "ops/vector_source.h"
+#include "ops/window_aggregate.h"
+#include "workload/traffic.h"
+
+using namespace nstream;
+
+namespace {
+
+struct BuiltPlan {
+  QueryPlan plan;
+  Select* clean = nullptr;
+  WindowAggregate* vehicle_avg = nullptr;
+  SymmetricHashJoin* join = nullptr;
+  CollectorSink* sink = nullptr;
+};
+
+void Build(BuiltPlan* out, bool adaptive_feedback) {
+  TrafficConfig sensor_config;
+  sensor_config.num_segments = 6;
+  sensor_config.detectors_per_segment = 8;
+  sensor_config.duration_ms = 30 * 60'000;
+  sensor_config.punct_every_ms = 60'000;
+  TrafficGen truth(sensor_config);
+
+  ProbeConfig probe_config;
+  probe_config.num_segments = 6;
+  probe_config.num_vehicles = 40;
+  probe_config.duration_ms = sensor_config.duration_ms;
+  probe_config.coverage = 0.95;
+
+  auto* sensors = out->plan.AddOp(std::make_unique<VectorSource>(
+      "sensors", DetectorSchema(), GenerateTraffic(sensor_config)));
+  auto* vehicles = out->plan.AddOp(std::make_unique<VectorSource>(
+      "vehicles", ProbeSchema(),
+      GenerateProbes(probe_config, &truth)));
+
+  WindowAggregateOptions savg;
+  savg.ts_attr = kDetTimestamp;
+  savg.group_attrs = {kDetSegment};
+  savg.agg_attr = kDetSpeed;
+  savg.kind = AggKind::kAvg;
+  savg.window = {60'000, 60'000};
+  auto* sensor_avg = out->plan.AddOp(
+      std::make_unique<WindowAggregate>("sensor-avg", savg));
+
+  // CLEAN: drop noisy probe readings (speed must be plausible).
+  out->clean = out->plan.AddOp(Select::FromPattern(
+      "clean",
+      PunctPattern::AllWildcard(4).With(
+          kProbeSpeed, AttrPattern::Range(Value::Double(1),
+                                          Value::Double(100)))));
+  WindowAggregateOptions vavg;
+  vavg.ts_attr = kProbeTimestamp;
+  vavg.group_attrs = {kProbeSegment};
+  vavg.agg_attr = kProbeSpeed;
+  vavg.kind = AggKind::kAvg;
+  vavg.window = {60'000, 60'000};
+  out->vehicle_avg = out->plan.AddOp(
+      std::make_unique<WindowAggregate>("vehicle-avg", vavg));
+
+  // Outer join sensor averages with vehicle averages on
+  // (window_end, segment); sensor side output: (window_end, segment,
+  // avg_speed) — attrs 0,1 are the keys, 0 doubles as the timestamp.
+  JoinOptions jopt;
+  jopt.left_keys = {0, 1};
+  jopt.right_keys = {0, 1};
+  jopt.left_ts = 0;
+  jopt.right_ts = 0;
+  jopt.window_join = true;
+  jopt.window = {60'000, 60'000};
+  jopt.left_outer = true;
+  jopt.left_gate = [](const Tuple& t) {
+    Result<double> speed = t.value(2).AsDouble();
+    return speed.ok() && speed.value() < 45.0;  // congested: join
+  };
+  jopt.gate_feedback_horizon = adaptive_feedback ? 3 : 0;
+  out->join = out->plan.AddOp(
+      std::make_unique<SymmetricHashJoin>("speedmap-join", jopt));
+
+  out->sink = out->plan.AddOp(std::make_unique<CollectorSink>(
+      "map", CollectorSinkOptions{.record_tuples = false}));
+
+  NSTREAM_CHECK(out->plan.Connect(*sensors, *sensor_avg).ok());
+  NSTREAM_CHECK(out->plan.Connect(*vehicles, *out->clean).ok());
+  NSTREAM_CHECK(
+      out->plan.Connect(*out->clean, *out->vehicle_avg).ok());
+  NSTREAM_CHECK(
+      out->plan.Connect(*sensor_avg, 0, *out->join, 0).ok());
+  NSTREAM_CHECK(
+      out->plan.Connect(*out->vehicle_avg, 0, *out->join, 1).ok());
+  NSTREAM_CHECK(out->plan.Connect(*out->join, *out->sink).ok());
+}
+
+void RunOnce(bool adaptive_feedback) {
+  BuiltPlan built;
+  Build(&built, adaptive_feedback);
+  SyncExecutor exec;
+  Status st = exec.Run(&built.plan);
+  NSTREAM_CHECK(st.ok()) << st.ToString();
+
+  std::printf("--- %s ---\n",
+              adaptive_feedback ? "adaptive gate feedback ON"
+                                : "feedback OFF");
+  std::printf(
+      "  map rows: %llu   vehicle readings cleaned: %llu   vehicle "
+      "agg updates: %llu\n",
+      static_cast<unsigned long long>(built.sink->consumed()),
+      static_cast<unsigned long long>(built.clean->stats().tuples_out),
+      static_cast<unsigned long long>(
+          built.vehicle_avg->updates_applied()));
+  if (adaptive_feedback) {
+    std::printf(
+        "  join issued %llu gate feedbacks; vehicle-avg dropped %llu "
+        "updates via guards and relayed feedback to CLEAN, which "
+        "dropped %llu readings unprocessed\n",
+        static_cast<unsigned long long>(built.join->gate_feedbacks()),
+        static_cast<unsigned long long>(
+            built.vehicle_avg->stats().input_guard_drops),
+        static_cast<unsigned long long>(
+            built.clean->stats().input_guard_drops));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Speed-map join (paper Fig. 1b): vehicle data is only needed "
+      "for congested segments.\n\n");
+  RunOnce(false);
+  RunOnce(true);
+  std::printf(
+      "With the adaptive gate, the join discovers uncongested "
+      "(segment, window) pairs and pushes assumed punctuation down "
+      "the vehicle branch: cleaning + aggregation for those subsets "
+      "never runs.\n");
+  return 0;
+}

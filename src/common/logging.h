@@ -1,0 +1,79 @@
+// Minimal leveled logging with a process-global threshold. Used for
+// diagnostics only; the hot data path never logs unconditionally.
+
+#ifndef NSTREAM_COMMON_LOGGING_H_
+#define NSTREAM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace nstream {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kFatal = 5,
+  kOff = 6,
+};
+
+/// Process-global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // emits to stderr; aborts on kFatal
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink for disabled log statements; swallows everything.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace nstream
+
+#define NSTREAM_LOG_ENABLED(lvl) \
+  (static_cast<int>(lvl) >= static_cast<int>(::nstream::GetLogLevel()))
+
+#define NSTREAM_LOG(lvl)                                              \
+  if (!NSTREAM_LOG_ENABLED(::nstream::LogLevel::lvl))                 \
+    ;                                                                 \
+  else                                                                \
+    ::nstream::internal::LogMessage(::nstream::LogLevel::lvl,         \
+                                    __FILE__, __LINE__)
+
+// Invariant checks that stay on in release builds (database-style
+// defensive programming: a broken invariant must not corrupt results).
+#define NSTREAM_CHECK(cond)                                           \
+  if (cond)                                                           \
+    ;                                                                 \
+  else                                                                \
+    ::nstream::internal::LogMessage(::nstream::LogLevel::kFatal,      \
+                                    __FILE__, __LINE__)               \
+        << "Check failed: " #cond " "
+
+#define NSTREAM_DCHECK(cond) assert(cond)
+
+#endif  // NSTREAM_COMMON_LOGGING_H_

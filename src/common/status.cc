@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace nstream {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kSchemaMismatch:
+      return "SchemaMismatch";
+    case StatusCode::kUnsafe:
+      return "Unsafe";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace nstream

@@ -1,0 +1,157 @@
+// Status and Result<T>: exception-free error handling for the nstream
+// library, following the Arrow/RocksDB idiom. All fallible public APIs
+// return Status (or Result<T> when they produce a value).
+
+#ifndef NSTREAM_COMMON_STATUS_H_
+#define NSTREAM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nstream {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // lookup miss (attribute, operator, group)
+  kOutOfRange,        // index / window id outside valid bounds
+  kAlreadyExists,     // duplicate registration
+  kFailedPrecondition,// call sequence violated (e.g. Emit before Open)
+  kUnsupported,       // operation not supported by this operator/pattern
+  kSchemaMismatch,    // tuple/pattern arity or type disagrees with schema
+  kUnsafe,            // propagation would violate safety (Definition 2)
+  kResourceExhausted, // queue/capacity limits
+  kInternal,          // invariant broken inside the library
+  kCancelled,         // execution stopped by shutdown
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no
+/// allocation); error case carries a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status SchemaMismatch(std::string msg) {
+    return Status(StatusCode::kSchemaMismatch, std::move(msg));
+  }
+  static Status Unsafe(std::string msg) {
+    return Status(StatusCode::kUnsafe, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsSchemaMismatch() const {
+    return code_ == StatusCode::kSchemaMismatch;
+  }
+  bool IsUnsafe() const { return code_ == StatusCode::kUnsafe; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error, analogous to arrow::Result. The value is only
+/// accessible when status().ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// Value if ok, otherwise the provided default.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace nstream
+
+/// Propagate a non-OK Status to the caller.
+#define NSTREAM_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::nstream::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define NSTREAM_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define NSTREAM_INTERNAL_CONCAT(a, b) NSTREAM_INTERNAL_CONCAT_IMPL(a, b)
+
+#define NSTREAM_INTERNAL_ASSIGN_OR_RETURN(var, lhs, rexpr) \
+  auto var = (rexpr);                                      \
+  if (!var.ok()) return var.status();                      \
+  lhs = var.MoveValue()
+
+/// Assign from a Result<T> or propagate its error.
+#define NSTREAM_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  NSTREAM_INTERNAL_ASSIGN_OR_RETURN(                               \
+      NSTREAM_INTERNAL_CONCAT(_nstream_res_, __LINE__), lhs, rexpr)
+
+#endif  // NSTREAM_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules (formatting punctuation,
+// CSV emission for figure data, test diagnostics).
+
+#ifndef NSTREAM_COMMON_STRING_UTIL_H_
+#define NSTREAM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nstream {
+
+/// Join `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Format a double with fixed precision, locale-independent.
+std::string FormatDouble(double v, int precision = 3);
+
+/// printf-style formatting into std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace nstream
+
+#endif  // NSTREAM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,129 @@
+#include "core/aggregate_feedback.h"
+
+#include <algorithm>
+
+namespace nstream {
+
+const char* AggMonotonicityName(AggMonotonicity m) {
+  switch (m) {
+    case AggMonotonicity::kNone:
+      return "none";
+    case AggMonotonicity::kNonDecreasing:
+      return "non-decreasing";
+    case AggMonotonicity::kNonIncreasing:
+      return "non-increasing";
+  }
+  return "?";
+}
+
+BoundShape ClassifyBound(const AttrPattern& p) {
+  switch (p.op()) {
+    case PatternOp::kAny:
+      return BoundShape::kNone;
+    case PatternOp::kEq:
+      return BoundShape::kExact;
+    case PatternOp::kGe:
+    case PatternOp::kGt:
+      return BoundShape::kLowerBounded;
+    case PatternOp::kLe:
+    case PatternOp::kLt:
+      return BoundShape::kUpperBounded;
+    default:
+      return BoundShape::kOther;
+  }
+}
+
+bool PartialImpliesFinal(const AttrPattern& p, AggMonotonicity mono) {
+  BoundShape shape = ClassifyBound(p);
+  switch (mono) {
+    case AggMonotonicity::kNonDecreasing:
+      // partial ≥ a and value only grows ⇒ final ≥ a.
+      return shape == BoundShape::kLowerBounded;
+    case AggMonotonicity::kNonIncreasing:
+      return shape == BoundShape::kUpperBounded;
+    case AggMonotonicity::kNone:
+      return false;
+  }
+  return false;
+}
+
+std::string AggFeedbackDecision::ToString() const {
+  std::string out = "decision{";
+  bool first = true;
+  auto add = [&](bool flag, const char* name) {
+    if (!flag) return;
+    if (!first) out += ", ";
+    out += name;
+    first = false;
+  };
+  add(purge_groups, "purge_groups");
+  add(guard_input_groups, "guard_input_groups");
+  add(propagate_groups, "propagate_groups");
+  add(purge_by_partial, "purge_by_partial");
+  add(guard_output, "guard_output");
+  add(null_response, "null_response");
+  out += "}";
+  return out;
+}
+
+AggFeedbackDecision DecideAggFeedback(
+    const PunctPattern& f, const std::vector<int>& group_out_idx,
+    const std::vector<int>& agg_out_idx, AggMonotonicity mono) {
+  AggFeedbackDecision d;
+  std::vector<int> constrained = f.ConstrainedIndices();
+  if (constrained.empty()) {
+    // ¬[*,...,*] would suppress everything; treat as inert.
+    d.null_response = true;
+    return d;
+  }
+  auto in = [](const std::vector<int>& v, int x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  bool any_group = false;
+  bool any_agg = false;
+  bool all_agg_implication_valid = true;
+  for (int idx : constrained) {
+    if (in(group_out_idx, idx)) {
+      any_group = true;
+    } else if (in(agg_out_idx, idx)) {
+      any_agg = true;
+      if (!PartialImpliesFinal(f.attr(idx), mono)) {
+        all_agg_implication_valid = false;
+      }
+    } else {
+      // Constraint on an attribute we know nothing about: be
+      // conservative, only guard output.
+      d.guard_output = true;
+      return d;
+    }
+  }
+
+  if (!any_agg) {
+    // Table 1 row ¬[g,*]: group attributes are stable, so any group
+    // matching now matches forever — purge, guard, propagate.
+    d.purge_groups = true;
+    d.guard_input_groups = true;
+    d.propagate_groups = true;
+    return d;
+  }
+
+  if (all_agg_implication_valid) {
+    // Table 1 row ¬[*,≥a] for monotone aggregates (optionally with
+    // extra stable group constraints): a partial that matches can
+    // only stay matching — purge & tombstone; the operator derives
+    // the purged group set G and propagates it.
+    d.purge_by_partial = true;
+    // Still guard output: a brand-new group may *become* matching
+    // between purge scans; suppression at emit is the backstop.
+    d.guard_output = true;
+    return d;
+  }
+
+  // Rows ¬[*,a] and ¬[*,≤a] (COUNT), or any bound on a non-monotone
+  // aggregate (AVERAGE §3.5): output guard is the only sound action.
+  (void)any_group;
+  d.guard_output = true;
+  return d;
+}
+
+}  // namespace nstream

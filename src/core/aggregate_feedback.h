@@ -1,0 +1,90 @@
+// Monotonicity-aware feedback reasoning for window aggregates —
+// the generalization behind Table 1 (COUNT) and the §3.5 discussion of
+// AVERAGE, MAX, SUM.
+//
+// The key soundness question when an aggregate receives assumed
+// feedback constraining its *output* (e.g. ¬[*,≥50]): may it purge an
+// open window whose *partial* aggregate matches? Only if
+//
+//     partial matches  ⇒  final matches
+//
+// which holds exactly when the aggregate is monotone in the direction
+// of the bound: MAX/COUNT (non-decreasing) with ≥/> bounds, MIN
+// (non-increasing) with ≤/< bounds, SUM when inputs are known
+// non-negative. AVERAGE is non-monotone: a window at 51 can drop below
+// 50 — purging it would be incorrect (§3.5); only an output guard is
+// sound.
+
+#ifndef NSTREAM_CORE_AGGREGATE_FEEDBACK_H_
+#define NSTREAM_CORE_AGGREGATE_FEEDBACK_H_
+
+#include <string>
+#include <vector>
+
+#include "punct/punct_pattern.h"
+
+namespace nstream {
+
+/// How the aggregate's value can evolve as more tuples arrive.
+enum class AggMonotonicity : uint8_t {
+  kNone = 0,       // AVERAGE; SUM over signed inputs
+  kNonDecreasing,  // COUNT, MAX, SUM over non-negative inputs
+  kNonIncreasing,  // MIN
+};
+
+const char* AggMonotonicityName(AggMonotonicity m);
+
+/// Shape of the constraint on an aggregate output attribute.
+enum class BoundShape : uint8_t {
+  kNone = 0,       // wildcard
+  kExact,          // = a
+  kLowerBounded,   // ≥ a or > a
+  kUpperBounded,   // ≤ a or < a
+  kOther,          // ≠, range, null tests
+};
+
+BoundShape ClassifyBound(const AttrPattern& p);
+
+/// Does "partial matches p" imply "final matches p" for an aggregate
+/// with monotonicity `mono`? (The purge-soundness condition.)
+bool PartialImpliesFinal(const AttrPattern& p, AggMonotonicity mono);
+
+/// The response plan a window aggregate derives from one assumed
+/// feedback punctuation (the rows of Table 1, generalized).
+struct AggFeedbackDecision {
+  // Row ¬[g,*]: drop matching groups now...
+  bool purge_groups = false;
+  // ...keep them from re-forming (guard on input, in group terms)...
+  bool guard_input_groups = false;
+  // ...and relay the group constraint upstream.
+  bool propagate_groups = false;
+
+  // Row ¬[*,≥a] with a monotone aggregate: scan partials, purge
+  // matching groups, tombstone them so late tuples cannot recreate
+  // them, and propagate the purged group ids upstream (the paper's
+  // "G ← ids in local state that match; purge(G); guard input (G);
+  // propagate G").
+  bool purge_by_partial = false;
+
+  // Rows ¬[*,a] and ¬[*,≤a] (or any non-implication-valid bound):
+  // the only sound response is suppressing matching results at
+  // emission time.
+  bool guard_output = false;
+
+  // Nothing sound to do (e.g. malformed arity).
+  bool null_response = false;
+
+  std::string ToString() const;
+};
+
+/// Decide the response for feedback pattern `f` over an aggregate
+/// output schema whose attribute positions split into `group_out_idx`
+/// (grouping/window attributes, stable per group) and `agg_out_idx`
+/// (computed aggregate values).
+AggFeedbackDecision DecideAggFeedback(
+    const PunctPattern& f, const std::vector<int>& group_out_idx,
+    const std::vector<int>& agg_out_idx, AggMonotonicity mono);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_CORE_AGGREGATE_FEEDBACK_H_

@@ -1,0 +1,50 @@
+#include "core/characterization.h"
+
+namespace nstream {
+
+const std::vector<CharacterizationRow>& Table1Count() {
+  static const std::vector<CharacterizationRow> kRows = {
+      {"\xC2\xAC[g,*]",
+       "remove group g from local state; guard input (g)",
+       "propagate g (in terms of input schema)"},
+      {"\xC2\xAC[*,a]", "guard output (a)", "none"},
+      {"\xC2\xAC[*,\xE2\x89\xA5""a] / \xC2\xAC[*,>a]",
+       "G <- ids in local state matching the predicate; purge state (G); "
+       "guard input (G)",
+       "propagate G (in terms of input schema)"},
+      {"\xC2\xAC[*,\xE2\x89\xA4""a] / \xC2\xAC[*,<a]",
+       "guard output (<=a or <a)", "none"},
+  };
+  return kRows;
+}
+
+const std::vector<CharacterizationRow>& Table2Join() {
+  static const std::vector<CharacterizationRow> kRows = {
+      {"\xC2\xAC[*,j,*]",
+       "purge matching tuples from both hash tables; guard input",
+       "propagate \xC2\xAC[*,j] to left input and \xC2\xAC[j,*] to "
+       "right input"},
+      {"\xC2\xAC[l,*,*]",
+       "purge matching tuples from left hash table; guard input",
+       "propagate \xC2\xAC[l,*] to left input"},
+      {"\xC2\xAC[*,*,r]",
+       "purge matching tuples from right hash table; guard input",
+       "propagate \xC2\xAC[*,r] to right input"},
+      {"\xC2\xAC[l,*,r]", "guard output", "none (unsafe to split)"},
+  };
+  return kRows;
+}
+
+std::string RenderCharacterization(
+    const std::string& title,
+    const std::vector<CharacterizationRow>& rows) {
+  std::string out = title + "\n";
+  for (const CharacterizationRow& r : rows) {
+    out += "  " + r.punctuation + "\n";
+    out += "    local exploit: " + r.local_exploit + "\n";
+    out += "    propagation:   " + r.propagation + "\n";
+  }
+  return out;
+}
+
+}  // namespace nstream

@@ -1,0 +1,38 @@
+// Operator characterizations as published (Table 1: COUNT, Table 2:
+// JOIN). These are the paper's normative rows, kept as data so tests
+// can cross-check the *implemented* decision logic
+// (DecideAggFeedback, the JOIN SchemaMap machinery) against the
+// published tables, and so benches can print them next to measured
+// behaviour.
+
+#ifndef NSTREAM_CORE_CHARACTERIZATION_H_
+#define NSTREAM_CORE_CHARACTERIZATION_H_
+
+#include <string>
+#include <vector>
+
+namespace nstream {
+
+/// One row of a published characterization table.
+struct CharacterizationRow {
+  std::string punctuation;    // shape, e.g. "¬[g,*]"
+  std::string local_exploit;  // prescribed local actions
+  std::string propagation;    // prescribed propagation
+};
+
+/// Table 1 — a characterization for COUNT with output schema (g, a),
+/// g = grouping attributes, a = the count.
+const std::vector<CharacterizationRow>& Table1Count();
+
+/// Table 2 — a characterization for JOIN with output schema (L, J, R),
+/// L/R = attributes unique to the left/right input, J = join attrs.
+const std::vector<CharacterizationRow>& Table2Join();
+
+/// Render a table for logs/benches.
+std::string RenderCharacterization(
+    const std::string& title,
+    const std::vector<CharacterizationRow>& rows);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_CORE_CHARACTERIZATION_H_

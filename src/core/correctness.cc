@@ -1,0 +1,49 @@
+#include "core/correctness.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+std::string ExploitationCheck::ToString() const {
+  return StringPrintf(
+      "%s (missing_uncovered=%d, extra=%d, suppressed=%d, "
+      "covered_in_baseline=%d)",
+      correct ? "correct" : "VIOLATION", missing_uncovered, extra,
+      suppressed, covered_in_baseline);
+}
+
+ExploitationCheck CheckCorrectExploitation(
+    const std::vector<Tuple>& baseline,
+    const std::vector<Tuple>& exploited, const PunctPattern& f) {
+  ExploitationCheck out;
+
+  // Multiset of exploited tuples, keyed by canonical rendering.
+  std::unordered_map<std::string, int> s_count;
+  for (const Tuple& t : exploited) {
+    ++s_count[t.ToString()];
+  }
+
+  for (const Tuple& t : baseline) {
+    bool covered = f.Matches(t);
+    if (covered) ++out.covered_in_baseline;
+    std::string key = t.ToString();
+    auto it = s_count.find(key);
+    if (it != s_count.end() && it->second > 0) {
+      --it->second;  // present in S: fine either way
+    } else if (covered) {
+      ++out.suppressed;  // legitimately exploited
+    } else {
+      ++out.missing_uncovered;  // violation: lost an uncovered tuple
+    }
+  }
+  // Anything left in S was never in S_R.
+  for (const auto& [key, count] : s_count) {
+    out.extra += count;
+  }
+  out.correct = out.missing_uncovered == 0 && out.extra == 0;
+  return out;
+}
+
+}  // namespace nstream

@@ -1,0 +1,52 @@
+// CorrectnessChecker: an executable rendering of Definition 1 (§4.1).
+//
+//   An operator O correctly exploits assumed punctuation f iff, upon
+//   exploitation, it produces S with
+//       S_R − subset(S_R, f)  ⊆  S  ⊆  S_R
+//   where S_R is the output without exploitation.
+//
+// The test suite runs each feedback-aware operator twice — with and
+// without feedback — and feeds both outputs through this checker. The
+// null response (S ≡ S_R) and maximum exploitation
+// (S ≡ S_R − subset(S_R,f)) are both correct; emitting tuples outside
+// S_R, or losing tuples the feedback did not cover, is a violation.
+
+#ifndef NSTREAM_CORE_CORRECTNESS_H_
+#define NSTREAM_CORE_CORRECTNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "punct/punct_pattern.h"
+#include "types/tuple.h"
+
+namespace nstream {
+
+struct ExploitationCheck {
+  bool correct = true;
+  // Tuples of S_R *not* covered by f that are missing from S — these
+  // are Definition-1 violations (feedback may only remove covered
+  // tuples).
+  int missing_uncovered = 0;
+  // Tuples in S that never appeared in S_R — violations (exploitation
+  // must not invent results).
+  int extra = 0;
+  // Tuples covered by f that were suppressed — legitimate exploitation
+  // (0 for a null response, |subset(S_R,f)| for maximum exploitation).
+  int suppressed = 0;
+  // |subset(S_R, f)| — how much the feedback covered at all.
+  int covered_in_baseline = 0;
+
+  std::string ToString() const;
+};
+
+/// Multiset comparison of `exploited` against `baseline` under
+/// feedback pattern `f` (order-insensitive; stream operators may
+/// legitimately reorder).
+ExploitationCheck CheckCorrectExploitation(
+    const std::vector<Tuple>& baseline,
+    const std::vector<Tuple>& exploited, const PunctPattern& f);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_CORE_CORRECTNESS_H_

@@ -1,0 +1,43 @@
+// FeedbackPolicy: how aggressively a feedback-aware operator responds
+// to assumed punctuation. Experiment 2's schemes F0-F3 (Fig. 7) are
+// exactly these policies applied to the speed-map plan:
+//   F0 = kIgnore           — feedback-unaware baseline
+//   F1 = kOutputGuardOnly  — suppress matching results at emission
+//   F2 = kExploit          — also purge state / guard input
+//   F3 = kExploitAndPropagate — also relay feedback upstream
+
+#ifndef NSTREAM_CORE_FEEDBACK_POLICY_H_
+#define NSTREAM_CORE_FEEDBACK_POLICY_H_
+
+#include <cstdint>
+
+namespace nstream {
+
+enum class FeedbackPolicy : uint8_t {
+  kIgnore = 0,
+  kOutputGuardOnly,
+  kExploit,
+  kExploitAndPropagate,
+};
+
+inline const char* FeedbackPolicyName(FeedbackPolicy p) {
+  switch (p) {
+    case FeedbackPolicy::kIgnore:
+      return "F0/ignore";
+    case FeedbackPolicy::kOutputGuardOnly:
+      return "F1/output-guard";
+    case FeedbackPolicy::kExploit:
+      return "F2/exploit";
+    case FeedbackPolicy::kExploitAndPropagate:
+      return "F3/exploit+propagate";
+  }
+  return "?";
+}
+
+inline bool PolicyAtLeast(FeedbackPolicy p, FeedbackPolicy floor) {
+  return static_cast<int>(p) >= static_cast<int>(floor);
+}
+
+}  // namespace nstream
+
+#endif  // NSTREAM_CORE_FEEDBACK_POLICY_H_

@@ -1,0 +1,56 @@
+#include "core/guards.h"
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+bool GuardSet::Add(const PunctPattern& pattern) {
+  for (const PunctPattern& existing : patterns_) {
+    if (existing.Subsumes(pattern)) return false;  // already covered
+  }
+  // Drop existing guards the new one covers.
+  std::vector<PunctPattern> kept;
+  kept.reserve(patterns_.size() + 1);
+  for (PunctPattern& existing : patterns_) {
+    if (!pattern.Subsumes(existing)) kept.push_back(std::move(existing));
+  }
+  kept.push_back(pattern);
+  patterns_ = std::move(kept);
+  ++total_installed_;
+  return true;
+}
+
+bool GuardSet::Blocks(const Tuple& t) const {
+  for (const PunctPattern& p : patterns_) {
+    if (p.Matches(t)) {
+      ++total_blocked_;
+      return true;
+    }
+  }
+  return false;
+}
+
+int GuardSet::ExpireCovered(const Punctuation& punct) {
+  std::vector<PunctPattern> kept;
+  kept.reserve(patterns_.size());
+  int removed = 0;
+  for (PunctPattern& p : patterns_) {
+    if (punct.Covers(p)) {
+      ++removed;
+    } else {
+      kept.push_back(std::move(p));
+    }
+  }
+  patterns_ = std::move(kept);
+  total_expired_ += static_cast<uint64_t>(removed);
+  return removed;
+}
+
+std::string GuardSet::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(patterns_.size());
+  for (const PunctPattern& p : patterns_) parts.push_back(p.ToString());
+  return "guards{" + Join(parts, "; ") + "}";
+}
+
+}  // namespace nstream

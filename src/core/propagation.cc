@@ -1,0 +1,66 @@
+#include "core/propagation.h"
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+bool CanPropagate(const PunctPattern& pattern, const SchemaMap& map,
+                  int input) {
+  if (pattern.arity() != map.out_arity()) return false;
+  std::vector<int> constrained = pattern.ConstrainedIndices();
+  if (constrained.empty()) return false;  // nothing to say upstream
+  for (int out_idx : constrained) {
+    if (!map.InputIndex(out_idx, input).has_value()) return false;
+  }
+  return true;
+}
+
+Result<PunctPattern> DeriveForInput(const PunctPattern& pattern,
+                                    const SchemaMap& map, int input,
+                                    int in_arity) {
+  if (pattern.arity() != map.out_arity()) {
+    return Status::SchemaMismatch(StringPrintf(
+        "pattern arity %d vs SchemaMap out arity %d", pattern.arity(),
+        map.out_arity()));
+  }
+  if (!CanPropagate(pattern, map, input)) {
+    return Status::Unsafe(StringPrintf(
+        "pattern %s cannot be safely propagated to input %d "
+        "(constrained attribute not carried by that input)",
+        pattern.ToString().c_str(), input));
+  }
+  PunctPattern out = PunctPattern::AllWildcard(in_arity);
+  for (int out_idx : pattern.ConstrainedIndices()) {
+    int in_idx = *map.InputIndex(out_idx, input);
+    if (in_idx >= in_arity) {
+      return Status::OutOfRange(StringPrintf(
+          "SchemaMap points at input attribute %d beyond arity %d",
+          in_idx, in_arity));
+    }
+    // Two output attributes mapping to the same input attribute with
+    // different constraints would require an intersection; be
+    // conservative and refuse unless the constraints are identical.
+    if (!out.attr(in_idx).is_wildcard() &&
+        out.attr(in_idx) != pattern.attr(out_idx)) {
+      return Status::Unsafe(StringPrintf(
+          "conflicting constraints map to input attribute %d", in_idx));
+    }
+    out = out.With(in_idx, pattern.attr(out_idx));
+  }
+  return out;
+}
+
+std::vector<std::optional<PunctPattern>> DeriveAll(
+    const PunctPattern& pattern, const SchemaMap& map,
+    const std::vector<int>& in_arities) {
+  std::vector<std::optional<PunctPattern>> out(
+      static_cast<size_t>(map.num_inputs()));
+  for (int i = 0; i < map.num_inputs(); ++i) {
+    Result<PunctPattern> r = DeriveForInput(
+        pattern, map, i, in_arities[static_cast<size_t>(i)]);
+    if (r.ok()) out[static_cast<size_t>(i)] = r.MoveValue();
+  }
+  return out;
+}
+
+}  // namespace nstream

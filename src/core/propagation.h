@@ -1,0 +1,50 @@
+// Safe propagation (§4.2, Definition 2). An operator O receiving
+// feedback g may forward it to an antecedent only if the antecedent's
+// exploitation cannot alter O's own correct exploitation. For
+// conjunctive patterns this reduces to a coverage condition:
+//
+//   Propagation of pattern f to input i is safe iff every constrained
+//   attribute of f is carried by input i (per the operator's
+//   SchemaMap). The propagated pattern is f projected onto i's schema.
+//
+// The paper's JOIN example: with C(a,t,id,b) from A(a,t,id), B(t,id,b),
+//   ¬[*,3,4,*]   → ¬[*,3,4] to A and ¬[3,4,*] to B   (join attrs on both)
+//   ¬[50,*,*,*]  → ¬[50,*,*] to A only
+//   ¬[50,*,*,50] → no safe propagation: constraints split across
+//                  inputs; pushing each half separately would suppress
+//                  tuples like <49,2,3,50> that the feedback does not
+//                  cover.
+
+#ifndef NSTREAM_CORE_PROPAGATION_H_
+#define NSTREAM_CORE_PROPAGATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/schema_map.h"
+#include "punct/punct_pattern.h"
+
+namespace nstream {
+
+/// Can `pattern` (over the operator's output schema) be safely
+/// propagated to input `input`? True iff every constrained attribute
+/// maps onto that input.
+bool CanPropagate(const PunctPattern& pattern, const SchemaMap& map,
+                  int input);
+
+/// Derive the pattern to send to input `input` (arity `in_arity`).
+/// Returns Status::Unsafe when propagation is not safe (Definition 2).
+Result<PunctPattern> DeriveForInput(const PunctPattern& pattern,
+                                    const SchemaMap& map, int input,
+                                    int in_arity);
+
+/// Per-input derivation for all inputs; entries are nullopt where
+/// propagation is unsafe. `in_arities[i]` is input i's schema arity.
+std::vector<std::optional<PunctPattern>> DeriveAll(
+    const PunctPattern& pattern, const SchemaMap& map,
+    const std::vector<int>& in_arities);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_CORE_PROPAGATION_H_

@@ -1,0 +1,82 @@
+#include "core/schema_map.h"
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+SchemaMap::SchemaMap(int num_inputs, int out_arity)
+    : num_inputs_(num_inputs),
+      out_arity_(out_arity),
+      map_(static_cast<size_t>(out_arity),
+           std::vector<int>(static_cast<size_t>(num_inputs), -1)) {}
+
+SchemaMap SchemaMap::Identity(int arity) {
+  SchemaMap m(1, arity);
+  for (int i = 0; i < arity; ++i) {
+    m.map_[static_cast<size_t>(i)][0] = i;
+  }
+  return m;
+}
+
+SchemaMap SchemaMap::Projection(const std::vector<int>& out_to_in) {
+  SchemaMap m(1, static_cast<int>(out_to_in.size()));
+  for (size_t i = 0; i < out_to_in.size(); ++i) {
+    if (out_to_in[i] >= 0) m.map_[i][0] = out_to_in[i];
+  }
+  return m;
+}
+
+Status SchemaMap::Map(int out_idx, int input, int in_idx) {
+  if (out_idx < 0 || out_idx >= out_arity_) {
+    return Status::OutOfRange(
+        StringPrintf("SchemaMap: out_idx %d out of range", out_idx));
+  }
+  if (input < 0 || input >= num_inputs_) {
+    return Status::OutOfRange(
+        StringPrintf("SchemaMap: input %d out of range", input));
+  }
+  if (in_idx < 0) {
+    return Status::InvalidArgument("SchemaMap: negative in_idx");
+  }
+  map_[static_cast<size_t>(out_idx)][static_cast<size_t>(input)] = in_idx;
+  return Status::OK();
+}
+
+std::optional<int> SchemaMap::InputIndex(int out_idx, int input) const {
+  if (out_idx < 0 || out_idx >= out_arity_ || input < 0 ||
+      input >= num_inputs_) {
+    return std::nullopt;
+  }
+  int v = map_[static_cast<size_t>(out_idx)][static_cast<size_t>(input)];
+  if (v < 0) return std::nullopt;
+  return v;
+}
+
+bool SchemaMap::IsMapped(int out_idx) const {
+  for (int i = 0; i < num_inputs_; ++i) {
+    if (InputIndex(out_idx, i).has_value()) return true;
+  }
+  return false;
+}
+
+std::string SchemaMap::ToString() const {
+  std::string out = "SchemaMap{";
+  for (int o = 0; o < out_arity_; ++o) {
+    if (o > 0) out += ", ";
+    out += StringPrintf("out%d->", o);
+    bool any = false;
+    for (int i = 0; i < num_inputs_; ++i) {
+      auto idx = InputIndex(o, i);
+      if (idx.has_value()) {
+        if (any) out += "/";
+        out += StringPrintf("in%d.%d", i, *idx);
+        any = true;
+      }
+    }
+    if (!any) out += "computed";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace nstream

@@ -1,0 +1,56 @@
+// SchemaMap: records, per output attribute of an operator, which input
+// attribute(s) it derives from. This is the "function that maps from
+// output to input schema" that §4.2 identifies as the precondition for
+// propagating feedback upstream. Computed attributes (aggregates) map
+// to nothing; join attributes map to both inputs.
+
+#ifndef NSTREAM_CORE_SCHEMA_MAP_H_
+#define NSTREAM_CORE_SCHEMA_MAP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nstream {
+
+class SchemaMap {
+ public:
+  /// A map for an operator with `num_inputs` inputs and `out_arity`
+  /// output attributes; initially nothing is mapped (all computed).
+  SchemaMap(int num_inputs, int out_arity);
+
+  /// Identity map for a single-input operator whose output mirrors its
+  /// input (SELECT, DUPLICATE outputs, PACE/UNION, IMPUTE).
+  static SchemaMap Identity(int arity);
+
+  /// Single-input projection: out attribute i comes from input
+  /// attribute out_to_in[i] (-1 = computed).
+  static SchemaMap Projection(const std::vector<int>& out_to_in);
+
+  /// Declare that output attribute `out_idx` carries the value of
+  /// input `input`'s attribute `in_idx`.
+  Status Map(int out_idx, int input, int in_idx);
+
+  int num_inputs() const { return num_inputs_; }
+  int out_arity() const { return out_arity_; }
+
+  /// Where does output attribute `out_idx` live on `input`?
+  std::optional<int> InputIndex(int out_idx, int input) const;
+
+  /// Is output attribute `out_idx` mapped to any input?
+  bool IsMapped(int out_idx) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_inputs_;
+  int out_arity_;
+  // [out_idx][input] = in_idx or -1.
+  std::vector<std::vector<int>> map_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_CORE_SCHEMA_MAP_H_

@@ -1,0 +1,66 @@
+// ExecContext: the executor-provided handle through which an operator
+// interacts with the runtime — emitting tuples/punctuation downstream,
+// emitting feedback/control upstream, reading the system clock, and
+// charging processing cost (virtual time under the SimExecutor).
+//
+// Operators are written once against this interface and run unchanged
+// under the synchronous, discrete-event, and thread-per-operator
+// executors.
+
+#ifndef NSTREAM_EXEC_EXEC_CONTEXT_H_
+#define NSTREAM_EXEC_EXEC_CONTEXT_H_
+
+#include "common/clock.h"
+#include "punct/feedback.h"
+#include "punct/punct_pattern.h"
+#include "stream/control_channel.h"
+#include "types/tuple.h"
+
+namespace nstream {
+
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  // ---- Downstream (with the data) ----
+  virtual void EmitTuple(int out_port, Tuple t) = 0;
+  virtual void EmitPunct(int out_port, Punctuation p) = 0;
+  virtual void EmitEos(int out_port) = 0;
+
+  // ---- Upstream (against the data; out-of-band) ----
+  /// Send feedback punctuation to the producer feeding input `in_port`.
+  virtual void EmitFeedback(int in_port, FeedbackPunctuation fb) = 0;
+  /// Send a raw control message upstream (shutdown, result request).
+  virtual void EmitControl(int in_port, ControlMessage msg) = 0;
+
+  // ---- Time & cost ----
+  /// Current system time (virtual under SimExecutor, wall otherwise).
+  virtual TimeMs NowMs() const = 0;
+  /// Account `cost_ms` of processing time for the current event. Under
+  /// the SimExecutor this advances the operator's busy-horizon; other
+  /// executors ignore it (their cost is real CPU time).
+  virtual void ChargeMs(double cost_ms) = 0;
+
+  // ---- Exploitation hooks into pending input ----
+  /// Drop tuples matching `pattern` that are buffered on input
+  /// `in_port` but not yet delivered (IMPUTE purging late tuples,
+  /// Experiment 1). Returns the number of tuples removed. Punctuation
+  /// ordering is preserved: removal never reorders elements.
+  virtual int PurgeInput(int in_port, const PunctPattern& pattern) {
+    (void)in_port;
+    (void)pattern;
+    return 0;
+  }
+  /// Move buffered tuples matching `pattern` ahead of non-matching
+  /// ones on input `in_port` (desired-punctuation prioritization).
+  /// Tuples never cross punctuation boundaries. Returns #promoted.
+  virtual int PrioritizeInput(int in_port, const PunctPattern& pattern) {
+    (void)in_port;
+    (void)pattern;
+    return 0;
+  }
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,119 @@
+#include "exec/operator.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nstream {
+
+Operator::Operator(std::string name, int num_inputs, int num_outputs)
+    : name_(std::move(name)),
+      num_inputs_(num_inputs),
+      num_outputs_(num_outputs),
+      input_schemas_(static_cast<size_t>(num_inputs)),
+      output_schemas_(static_cast<size_t>(num_outputs)),
+      eos_seen_(static_cast<size_t>(num_inputs), false) {}
+
+Status Operator::SetInputSchema(int port, SchemaPtr schema) {
+  if (port < 0 || port >= num_inputs_) {
+    return Status::OutOfRange(
+        StringPrintf("%s: input port %d out of range (%d inputs)",
+                     name_.c_str(), port, num_inputs_));
+  }
+  input_schemas_[static_cast<size_t>(port)] = std::move(schema);
+  return Status::OK();
+}
+
+Status Operator::InferSchemas() {
+  // Filter-style default: one input, outputs mirror input 0.
+  if (num_inputs_ >= 1 && input_schemas_[0] != nullptr) {
+    for (int o = 0; o < num_outputs_; ++o) {
+      if (output_schemas_[static_cast<size_t>(o)] == nullptr) {
+        output_schemas_[static_cast<size_t>(o)] = input_schemas_[0];
+      }
+    }
+    return Status::OK();
+  }
+  for (int o = 0; o < num_outputs_; ++o) {
+    if (output_schemas_[static_cast<size_t>(o)] == nullptr) {
+      return Status::FailedPrecondition(
+          name_ + ": output schema not set and not inferable");
+    }
+  }
+  return Status::OK();
+}
+
+Status Operator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return Status::OK();
+}
+
+Status Operator::ProcessPunctuation(int port, const Punctuation& punct) {
+  ++stats_.puncts_in;
+  // Pass-through is only sound when schemas line up; otherwise the
+  // operator must translate (stateful operators override this).
+  const SchemaPtr& in = input_schemas_[static_cast<size_t>(port)];
+  for (int o = 0; o < num_outputs_; ++o) {
+    const SchemaPtr& out = output_schemas_[static_cast<size_t>(o)];
+    if (in != nullptr && out != nullptr && in->Equals(*out)) {
+      EmitPunct(o, punct);
+    }
+  }
+  return Status::OK();
+}
+
+Status Operator::ProcessEos(int port) {
+  if (port < 0 || port >= num_inputs_) {
+    return Status::OutOfRange(name_ + ": EOS on bad port");
+  }
+  if (!eos_seen_[static_cast<size_t>(port)]) {
+    eos_seen_[static_cast<size_t>(port)] = true;
+    ++eos_count_;
+  }
+  if (eos_count_ == num_inputs_ && !finished_) {
+    finished_ = true;
+    return OnAllInputsEos();
+  }
+  return Status::OK();
+}
+
+Status Operator::OnAllInputsEos() {
+  for (int o = 0; o < num_outputs_; ++o) {
+    ctx_->EmitEos(o);
+  }
+  return Status::OK();
+}
+
+Status Operator::Close() { return Status::OK(); }
+
+Status Operator::ProcessControl(int out_port, const ControlMessage& msg) {
+  switch (msg.type) {
+    case ControlType::kFeedback:
+      ++stats_.feedback_received;
+      return ProcessFeedback(out_port, msg.feedback);
+    case ControlType::kShutdown:
+      shutdown_requested_ = true;
+      // Shutdown propagates all the way to the sources.
+      for (int i = 0; i < num_inputs_; ++i) {
+        ctx_->EmitControl(i, ControlMessage::Shutdown());
+      }
+      return Status::OK();
+    case ControlType::kRequestResult:
+      // Default: relay the poll upstream (Example 4, on-demand results).
+      for (int i = 0; i < num_inputs_; ++i) {
+        ctx_->EmitControl(i, ControlMessage::RequestResult());
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown control type");
+}
+
+Status Operator::ProcessFeedback(int out_port,
+                                 const FeedbackPunctuation& feedback) {
+  // Feedback-unaware default (§5): ignore, do not propagate.
+  (void)out_port;
+  (void)feedback;
+  ++stats_.feedback_ignored;
+  return Status::OK();
+}
+
+}  // namespace nstream

@@ -1,0 +1,174 @@
+// Operator: the unit of query processing. NiagaraST runs each operator
+// as a thread connected by inter-operator queues; here operators are
+// passive event handlers (ProcessTuple / ProcessPunctuation /
+// ProcessControl / ...) and the executor owns scheduling, so the same
+// operator code runs under all three executors.
+//
+// Feedback roles (§3.5): an operator may be a feedback *producer*
+// (calls EmitFeedback), an *exploiter* (overrides ProcessFeedback to
+// guard/purge/prioritize), and/or a *relayer* (maps received feedback
+// to its input schema(s) and forwards it). The default ProcessFeedback
+// ignores feedback — a feedback-unaware operator, exactly the paper's
+// fallback behaviour.
+
+#ifndef NSTREAM_EXEC_OPERATOR_H_
+#define NSTREAM_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "punct/feedback.h"
+#include "stream/element.h"
+#include "types/schema.h"
+
+namespace nstream {
+
+/// Per-operator counters; the currency of the experimental harness.
+struct OperatorStats {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t puncts_in = 0;
+  uint64_t puncts_out = 0;
+  uint64_t feedback_received = 0;
+  uint64_t feedback_sent = 0;       // originated here
+  uint64_t feedback_propagated = 0; // relayed upstream
+  uint64_t feedback_ignored = 0;    // received but not exploitable
+  uint64_t input_guard_drops = 0;   // tuples dropped by an input guard
+  uint64_t output_guard_drops = 0;  // results suppressed by output guard
+  uint64_t state_purged = 0;        // state entries removed via feedback
+  uint64_t work_avoided = 0;        // expensive units skipped (IMPUTE etc.)
+};
+
+class Operator {
+ public:
+  Operator(std::string name, int num_inputs, int num_outputs);
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  // ---- Identity & shape ----
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+  const std::string& name() const { return name_; }
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+  bool is_source() const { return num_inputs_ == 0; }
+  bool is_sink() const { return num_outputs_ == 0; }
+
+  // ---- Schemas ----
+  /// Called by QueryPlan::Finalize in topological order.
+  Status SetInputSchema(int port, SchemaPtr schema);
+  const SchemaPtr& input_schema(int port) const {
+    return input_schemas_[static_cast<size_t>(port)];
+  }
+  const SchemaPtr& output_schema(int port) const {
+    return output_schemas_[static_cast<size_t>(port)];
+  }
+  /// Derive output schema(s) from input schema(s). Default: single
+  /// output copies input 0 (filter-style); sources must pre-set theirs.
+  virtual Status InferSchemas();
+
+  // ---- Lifecycle (invoked by executors) ----
+  virtual Status Open(ExecContext* ctx);
+  virtual Status ProcessTuple(int port, const Tuple& tuple) = 0;
+  /// Embedded punctuation arrived on `port`. Default: forward to all
+  /// outputs unchanged when input/output schemas match, else drop.
+  virtual Status ProcessPunctuation(int port, const Punctuation& punct);
+  /// End of stream on `port`. Default bookkeeping: when every input has
+  /// ended, calls OnAllInputsEos.
+  Status ProcessEos(int port);
+  /// All inputs exhausted. Default: emit EOS on every output. Stateful
+  /// operators override to flush remaining state first (then call the
+  /// base implementation).
+  virtual Status OnAllInputsEos();
+  virtual Status Close();
+
+  // ---- Upstream control path ----
+  /// Control message arrived from the consumer on output `out_port`.
+  /// Dispatches feedback to ProcessFeedback; shutdown is latched and
+  /// forwarded to all inputs.
+  virtual Status ProcessControl(int out_port, const ControlMessage& msg);
+  /// Feedback punctuation received (§3.5). Default: feedback-unaware —
+  /// count and ignore.
+  virtual Status ProcessFeedback(int out_port,
+                                 const FeedbackPunctuation& feedback);
+
+  bool shutdown_requested() const { return shutdown_requested_; }
+  bool eos_seen(int port) const {
+    return eos_seen_[static_cast<size_t>(port)];
+  }
+  bool finished() const { return finished_; }
+
+  const OperatorStats& stats() const { return stats_; }
+  OperatorStats* mutable_stats() { return &stats_; }
+
+ protected:
+  ExecContext* ctx() const { return ctx_; }
+  void SetOutputSchema(int port, SchemaPtr schema) {
+    output_schemas_[static_cast<size_t>(port)] = std::move(schema);
+  }
+
+  // Emission helpers that keep stats in sync.
+  void Emit(int out_port, Tuple t) {
+    ++stats_.tuples_out;
+    ctx_->EmitTuple(out_port, std::move(t));
+  }
+  void EmitPunct(int out_port, Punctuation p) {
+    ++stats_.puncts_out;
+    ctx_->EmitPunct(out_port, std::move(p));
+  }
+  void SendFeedback(int in_port, FeedbackPunctuation fb) {
+    ++stats_.feedback_sent;
+    fb.set_origin_op(id_);
+    fb.set_issued_at_ms(ctx_->NowMs());
+    ctx_->EmitFeedback(in_port, std::move(fb));
+  }
+  void RelayFeedback(int in_port, FeedbackPunctuation fb) {
+    ++stats_.feedback_propagated;
+    fb.set_hop_count(fb.hop_count() + 1);
+    ctx_->EmitFeedback(in_port, std::move(fb));
+  }
+
+  OperatorStats stats_;
+
+ private:
+  std::string name_;
+  int num_inputs_;
+  int num_outputs_;
+  int64_t id_ = -1;
+  ExecContext* ctx_ = nullptr;
+  std::vector<SchemaPtr> input_schemas_;
+  std::vector<SchemaPtr> output_schemas_;
+  std::vector<bool> eos_seen_;
+  int eos_count_ = 0;
+  bool finished_ = false;
+  bool shutdown_requested_ = false;
+};
+
+/// A source operator generates the stream. `NextArrivalMs` exposes the
+/// (system-time) instant the next element becomes available, letting
+/// the SimExecutor schedule arrivals and the ThreadedExecutor pace them
+/// in real time if asked to.
+class SourceOperator : public Operator {
+ public:
+  SourceOperator(std::string name, int num_outputs = 1)
+      : Operator(std::move(name), /*num_inputs=*/0, num_outputs) {}
+
+  /// System time of the next element, or nullopt when exhausted.
+  virtual std::optional<TimeMs> NextArrivalMs() = 0;
+  /// Emit the element(s) due at NextArrivalMs via ctx().
+  virtual Status ProduceNext() = 0;
+
+  Status ProcessTuple(int, const Tuple&) final {
+    return Status::FailedPrecondition("source has no inputs");
+  }
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_EXEC_OPERATOR_H_

@@ -1,0 +1,163 @@
+#include "exec/sync_executor.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nstream {
+namespace {
+
+class SyncContext final : public ExecContext {
+ public:
+  SyncContext(PlanRuntime* rt, int64_t op_id, TimeMs* now)
+      : rt_(rt), op_id_(op_id), now_(now) {}
+
+  void EmitTuple(int out_port, Tuple t) override {
+    if (t.arrival_ms() < 0) t.set_arrival_ms(*now_);
+    rt_->output_conn(op_id_, out_port)->data->PushTuple(std::move(t));
+  }
+  void EmitPunct(int out_port, Punctuation p) override {
+    rt_->output_conn(op_id_, out_port)
+        ->data->PushPunctuation(std::move(p));
+  }
+  void EmitEos(int out_port) override {
+    rt_->output_conn(op_id_, out_port)->data->PushEos();
+  }
+  void EmitFeedback(int in_port, FeedbackPunctuation fb) override {
+    rt_->input_conn(op_id_, in_port)
+        ->control->Push(ControlMessage::Feedback(std::move(fb)));
+  }
+  void EmitControl(int in_port, ControlMessage msg) override {
+    rt_->input_conn(op_id_, in_port)->control->Push(std::move(msg));
+  }
+  TimeMs NowMs() const override { return *now_; }
+  void ChargeMs(double) override {}  // cost is real CPU time here
+  int PurgeInput(int in_port, const PunctPattern& pattern) override {
+    return rt_->input_conn(op_id_, in_port)
+        ->data->PurgeMatching(pattern);
+  }
+  int PrioritizeInput(int in_port, const PunctPattern& pattern) override {
+    return rt_->input_conn(op_id_, in_port)
+        ->data->PromoteMatching(pattern);
+  }
+
+ private:
+  PlanRuntime* rt_;
+  int64_t op_id_;
+  TimeMs* now_;
+};
+
+}  // namespace
+
+Status SyncExecutor::Run(QueryPlan* plan) {
+  if (!plan->finalized()) {
+    NSTREAM_RETURN_NOT_OK(plan->Finalize());
+  }
+  NSTREAM_ASSIGN_OR_RETURN(std::unique_ptr<PlanRuntime> rt,
+                           PlanRuntime::Create(plan, options_.queue));
+
+  const int n = plan->num_operators();
+  std::vector<std::unique_ptr<SyncContext>> contexts;
+  contexts.reserve(static_cast<size_t>(n));
+  for (int64_t id = 0; id < n; ++id) {
+    contexts.push_back(
+        std::make_unique<SyncContext>(rt.get(), id, &now_ms_));
+    NSTREAM_RETURN_NOT_OK(plan->op(id)->Open(contexts.back().get()));
+  }
+
+  std::vector<bool> source_done(static_cast<size_t>(n), false);
+  int stalled = 0;
+
+  auto all_drained = [&]() {
+    for (int64_t id = 0; id < n; ++id) {
+      if (plan->op(id)->is_source() &&
+          !source_done[static_cast<size_t>(id)]) {
+        return false;
+      }
+    }
+    for (const auto& conn : rt->connections()) {
+      if (!conn->data->Drained()) return false;
+    }
+    return true;
+  };
+
+  while (true) {
+    bool progress = false;
+    for (int64_t id : plan->topo_order()) {
+      Operator* op = plan->op(id);
+
+      // 1. Control messages are high priority: drain before data (§5).
+      for (int p = 0; p < op->num_outputs(); ++p) {
+        ControlChannel* ch = rt->output_conn(id, p)->control.get();
+        while (auto msg = ch->TryPop()) {
+          ++now_ms_;
+          NSTREAM_RETURN_NOT_OK(op->ProcessControl(p, *msg));
+          progress = true;
+        }
+      }
+
+      // 2. Sources produce a bounded batch per round.
+      if (op->is_source() && !source_done[static_cast<size_t>(id)]) {
+        auto* src = static_cast<SourceOperator*>(op);
+        for (int k = 0; k < options_.source_batch; ++k) {
+          if (src->shutdown_requested() ||
+              !src->NextArrivalMs().has_value()) {
+            for (int p = 0; p < op->num_outputs(); ++p) {
+              contexts[static_cast<size_t>(id)]->EmitEos(p);
+            }
+            source_done[static_cast<size_t>(id)] = true;
+            progress = true;
+            break;
+          }
+          ++now_ms_;
+          NSTREAM_RETURN_NOT_OK(src->ProduceNext());
+          progress = true;
+        }
+      }
+
+      // 3. Deliver at most one data page per input port per round.
+      for (int p = 0; p < op->num_inputs(); ++p) {
+        DataQueue* q = rt->input_conn(id, p)->data.get();
+        std::optional<Page> page = q->TryPopPage();
+        if (!page) continue;
+        progress = true;
+        for (StreamElement& e : page->mutable_elements()) {
+          ++now_ms_;
+          switch (e.kind()) {
+            case ElementKind::kTuple:
+              ++op->mutable_stats()->tuples_in;
+              NSTREAM_RETURN_NOT_OK(op->ProcessTuple(p, e.tuple()));
+              break;
+            case ElementKind::kPunctuation:
+              NSTREAM_RETURN_NOT_OK(
+                  op->ProcessPunctuation(p, e.punct()));
+              break;
+            case ElementKind::kEndOfStream:
+              NSTREAM_RETURN_NOT_OK(op->ProcessEos(p));
+              break;
+          }
+        }
+      }
+    }
+
+    if (!progress) {
+      if (all_drained()) break;
+      // Maybe tuples are stranded in partially-filled pages: force a
+      // flush and retry before declaring a stall.
+      for (const auto& conn : rt->connections()) conn->data->Flush();
+      if (++stalled > options_.max_stalled_rounds) {
+        return Status::Internal(
+            "SyncExecutor stalled: no progress but plan not drained");
+      }
+    } else {
+      stalled = 0;
+    }
+  }
+
+  for (int64_t id = 0; id < n; ++id) {
+    NSTREAM_RETURN_NOT_OK(plan->op(id)->Close());
+  }
+  return Status::OK();
+}
+
+}  // namespace nstream

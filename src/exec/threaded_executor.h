@@ -1,0 +1,51 @@
+// ThreadedExecutor: NiagaraST's execution architecture — each operator
+// runs as its own thread, connected by paged data queues (downstream)
+// and control channels (upstream). Operators sleep on a per-operator
+// wake object and are awakened when a data page or control message
+// arrives (§5, "Operator Control"). Control messages are drained before
+// pending data pages.
+//
+// This executor demonstrates the mechanism under genuine concurrency;
+// deterministic experiments use SyncExecutor / SimExecutor.
+
+#ifndef NSTREAM_EXEC_THREADED_EXECUTOR_H_
+#define NSTREAM_EXEC_THREADED_EXECUTOR_H_
+
+#include "common/status.h"
+#include "exec/query_plan.h"
+#include "stream/data_queue.h"
+
+namespace nstream {
+
+/// What ExecContext::ChargeMs does under real threads.
+enum class ChargePolicy : uint8_t {
+  kIgnore = 0,  // cost accounting is a no-op (real CPU time rules)
+  kSleep,       // sleep for the charged duration (models blocking I/O,
+                // e.g. IMPUTE's per-tuple database query)
+  kSpin,        // busy-spin for the charged duration (models CPU work)
+};
+
+struct ThreadedExecutorOptions {
+  DataQueueOptions queue{/*page_size=*/128, /*max_pages=*/64};
+  ChargePolicy charge_policy = ChargePolicy::kIgnore;
+  // When true, each source sleeps so elements enter the engine at
+  // NextArrivalMs() * pace_scale wall milliseconds from start.
+  bool pace_sources = false;
+  double pace_scale = 1.0;
+};
+
+class ThreadedExecutor {
+ public:
+  explicit ThreadedExecutor(ThreadedExecutorOptions options = {})
+      : options_(options) {}
+
+  /// Spawn one thread per operator, run to completion, join.
+  Status Run(QueryPlan* plan);
+
+ private:
+  ThreadedExecutorOptions options_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_EXEC_THREADED_EXECUTOR_H_

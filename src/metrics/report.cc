@@ -1,0 +1,47 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+
+namespace nstream {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] +
+             std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string ExperimentBanner(const std::string& id,
+                             const std::string& description) {
+  std::string bar(72, '=');
+  return bar + "\n" + id + ": " + description + "\n" + bar + "\n";
+}
+
+}  // namespace nstream

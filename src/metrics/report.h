@@ -1,0 +1,32 @@
+// Small table/report rendering helpers shared by benches so every
+// table/figure reproduction prints in a uniform, diffable format with
+// the paper's reported values alongside.
+
+#ifndef NSTREAM_METRICS_REPORT_H_
+#define NSTREAM_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace nstream {
+
+/// A fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Banner for an experiment reproduction section.
+std::string ExperimentBanner(const std::string& id,
+                             const std::string& description);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_METRICS_REPORT_H_

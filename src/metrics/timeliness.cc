@@ -1,0 +1,65 @@
+#include "metrics/timeliness.h"
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+std::string TimelinessReport::Summary() const {
+  return StringPrintf(
+      "clean=%llu imputed=%llu/%llu delivered, %llu timely, "
+      "dropped_or_late=%.1f%%",
+      static_cast<unsigned long long>(clean_delivered),
+      static_cast<unsigned long long>(imputed_delivered),
+      static_cast<unsigned long long>(total_expected_imputed),
+      static_cast<unsigned long long>(imputed_timely),
+      100.0 * imputed_dropped_or_late_fraction());
+}
+
+TimelinessReport AnalyzeTimeliness(
+    const std::vector<CollectedTuple>& collected,
+    const TimelinessOptions& options) {
+  TimelinessReport report;
+  report.total_expected_imputed = options.total_expected_imputed;
+  for (const CollectedTuple& ct : collected) {
+    SeriesPoint pt;
+    pt.tuple_id = ct.tuple.id();
+    Result<int64_t> ts = ct.tuple.value(options.ts_attr).AsInt64();
+    pt.app_ts = ts.ok() ? ts.value() : 0;
+    pt.out_ms = ct.out_ms;
+    pt.lag_ms = pt.out_ms - pt.app_ts;
+
+    bool imputed = false;
+    if (options.flag_attr >= 0 &&
+        options.flag_attr < ct.tuple.size()) {
+      Result<int64_t> flag =
+          ct.tuple.value(options.flag_attr).AsInt64();
+      imputed = flag.ok() && flag.value() != 0;
+    }
+    if (imputed) {
+      ++report.imputed_delivered;
+      if (pt.lag_ms <= options.tolerance_ms) ++report.imputed_timely;
+      report.imputed.push_back(pt);
+    } else {
+      ++report.clean_delivered;
+      report.clean.push_back(pt);
+    }
+  }
+  return report;
+}
+
+std::string SeriesCsv(const TimelinessReport& report) {
+  std::string out = "series,tuple_id,out_s\n";
+  for (const SeriesPoint& p : report.clean) {
+    out += StringPrintf("clean,%lld,%.3f\n",
+                        static_cast<long long>(p.tuple_id),
+                        static_cast<double>(p.out_ms) / 1000.0);
+  }
+  for (const SeriesPoint& p : report.imputed) {
+    out += StringPrintf("imputed,%lld,%.3f\n",
+                        static_cast<long long>(p.tuple_id),
+                        static_cast<double>(p.out_ms) / 1000.0);
+  }
+  return out;
+}
+
+}  // namespace nstream

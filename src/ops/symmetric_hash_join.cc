@@ -1,0 +1,456 @@
+#include "ops/symmetric_hash_join.h"
+
+#include <algorithm>
+
+#include "core/propagation.h"
+
+namespace nstream {
+
+SymmetricHashJoin::SymmetricHashJoin(std::string name, JoinOptions options)
+    : Operator(std::move(name), 2, 1), options_(std::move(options)) {}
+
+Status SymmetricHashJoin::InferSchemas() {
+  const Schema& left = *input_schema(0);
+  const Schema& right = *input_schema(1);
+  left_arity_ = left.num_fields();
+  right_arity_ = right.num_fields();
+  if (options_.left_keys.size() != options_.right_keys.size()) {
+    return Status::InvalidArgument(name() + ": key arity mismatch");
+  }
+  if (options_.window_join &&
+      (options_.left_ts < 0 || options_.right_ts < 0)) {
+    return Status::InvalidArgument(
+        name() + ": window_join requires both timestamp attributes");
+  }
+  if (options_.window_join && !options_.window.tumbling()) {
+    return Status::Unsupported(
+        name() + ": only tumbling-window joins are supported");
+  }
+  if (options_.thrifty && !options_.window_join) {
+    return Status::InvalidArgument(
+        name() + ": thrifty mode requires window_join");
+  }
+  if (options_.thrifty && options_.left_outer &&
+      options_.thrifty_probe_input == 1) {
+    return Status::InvalidArgument(
+        name() +
+        ": thrifty feedback from the right probe would suppress left "
+        "tuples that a left-outer join must still emit");
+  }
+
+  // Output = all left attrs, then right attrs minus the join keys.
+  std::vector<Field> out = left.fields();
+  right_nonkey_.clear();
+  for (int i = 0; i < right_arity_; ++i) {
+    bool is_key = false;
+    for (int k : options_.right_keys) {
+      if (k == i) is_key = true;
+    }
+    if (!is_key) {
+      right_nonkey_.push_back(i);
+      out.push_back(right.field(i));
+    }
+  }
+  SetOutputSchema(0, Schema::Make(std::move(out)));
+
+  // SchemaMap (§4.2): left attrs map to input 0; join keys also map to
+  // input 1; appended right attrs map to input 1.
+  map_ = SchemaMap(2, output_schema(0)->num_fields());
+  for (int i = 0; i < left_arity_; ++i) {
+    NSTREAM_RETURN_NOT_OK(map_.Map(i, 0, i));
+    for (size_t k = 0; k < options_.left_keys.size(); ++k) {
+      if (options_.left_keys[k] == i) {
+        NSTREAM_RETURN_NOT_OK(map_.Map(i, 1, options_.right_keys[k]));
+      }
+    }
+  }
+  for (size_t m = 0; m < right_nonkey_.size(); ++m) {
+    NSTREAM_RETURN_NOT_OK(map_.Map(left_arity_ + static_cast<int>(m), 1,
+                                   right_nonkey_[m]));
+  }
+  return Status::OK();
+}
+
+int64_t SymmetricHashJoin::WidOf(const Tuple& t, int port) const {
+  if (!options_.window_join) return 0;
+  int ts_attr = port == 0 ? options_.left_ts : options_.right_ts;
+  Result<int64_t> ts = t.value(ts_attr).AsInt64();
+  if (!ts.ok()) return 0;
+  // Tumbling: exactly one window.
+  return WindowSpec::FloorDiv(ts.value(), options_.window.slide_ms);
+}
+
+std::string SymmetricHashJoin::MakeKey(const Tuple& t, int port,
+                                       int64_t wid) const {
+  const std::vector<int>& keys =
+      port == 0 ? options_.left_keys : options_.right_keys;
+  std::string out = std::to_string(wid);
+  for (int k : keys) {
+    out += '|';
+    out += t.value(k).ToString();
+  }
+  return out;
+}
+
+Tuple SymmetricHashJoin::JoinTuples(const Tuple& left,
+                                    const Tuple& right) const {
+  Tuple out;
+  for (const Value& v : left.values()) out.Append(v);
+  for (int i : right_nonkey_) out.Append(right.value(i));
+  out.set_id(left.id());
+  return out;
+}
+
+Tuple SymmetricHashJoin::OuterTuple(const Tuple& left) const {
+  Tuple out;
+  for (const Value& v : left.values()) out.Append(v);
+  for (size_t i = 0; i < right_nonkey_.size(); ++i) {
+    out.Append(Value::Null());
+  }
+  out.set_id(left.id());
+  return out;
+}
+
+void SymmetricHashJoin::EmitJoined(Tuple out) {
+  if (output_guards_.Blocks(out)) {
+    ++stats_.output_guard_drops;
+    return;
+  }
+  ++joined_count_;
+  Emit(0, std::move(out));
+}
+
+Status SymmetricHashJoin::ProcessTuple(int port, const Tuple& tuple) {
+  if (input_guards_[static_cast<size_t>(port)].Blocks(tuple)) {
+    ++stats_.input_guard_drops;
+    return Status::OK();
+  }
+  int64_t wid = WidOf(tuple, port);
+  if (options_.window_join && wid <= watermark_[port]) {
+    // Straggler past its window's punctuation: nothing to join with.
+    return Status::OK();
+  }
+  std::string key = MakeKey(tuple, port, wid);
+
+  // Adaptive gate: a failed left tuple neither probes nor is probed;
+  // it still emits as an outer row at window close. Its failure is the
+  // discovery of a processing opportunity on the right branch.
+  bool gated = false;
+  if (port == 0 && options_.left_gate && !options_.left_gate(tuple)) {
+    gated = true;
+    if (options_.gate_feedback_horizon > 0 && options_.window_join) {
+      SendGateFeedback(tuple, wid);
+    }
+  }
+
+  // Probe the other side.
+  int other = 1 - port;
+  auto it = tables_[other].find(key);
+  bool matched_now = false;
+  if (!gated && it != tables_[other].end()) {
+    for (Entry& e : it->second) {
+      if (port == 1 && e.gated) continue;  // right probe skips gated
+      e.matched = true;
+      matched_now = true;
+      if (port == 0) {
+        EmitJoined(JoinTuples(tuple, e.tuple));
+      } else {
+        EmitJoined(JoinTuples(e.tuple, tuple));
+      }
+    }
+  }
+  // Insert into own table.
+  Entry entry;
+  entry.tuple = tuple;
+  entry.wid = wid;
+  entry.gated = gated;
+  entry.matched = matched_now;
+  tables_[port][std::move(key)].push_back(std::move(entry));
+
+  if (options_.window_join) {
+    ++window_counts_[port][wid];
+    if (wid < min_seen_wid_[port]) min_seen_wid_[port] = wid;
+    if (options_.impatient && port == options_.impatient_data_input) {
+      MaybeImpatient(tuple, port, wid);
+    }
+  }
+  return Status::OK();
+}
+
+void SymmetricHashJoin::MaybeImpatient(const Tuple& t, int port,
+                                       int64_t wid) {
+  std::string req_key = MakeKey(t, port, wid);
+  if (!impatient_requested_.insert(req_key).second) return;
+
+  // Build a desired pattern over the OTHER input's schema: same join
+  // keys, timestamps within this window.
+  int other = 1 - port;
+  const std::vector<int>& my_keys =
+      port == 0 ? options_.left_keys : options_.right_keys;
+  const std::vector<int>& other_keys =
+      port == 0 ? options_.right_keys : options_.left_keys;
+  int other_ts = other == 0 ? options_.left_ts : options_.right_ts;
+  PunctPattern p = PunctPattern::AllWildcard(
+      input_schema(other)->num_fields());
+  for (size_t k = 0; k < my_keys.size(); ++k) {
+    p = p.With(other_keys[k], AttrPattern::Eq(t.value(my_keys[k])));
+  }
+  p = p.With(other_ts,
+             AttrPattern::Range(
+                 Value::Timestamp(options_.window.WindowStart(wid)),
+                 Value::Timestamp(options_.window.WindowEnd(wid) - 1)));
+  ++impatient_feedbacks_;
+  SendFeedback(other, FeedbackPunctuation::Desired(std::move(p)));
+}
+
+void SymmetricHashJoin::SendGateFeedback(const Tuple& t, int64_t wid) {
+  // Rate-limit: one prediction per (window, key).
+  std::string req = MakeKey(t, /*port=*/0, wid);
+  if (!gate_requested_.insert(req).second) return;
+
+  PunctPattern p = PunctPattern::AllWildcard(
+      input_schema(1)->num_fields());
+  for (size_t k = 0; k < options_.left_keys.size(); ++k) {
+    p = p.With(options_.right_keys[k],
+               AttrPattern::Eq(t.value(options_.left_keys[k])));
+  }
+  int64_t from = wid + 1;
+  int64_t to = wid + options_.gate_feedback_horizon;
+  p = p.With(options_.right_ts,
+             AttrPattern::Range(
+                 Value::Timestamp(options_.window.WindowStart(from)),
+                 Value::Timestamp(options_.window.WindowEnd(to) - 1)));
+  ++gate_feedbacks_;
+  SendFeedback(1, FeedbackPunctuation::Assumed(p));
+  stats_.work_avoided +=
+      static_cast<uint64_t>(ctx()->PurgeInput(1, p));
+}
+
+void SymmetricHashJoin::PurgeWindowsThrough(int side, int64_t wid,
+                                            bool emit_outer) {
+  Table& table = tables_[side];
+  for (auto it = table.begin(); it != table.end();) {
+    std::vector<Entry>& entries = it->second;
+    std::vector<Entry> kept;
+    for (Entry& e : entries) {
+      if (e.wid > wid) {
+        kept.push_back(std::move(e));
+        continue;
+      }
+      if (emit_outer && !e.matched) {
+        Tuple out = OuterTuple(e.tuple);
+        EmitJoined(std::move(out));
+      }
+      ++stats_.state_purged;
+    }
+    if (kept.empty()) {
+      it = table.erase(it);
+    } else {
+      it->second = std::move(kept);
+      ++it;
+    }
+  }
+  // NOTE: window_counts_ are NOT erased here. They are reclaimed only
+  // when their own side's punctuation passes (ProcessPunctuation):
+  // the thrifty check needs the probe side's counts to survive until
+  // the probe stream itself punctuates the window.
+}
+
+void SymmetricHashJoin::MaybeThrifty(int64_t through_wid) {
+  if (!options_.thrifty) return;
+  int probe = options_.thrifty_probe_input;
+  int other = 1 - probe;
+  int other_ts = other == 0 ? options_.left_ts : options_.right_ts;
+  int64_t from;
+  if (thrifty_checked_through_ == INT64_MIN) {
+    // First punctuation: start from the earliest probe window seen (or
+    // this one), clamped at window 0 — application time is
+    // non-negative in this engine, so earlier windows are vacuous.
+    from = std::min(min_seen_wid_[probe], through_wid);
+    if (from < 0) from = 0;
+  } else {
+    from = thrifty_checked_through_ + 1;
+  }
+  for (int64_t w = from; w <= through_wid; ++w) {
+    auto it = window_counts_[probe].find(w);
+    uint64_t count = it == window_counts_[probe].end() ? 0 : it->second;
+    if (count != 0) continue;
+    // Empty probe window: tuples of the other input in this window can
+    // never produce join output — tell its antecedents (§3.3).
+    PunctPattern p = PunctPattern::AllWildcard(
+        input_schema(other)->num_fields());
+    p = p.With(other_ts,
+               AttrPattern::Range(
+                   Value::Timestamp(options_.window.WindowStart(w)),
+                   Value::Timestamp(options_.window.WindowEnd(w) - 1)));
+    ++thrifty_feedbacks_;
+    SendFeedback(other, FeedbackPunctuation::Assumed(p));
+    stats_.work_avoided +=
+        static_cast<uint64_t>(ctx()->PurgeInput(other, p));
+  }
+  thrifty_checked_through_ = through_wid;
+}
+
+Status SymmetricHashJoin::ProcessPunctuation(int port,
+                                             const Punctuation& punct) {
+  ++stats_.puncts_in;
+  input_guards_[static_cast<size_t>(port)].ExpireCovered(punct);
+  if (!options_.window_join) return Status::OK();
+
+  // Watermark punctuation on this input's timestamp attribute.
+  int ts_attr = port == 0 ? options_.left_ts : options_.right_ts;
+  const PunctPattern& p = punct.pattern();
+  std::vector<int> constrained = p.ConstrainedIndices();
+  if (constrained.size() != 1 || constrained[0] != ts_attr) {
+    return Status::OK();
+  }
+  const AttrPattern& ap = p.attr(ts_attr);
+  Result<int64_t> bound = ap.operand().AsInt64();
+  if (!bound.ok()) return Status::OK();
+  int64_t inclusive = bound.value();
+  if (ap.op() == PatternOp::kLt) {
+    inclusive -= 1;
+  } else if (ap.op() != PatternOp::kLe) {
+    return Status::OK();
+  }
+  int64_t through = options_.window.LastClosableWindow(inclusive);
+  if (through <= watermark_[port]) return Status::OK();
+  watermark_[port] = through;
+
+  if (options_.thrifty && port == options_.thrifty_probe_input) {
+    MaybeThrifty(through);
+  }
+  // This side's counts for closed windows are no longer needed.
+  auto& counts = window_counts_[port];
+  for (auto cit = counts.begin();
+       cit != counts.end() && cit->first <= through;) {
+    cit = counts.erase(cit);
+  }
+
+  // This input is done with windows <= through, so the OTHER side's
+  // entries there can never be probed again — purge them. Unmatched
+  // left entries emit their outer tuple once the right input is done.
+  int other = 1 - port;
+  bool emit_outer = options_.left_outer && other == 0;
+  PurgeWindowsThrough(other, through, emit_outer);
+
+  // Downstream completeness: windows <= min watermark are final.
+  int64_t both = std::min(watermark_[0], watermark_[1]);
+  if (both > emitted_punct_through_ && both != INT64_MIN) {
+    emitted_punct_through_ = both;
+    PunctPattern out = PunctPattern::AllWildcard(
+        output_schema(0)->num_fields());
+    out = out.With(options_.left_ts,
+                   AttrPattern::Le(Value::Timestamp(
+                       options_.window.WindowEnd(both) - 1)));
+    Punctuation out_punct(out);
+    output_guards_.ExpireCovered(out_punct);
+    EmitPunct(0, std::move(out_punct));
+  }
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::OnAllInputsEos() {
+  if (options_.left_outer) {
+    // Remaining unmatched left tuples emit with NULL right attributes.
+    std::vector<const Entry*> unmatched;
+    for (const auto& [key, entries] : tables_[0]) {
+      for (const Entry& e : entries) {
+        if (!e.matched) unmatched.push_back(&e);
+      }
+    }
+    std::sort(unmatched.begin(), unmatched.end(),
+              [](const Entry* a, const Entry* b) {
+                if (a->wid != b->wid) return a->wid < b->wid;
+                return a->tuple.id() < b->tuple.id();
+              });
+    for (const Entry* e : unmatched) EmitJoined(OuterTuple(e->tuple));
+  }
+  tables_[0].clear();
+  tables_[1].clear();
+  return Operator::OnAllInputsEos();
+}
+
+Status SymmetricHashJoin::HandleAssumed(const FeedbackPunctuation& fb) {
+  if (options_.conservative_no_retraction ||
+      options_.feedback_policy == FeedbackPolicy::kOutputGuardOnly) {
+    output_guards_.Add(fb.pattern());
+    return Status::OK();
+  }
+  bool exploited = false;
+  for (int input = 0; input < 2; ++input) {
+    Result<PunctPattern> derived = DeriveForInput(
+        fb.pattern(), map_, input,
+        input_schema(input)->num_fields());
+    if (!derived.ok()) continue;
+    exploited = true;
+    // Table 2 local exploit: purge matching entries from this side's
+    // hash table and guard the input.
+    Table& table = tables_[input];
+    for (auto it = table.begin(); it != table.end();) {
+      std::vector<Entry>& entries = it->second;
+      size_t before = entries.size();
+      entries.erase(
+          std::remove_if(entries.begin(), entries.end(),
+                         [&](const Entry& e) {
+                           return derived.value().Matches(e.tuple);
+                         }),
+          entries.end());
+      stats_.state_purged += before - entries.size();
+      if (entries.empty()) {
+        it = table.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    input_guards_[static_cast<size_t>(input)].Add(derived.value());
+    ctx()->PurgeInput(input, derived.value());
+    if (PolicyAtLeast(options_.feedback_policy,
+                      FeedbackPolicy::kExploitAndPropagate)) {
+      RelayFeedback(input,
+                    FeedbackPunctuation::Assumed(derived.MoveValue()));
+    }
+  }
+  if (!exploited) {
+    // ¬[l,*,r]: constraints split across inputs — guard output only.
+    output_guards_.Add(fb.pattern());
+  }
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::ProcessFeedback(int,
+                                          const FeedbackPunctuation& fb) {
+  if (options_.feedback_policy == FeedbackPolicy::kIgnore ||
+      fb.pattern().arity() != output_schema(0)->num_fields()) {
+    ++stats_.feedback_ignored;
+    return Status::OK();
+  }
+  if (fb.intent() == FeedbackIntent::kAssumed) {
+    return HandleAssumed(fb);
+  }
+  // Desired / demanded: prioritization only — content is unaffected.
+  bool any = false;
+  for (int input = 0; input < 2; ++input) {
+    Result<PunctPattern> derived = DeriveForInput(
+        fb.pattern(), map_, input, input_schema(input)->num_fields());
+    if (!derived.ok()) continue;
+    any = true;
+    ctx()->PrioritizeInput(input, derived.value());
+    if (PolicyAtLeast(options_.feedback_policy,
+                      FeedbackPolicy::kExploitAndPropagate)) {
+      FeedbackPunctuation up(fb.intent(), derived.MoveValue());
+      up.set_origin_op(fb.origin_op());
+      RelayFeedback(input, std::move(up));
+    }
+  }
+  if (!any) ++stats_.feedback_ignored;
+  return Status::OK();
+}
+
+size_t SymmetricHashJoin::table_size(int input) const {
+  size_t n = 0;
+  for (const auto& [key, entries] : tables_[input]) n += entries.size();
+  return n;
+}
+
+}  // namespace nstream

@@ -1,0 +1,150 @@
+// SymmetricHashJoin: streaming equi-join with per-input hash tables,
+// optional tumbling-window semantics (WID), optional left-outer
+// emission at window close, and the full Table 2 feedback
+// characterization driven by the SchemaMap/safe-propagation machinery:
+//
+//   ¬[*,j,*]  → purge both tables, guard both inputs, propagate both
+//   ¬[l,*,*]  → purge/guard left, propagate to left only
+//   ¬[*,*,r]  → purge/guard right, propagate to right only
+//   ¬[l,*,r]  → no safe propagation: output guard only (§4.2)
+//
+// Two adaptive personalities from the paper are options on the same
+// operator:
+//   * THRIFTY JOIN (§3.3): when punctuation reveals an *empty* window
+//     on the probe input, emit assumed feedback telling the other
+//     input's antecedents to skip that window entirely.
+//   * IMPATIENT JOIN (§3.4): when data arrives for (window, key) on one
+//     input, emit desired feedback asking the other input to
+//     prioritize that subset ("I have vehicle data for segment #3 and
+//     time period #7").
+
+#ifndef NSTREAM_OPS_SYMMETRIC_HASH_JOIN_H_
+#define NSTREAM_OPS_SYMMETRIC_HASH_JOIN_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/feedback_policy.h"
+#include "core/guards.h"
+#include "core/schema_map.h"
+#include "exec/operator.h"
+#include "ops/window.h"
+
+namespace nstream {
+
+struct JoinOptions {
+  // Equi-join key attribute positions (parallel arrays).
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  // Timestamp attributes (required when window_join).
+  int left_ts = -1;
+  int right_ts = -1;
+  // Tumbling-window join: tuples join only within the same window.
+  bool window_join = false;
+  WindowSpec window;
+  // Left-outer: at window close, unmatched left tuples emit with NULL
+  // right attributes (the speed-map plan of Fig. 1b).
+  bool left_outer = false;
+
+  FeedbackPolicy feedback_policy = FeedbackPolicy::kExploitAndPropagate;
+  // §4.4's no-retraction caveat taken conservatively: never purge on
+  // feedback, only guard the output.
+  bool conservative_no_retraction = false;
+
+  // THRIFTY JOIN: watch for empty windows on `thrifty_probe_input` and
+  // send assumed feedback for them to the other input.
+  bool thrifty = false;
+  int thrifty_probe_input = 0;
+  // IMPATIENT JOIN: when `impatient_data_input` receives data for a
+  // (window,key), desire that subset from the other input.
+  bool impatient = false;
+  int impatient_data_input = 0;
+
+  // Adaptive gate (the paper's motivating speed-map scenario, §1 and
+  // §3.3 "Adaptive"): left tuples failing the gate do not join — e.g.
+  // "sensor speed >= 45 MPH means vehicle data is not needed". When a
+  // windowed left tuple fails the gate, the join predicts the
+  // condition persists and sends assumed feedback to the RIGHT input
+  // covering that key for the next `gate_feedback_horizon` windows, so
+  // antecedents (cleaning, aggregation) skip the subset entirely.
+  std::function<bool(const Tuple&)> left_gate;
+  int gate_feedback_horizon = 0;  // windows ahead; 0 = no feedback
+};
+
+class SymmetricHashJoin final : public Operator {
+ public:
+  SymmetricHashJoin(std::string name, JoinOptions options);
+
+  Status InferSchemas() override;
+  Status ProcessTuple(int port, const Tuple& tuple) override;
+  Status ProcessPunctuation(int port, const Punctuation& punct) override;
+  Status OnAllInputsEos() override;
+  Status ProcessFeedback(int out_port,
+                         const FeedbackPunctuation& fb) override;
+
+  // Introspection.
+  size_t table_size(int input) const;
+  const GuardSet& input_guards(int input) const {
+    return input_guards_[static_cast<size_t>(input)];
+  }
+  const GuardSet& output_guards() const { return output_guards_; }
+  const SchemaMap& schema_map() const { return map_; }
+  uint64_t thrifty_feedbacks() const { return thrifty_feedbacks_; }
+  uint64_t impatient_feedbacks() const { return impatient_feedbacks_; }
+  uint64_t gate_feedbacks() const { return gate_feedbacks_; }
+  uint64_t joined_count() const { return joined_count_; }
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    int64_t wid = 0;
+    bool matched = false;
+    bool gated = false;  // failed the adaptive gate; outer-emits only
+  };
+  // Key = window id (0 when not windowed) + join-key values rendered
+  // canonically; values keep full entries for re-checking.
+  using Table = std::unordered_map<std::string, std::vector<Entry>>;
+
+  std::string MakeKey(const Tuple& t, int port, int64_t wid) const;
+  int64_t WidOf(const Tuple& t, int port) const;
+  Tuple JoinTuples(const Tuple& left, const Tuple& right) const;
+  Tuple OuterTuple(const Tuple& left) const;
+  void EmitJoined(Tuple out);
+  void PurgeWindowsThrough(int side, int64_t wid, bool emit_outer);
+  void MaybeThrifty(int64_t through_wid);
+  void MaybeImpatient(const Tuple& t, int port, int64_t wid);
+  void SendGateFeedback(const Tuple& t, int64_t wid);
+  Status HandleAssumed(const FeedbackPunctuation& fb);
+
+  JoinOptions options_;
+  SchemaMap map_{2, 0};
+  int left_arity_ = 0;
+  int right_arity_ = 0;
+  std::vector<int> right_nonkey_;  // right attrs appended to output
+
+  Table tables_[2];
+  GuardSet input_guards_[2];
+  GuardSet output_guards_;
+
+  // Per-input window bookkeeping (window_join only).
+  std::map<int64_t, uint64_t> window_counts_[2];
+  int64_t min_seen_wid_[2] = {INT64_MAX, INT64_MAX};
+  int64_t watermark_[2] = {INT64_MIN, INT64_MIN};
+  int64_t emitted_punct_through_ = INT64_MIN;
+  int64_t thrifty_checked_through_ = INT64_MIN;
+  std::set<std::string> impatient_requested_;
+
+  std::set<std::string> gate_requested_;
+  uint64_t thrifty_feedbacks_ = 0;
+  uint64_t impatient_feedbacks_ = 0;
+  uint64_t gate_feedbacks_ = 0;
+  uint64_t joined_count_ = 0;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_OPS_SYMMETRIC_HASH_JOIN_H_

@@ -1,0 +1,141 @@
+// Union: merges N same-schema inputs into one output. Punctuation
+// union semantics: a completeness claim holds on the output only once
+// *every* input has made it, so watermark-style punctuations (a single
+// ≤/< bound on one attribute) are merged by taking the minimum across
+// inputs. Feedback over the output schema applies verbatim to every
+// input (identity maps), so relaying is always safe.
+
+#ifndef NSTREAM_OPS_UNION_OP_H_
+#define NSTREAM_OPS_UNION_OP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/feedback_policy.h"
+#include "core/guards.h"
+#include "exec/operator.h"
+
+namespace nstream {
+
+struct UnionOptions {
+  FeedbackPolicy feedback_policy = FeedbackPolicy::kExploitAndPropagate;
+};
+
+class UnionOp : public Operator {
+ public:
+  UnionOp(std::string name, int num_inputs, UnionOptions options = {})
+      : Operator(std::move(name), num_inputs, 1),
+        union_options_(options),
+        watermarks_(static_cast<size_t>(num_inputs)) {}
+
+  Status InferSchemas() override {
+    for (int i = 1; i < num_inputs(); ++i) {
+      if (!input_schema(0)->Equals(*input_schema(i))) {
+        return Status::SchemaMismatch(name() +
+                                      ": union inputs must agree");
+      }
+    }
+    SetOutputSchema(0, input_schema(0));
+    return Status::OK();
+  }
+
+  Status ProcessTuple(int, const Tuple& tuple) override {
+    if (guards_.Blocks(tuple)) {
+      ++stats_.input_guard_drops;
+      return Status::OK();
+    }
+    Emit(0, tuple);
+    return Status::OK();
+  }
+
+  Status ProcessPunctuation(int port, const Punctuation& punct) override {
+    ++stats_.puncts_in;
+    guards_.ExpireCovered(punct);
+    MergeWatermark(port, punct);
+    return Status::OK();
+  }
+
+  Status ProcessFeedback(int, const FeedbackPunctuation& fb) override {
+    if (union_options_.feedback_policy == FeedbackPolicy::kIgnore ||
+        fb.pattern().arity() != output_schema(0)->num_fields()) {
+      ++stats_.feedback_ignored;
+      return Status::OK();
+    }
+    if (fb.intent() == FeedbackIntent::kAssumed &&
+        PolicyAtLeast(union_options_.feedback_policy,
+                      FeedbackPolicy::kExploit)) {
+      guards_.Add(fb.pattern());
+      for (int i = 0; i < num_inputs(); ++i) {
+        ctx()->PurgeInput(i, fb.pattern());
+      }
+    }
+    if (fb.intent() != FeedbackIntent::kAssumed) {
+      for (int i = 0; i < num_inputs(); ++i) {
+        ctx()->PrioritizeInput(i, fb.pattern());
+      }
+    }
+    if (PolicyAtLeast(union_options_.feedback_policy,
+                      FeedbackPolicy::kExploitAndPropagate)) {
+      for (int i = 0; i < num_inputs(); ++i) RelayFeedback(i, fb);
+    }
+    return Status::OK();
+  }
+
+  const GuardSet& guards() const { return guards_; }
+
+ protected:
+  /// Merge watermark-style punctuation (exactly one constrained
+  /// attribute with a ≤ or < bound). Emits the per-attribute minimum
+  /// across inputs whenever it advances. Non-watermark punctuation is
+  /// dropped (a sound, conservative choice: dropping punctuation never
+  /// breaks correctness, only delays unblocking).
+  void MergeWatermark(int port, const Punctuation& punct) {
+    const PunctPattern& p = punct.pattern();
+    std::vector<int> constrained = p.ConstrainedIndices();
+    if (constrained.size() != 1) return;
+    int attr = constrained[0];
+    const AttrPattern& ap = p.attr(attr);
+    if (ap.op() != PatternOp::kLe && ap.op() != PatternOp::kLt) return;
+    Result<double> bound = ap.operand().AsDouble();
+    if (!bound.ok()) return;
+
+    auto& wm = watermarks_[static_cast<size_t>(port)];
+    if (wm.has_value() && wm->attr != attr) return;  // mixed schemes
+    if (!wm.has_value() || bound.value() > wm->bound) {
+      wm = Watermark{attr, bound.value(), ap};
+    }
+    // Output watermark = min over inputs (all must agree the subset is
+    // complete).
+    double min_bound = 0;
+    const AttrPattern* min_pattern = nullptr;
+    for (const auto& w : watermarks_) {
+      if (!w.has_value() || w->attr != attr) return;  // not all ready
+      if (min_pattern == nullptr || w->bound < min_bound) {
+        min_bound = w->bound;
+        min_pattern = &w->pattern;
+      }
+    }
+    if (min_bound > emitted_bound_) {
+      emitted_bound_ = min_bound;
+      PunctPattern out = PunctPattern::AllWildcard(p.arity());
+      out = out.With(attr, *min_pattern);
+      EmitPunct(0, Punctuation(std::move(out)));
+    }
+  }
+
+  struct Watermark {
+    int attr = -1;
+    double bound = 0;
+    AttrPattern pattern;
+  };
+
+  UnionOptions union_options_;
+  GuardSet guards_;
+  std::vector<std::optional<Watermark>> watermarks_;
+  double emitted_bound_ = -1e300;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_OPS_UNION_OP_H_

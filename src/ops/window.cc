@@ -1,0 +1,78 @@
+#include "ops/window.h"
+
+namespace nstream {
+
+Result<AttrPattern> MapWindowEndToTimestamp(const AttrPattern& window_end,
+                                            const WindowSpec& spec) {
+  // A tuple with timestamp t contributes to windows ending in
+  //   ( t, t + range ]   stepped by slide  (ends are w*slide + range).
+  // Its earliest window end is strictly greater than t; its latest
+  // window end is FloorDiv(t, slide)*slide + range.
+  Result<int64_t> bound = window_end.operand().AsInt64();
+  switch (window_end.op()) {
+    case PatternOp::kLe:
+    case PatternOp::kLt: {
+      // Suppress a tuple only if its LATEST window end satisfies the
+      // bound: latest_end = floor(t/slide)*slide + range  (op)  W
+      //   ⇔ floor(t/slide) (op') (W - range)/slide
+      // For kLe: floor(t/slide) <= floor((W-range)/slide)
+      //   ⇔ t < (floor((W-range)/slide)+1)*slide.
+      if (!bound.ok()) return bound.status();
+      int64_t w = bound.value();
+      if (window_end.op() == PatternOp::kLt) w -= 1;  // ≤ (W-1)
+      int64_t ts_exclusive =
+          (WindowSpec::FloorDiv(w - spec.range_ms, spec.slide_ms) + 1) *
+          spec.slide_ms;
+      return AttrPattern::Lt(Value::Timestamp(ts_exclusive));
+    }
+    case PatternOp::kGe:
+    case PatternOp::kGt: {
+      // Suppress a tuple only if its EARLIEST window end satisfies the
+      // bound. Earliest end = (floor((t-range)/slide)+1)*slide + range
+      // > t, so "t >= W" is a sound (conservative) condition for
+      // every end >= W (ends exceed t). For kGt likewise.
+      if (!bound.ok()) return bound.status();
+      return AttrPattern::Ge(Value::Timestamp(bound.value()));
+    }
+    case PatternOp::kRange: {
+      // [lo .. hi] on window end: suppress a tuple only if ALL its
+      // windows end within the range — earliest end >= lo (implied by
+      // ts >= lo, since every end exceeds ts) and latest end <= hi
+      // (the kLe mapping).
+      Result<int64_t> lo = window_end.operand().AsInt64();
+      Result<int64_t> hi = window_end.hi().AsInt64();
+      if (!lo.ok()) return lo.status();
+      if (!hi.ok()) return hi.status();
+      int64_t ts_exclusive =
+          (WindowSpec::FloorDiv(hi.value() - spec.range_ms,
+                                spec.slide_ms) +
+           1) *
+          spec.slide_ms;
+      if (ts_exclusive - 1 < lo.value()) {
+        return Status::Unsupported(
+            "window-end range maps to an empty timestamp range");
+      }
+      return AttrPattern::Range(Value::Timestamp(lo.value()),
+                                Value::Timestamp(ts_exclusive - 1));
+    }
+    case PatternOp::kEq: {
+      // Only sound for tumbling windows, where a tuple has exactly one
+      // window: end == W ⇔ ts ∈ [W-range, W).
+      if (!spec.tumbling()) {
+        return Status::Unsupported(
+            "window-end equality cannot be mapped under sliding "
+            "windows (tuples span several windows)");
+      }
+      if (!bound.ok()) return bound.status();
+      return AttrPattern::Range(
+          Value::Timestamp(bound.value() - spec.range_ms),
+          Value::Timestamp(bound.value() - 1));
+    }
+    default:
+      return Status::Unsupported(
+          "window-end constraint shape cannot be soundly mapped to the "
+          "input timestamp");
+  }
+}
+
+}  // namespace nstream

@@ -1,0 +1,500 @@
+#include "ops/window_aggregate.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kMin:
+      return "min";
+  }
+  return "?";
+}
+
+struct WindowAggregate::Key {
+  int64_t wid = 0;
+  std::vector<Value> groups;
+
+  bool operator==(const Key& o) const {
+    return wid == o.wid && groups == o.groups;
+  }
+};
+
+struct WindowAggregate::KeyHash {
+  size_t operator()(const Key& k) const {
+    size_t h = std::hash<int64_t>{}(k.wid);
+    for (const Value& v : k.groups) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct WindowAggregate::KeyEq {
+  bool operator()(const Key& a, const Key& b) const { return a == b; }
+};
+
+struct WindowAggregate::Partial {
+  int64_t count = 0;
+  double sum = 0;
+  double max = -1e308;
+  double min = 1e308;
+};
+
+WindowAggregate::WindowAggregate(std::string name,
+                                 WindowAggregateOptions options)
+    : Operator(std::move(name), 1, 1),
+      options_(std::move(options)),
+      num_groups_(static_cast<int>(options_.group_attrs.size())),
+      agg_out_idx_(1 + num_groups_),
+      state_(std::make_unique<
+             std::unordered_map<Key, Partial, KeyHash, KeyEq>>()),
+      tombstones_(
+          std::make_unique<std::unordered_set<Key, KeyHash, KeyEq>>()) {}
+
+WindowAggregate::~WindowAggregate() = default;
+
+AggMonotonicity WindowAggregate::monotonicity() const {
+  switch (options_.kind) {
+    case AggKind::kCount:
+    case AggKind::kMax:
+      return AggMonotonicity::kNonDecreasing;
+    case AggKind::kMin:
+      return AggMonotonicity::kNonIncreasing;
+    case AggKind::kSum:
+      return options_.assume_non_negative
+                 ? AggMonotonicity::kNonDecreasing
+                 : AggMonotonicity::kNone;
+    case AggKind::kAvg:
+      return AggMonotonicity::kNone;
+  }
+  return AggMonotonicity::kNone;
+}
+
+Status WindowAggregate::InferSchemas() {
+  const Schema& in = *input_schema(0);
+  if (options_.ts_attr < 0 || options_.ts_attr >= in.num_fields()) {
+    return Status::OutOfRange(name() + ": ts_attr out of range");
+  }
+  std::vector<Field> out;
+  out.emplace_back("window_end", ValueType::kTimestamp);
+  for (int g : options_.group_attrs) {
+    if (g < 0 || g >= in.num_fields()) {
+      return Status::OutOfRange(name() + ": group attr out of range");
+    }
+    out.push_back(in.field(g));
+  }
+  ValueType agg_type = options_.kind == AggKind::kCount
+                           ? ValueType::kInt64
+                           : ValueType::kDouble;
+  std::string agg_name = std::string(AggKindName(options_.kind));
+  if (options_.agg_attr >= 0) {
+    if (options_.agg_attr >= in.num_fields()) {
+      return Status::OutOfRange(name() + ": agg attr out of range");
+    }
+    agg_name += "_" + in.field(options_.agg_attr).name;
+  }
+  out.emplace_back(agg_name, agg_type);
+  SetOutputSchema(0, Schema::Make(std::move(out)));
+  return Status::OK();
+}
+
+Tuple WindowAggregate::MakeOutput(const Key& key,
+                                  const Partial& p) const {
+  Tuple t;
+  t.Append(Value::Timestamp(options_.window.WindowEnd(key.wid)));
+  for (const Value& g : key.groups) t.Append(g);
+  switch (options_.kind) {
+    case AggKind::kCount:
+      t.Append(Value::Int64(p.count));
+      break;
+    case AggKind::kSum:
+      t.Append(Value::Double(p.sum));
+      break;
+    case AggKind::kAvg:
+      t.Append(p.count > 0 ? Value::Double(p.sum / p.count)
+                           : Value::Null());
+      break;
+    case AggKind::kMax:
+      t.Append(p.count > 0 ? Value::Double(p.max) : Value::Null());
+      break;
+    case AggKind::kMin:
+      t.Append(p.count > 0 ? Value::Double(p.min) : Value::Null());
+      break;
+  }
+  return t;
+}
+
+bool WindowAggregate::GroupGuardBlocks(int64_t wid,
+                                       const Tuple& tuple) const {
+  // Group guards constrain only the window_end and group positions
+  // (DecideAggFeedback routes agg-constrained patterns elsewhere), so
+  // they can be evaluated against the raw input values directly.
+  Value we = Value::Timestamp(options_.window.WindowEnd(wid));
+  for (const PunctPattern& p : group_guards_.patterns()) {
+    if (p.arity() != 1 + num_groups_ + 1) continue;
+    if (!p.attr(0).Matches(we)) continue;
+    bool all = true;
+    for (int gi = 0; gi < num_groups_; ++gi) {
+      if (!p.attr(1 + gi).Matches(tuple.value(
+              options_.group_attrs[static_cast<size_t>(gi)]))) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Tuple WindowAggregate::MakeProbe(const Key& key) const {
+  Tuple t;
+  t.Append(Value::Timestamp(options_.window.WindowEnd(key.wid)));
+  for (const Value& g : key.groups) t.Append(g);
+  t.Append(Value::Null());
+  return t;
+}
+
+Status WindowAggregate::ProcessTuple(int, const Tuple& tuple) {
+  Result<int64_t> ts = tuple.value(options_.ts_attr).AsInt64();
+  if (!ts.ok()) return Status::OK();  // untimestamped: contribute nothing
+
+  // The aggregated value (ignored for COUNT(*)).
+  double v = 0;
+  bool has_value = options_.agg_attr < 0;
+  if (options_.agg_attr >= 0) {
+    Result<double> rv = tuple.value(options_.agg_attr).AsDouble();
+    if (rv.ok()) {
+      v = rv.value();
+      has_value = true;
+    } else if (options_.kind != AggKind::kCount) {
+      return Status::OK();  // NULL value: no contribution (SQL-style)
+    }
+  }
+  (void)has_value;
+
+  for (int64_t wid : options_.window.WindowsOf(ts.value())) {
+    if (wid <= closed_through_) continue;  // window already closed
+    // Guard check first, on the raw values — the input guard must be
+    // cheaper than the aggregation it avoids (no probe-tuple
+    // allocation on this path).
+    if (!group_guards_.empty() && GroupGuardBlocks(wid, tuple)) {
+      ++stats_.input_guard_drops;
+      ++updates_skipped_;
+      continue;
+    }
+    Key key;
+    key.wid = wid;
+    key.groups.reserve(static_cast<size_t>(num_groups_));
+    for (int g : options_.group_attrs) key.groups.push_back(tuple.value(g));
+
+    if (!tombstones_->empty() && tombstones_->count(key) > 0) {
+      ++stats_.input_guard_drops;
+      ++updates_skipped_;
+      continue;
+    }
+    if (options_.charge_ms_per_update > 0) {
+      ctx()->ChargeMs(options_.charge_ms_per_update);
+    }
+    for (int w = 0; w < options_.work_iters_per_update; ++w) {
+      work_checksum_ =
+          work_checksum_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+    auto [it, inserted] = state_->try_emplace(std::move(key));
+    Partial& p = it->second;
+    ++p.count;
+    p.sum += v;
+    if (v > p.max || p.count == 1) p.max = v;
+    if (v < p.min || p.count == 1) p.min = v;
+    ++updates_applied_;
+
+    // Monotone purge check (the MAX ¬[*,≥50] behaviour): if an active
+    // feedback pattern now provably covers this entry's final result,
+    // drop the state and tombstone the key so late tuples cannot
+    // recreate it with a wrong partial (§3.5's value-40 pitfall).
+    if (!purge_partial_patterns_.empty()) {
+      Tuple out = MakeOutput(it->first, it->second);
+      for (const PunctPattern& pat : purge_partial_patterns_) {
+        if (pat.Matches(out)) {
+          tombstones_->insert(it->first);
+          state_->erase(it);
+          ++stats_.state_purged;
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void WindowAggregate::EmitResult(const Key& key, const Partial& p) {
+  Tuple out = MakeOutput(key, p);
+  if (output_guards_.Blocks(out)) {
+    ++stats_.output_guard_drops;
+    return;
+  }
+  Emit(0, std::move(out));
+}
+
+void WindowAggregate::CloseThrough(int64_t last_closable) {
+  if (last_closable <= closed_through_) return;
+  // Deterministic emission order: (window, group rendering).
+  std::vector<const Key*> to_close;
+  for (const auto& [key, p] : *state_) {
+    if (key.wid <= last_closable) to_close.push_back(&key);
+  }
+  std::sort(to_close.begin(), to_close.end(),
+            [](const Key* a, const Key* b) {
+              if (a->wid != b->wid) return a->wid < b->wid;
+              for (size_t i = 0;
+                   i < a->groups.size() && i < b->groups.size(); ++i) {
+                Result<int> c = a->groups[i].Compare(b->groups[i]);
+                int cc = c.ok() ? c.value() : 0;
+                if (cc != 0) return cc < 0;
+              }
+              return false;
+            });
+  for (const Key* key : to_close) {
+    EmitResult(*key, state_->at(*key));
+  }
+  for (const Key* key : to_close) state_->erase(*key);
+
+  // Tombstones for closed windows are dead state — reclaim (§4.4).
+  for (auto it = tombstones_->begin(); it != tombstones_->end();) {
+    if (it->wid <= last_closable) {
+      it = tombstones_->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  closed_through_ = last_closable;
+
+  // Tell downstream which windows are complete, and expire guards the
+  // punctuation now covers.
+  PunctPattern out_p =
+      PunctPattern::AllWildcard(output_schema(0)->num_fields());
+  out_p = out_p.With(
+      0, AttrPattern::Le(Value::Timestamp(
+             options_.window.WindowEnd(last_closable))));
+  Punctuation punct(out_p);
+  output_guards_.ExpireCovered(punct);
+  group_guards_.ExpireCovered(punct);
+  std::vector<PunctPattern> kept;
+  for (PunctPattern& pat : purge_partial_patterns_) {
+    if (!punct.Covers(pat)) kept.push_back(std::move(pat));
+  }
+  purge_partial_patterns_ = std::move(kept);
+  EmitPunct(0, std::move(punct));
+}
+
+Status WindowAggregate::ProcessPunctuation(int, const Punctuation& punct) {
+  ++stats_.puncts_in;
+  // Watermark punctuation on the timestamp attribute closes windows.
+  const PunctPattern& p = punct.pattern();
+  std::vector<int> constrained = p.ConstrainedIndices();
+  if (constrained.size() != 1 || constrained[0] != options_.ts_attr) {
+    return Status::OK();  // not a progress claim we can use
+  }
+  const AttrPattern& ap = p.attr(options_.ts_attr);
+  Result<int64_t> bound = ap.operand().AsInt64();
+  if (!bound.ok()) return Status::OK();
+  int64_t inclusive = bound.value();
+  if (ap.op() == PatternOp::kLt) {
+    inclusive -= 1;
+  } else if (ap.op() != PatternOp::kLe) {
+    return Status::OK();
+  }
+  CloseThrough(options_.window.LastClosableWindow(inclusive));
+  return Status::OK();
+}
+
+Status WindowAggregate::OnAllInputsEos() {
+  // End of stream closes everything still open.
+  int64_t max_wid = INT64_MIN;
+  for (const auto& [key, p] : *state_) max_wid = std::max(max_wid, key.wid);
+  if (max_wid != INT64_MIN) CloseThrough(max_wid);
+  return Operator::OnAllInputsEos();
+}
+
+std::optional<PunctPattern> WindowAggregate::MapToInput(
+    const PunctPattern& f) const {
+  PunctPattern out =
+      PunctPattern::AllWildcard(input_schema(0)->num_fields());
+  for (int idx : f.ConstrainedIndices()) {
+    if (idx == 0) {
+      Result<AttrPattern> ts =
+          MapWindowEndToTimestamp(f.attr(0), options_.window);
+      if (!ts.ok()) return std::nullopt;
+      out = out.With(options_.ts_attr, ts.MoveValue());
+    } else if (idx >= 1 && idx <= num_groups_) {
+      out = out.With(options_.group_attrs[static_cast<size_t>(idx - 1)],
+                     f.attr(idx));
+    } else {
+      return std::nullopt;  // constraint on the computed aggregate
+    }
+  }
+  if (out.IsAllWildcard()) return std::nullopt;
+  return out;
+}
+
+Status WindowAggregate::HandleAssumed(const PunctPattern& f) {
+  std::vector<int> group_idx;
+  group_idx.reserve(static_cast<size_t>(num_groups_) + 1);
+  for (int i = 0; i <= num_groups_; ++i) group_idx.push_back(i);
+  AggFeedbackDecision d = DecideAggFeedback(
+      f, group_idx, {agg_out_idx_}, monotonicity());
+  if (d.null_response) {
+    ++stats_.feedback_ignored;
+    return Status::OK();
+  }
+
+  // The output guard is both the prescribed action for the
+  // non-exploitable rows and a cheap backstop for the others.
+  output_guards_.Add(f);
+  if (options_.feedback_policy == FeedbackPolicy::kOutputGuardOnly) {
+    return Status::OK();  // Scheme F1: nothing beyond the guard
+  }
+
+  std::vector<Key> purged;
+  if (d.purge_groups) {
+    // Table 1 row 1: purge matching groups and keep them from
+    // re-forming via the group guard.
+    for (auto it = state_->begin(); it != state_->end();) {
+      if (f.Matches(MakeProbe(it->first))) {
+        it = state_->erase(it);
+        ++stats_.state_purged;
+      } else {
+        ++it;
+      }
+    }
+    group_guards_.Add(f);
+  }
+  if (d.purge_by_partial) {
+    // Table 1 row 3 / §3.5 MAX: purge entries whose partial already
+    // guarantees a matching final; tombstone so they cannot re-form.
+    for (auto it = state_->begin(); it != state_->end();) {
+      if (f.Matches(MakeOutput(it->first, it->second))) {
+        tombstones_->insert(it->first);
+        if (static_cast<int>(purged.size()) < options_.max_propagations) {
+          purged.push_back(it->first);
+        }
+        it = state_->erase(it);
+        ++stats_.state_purged;
+      } else {
+        ++it;
+      }
+    }
+    purge_partial_patterns_.push_back(f);
+  }
+
+  if (!PolicyAtLeast(options_.feedback_policy,
+                     FeedbackPolicy::kExploitAndPropagate)) {
+    return Status::OK();
+  }
+  if (d.propagate_groups) {
+    std::optional<PunctPattern> mapped = MapToInput(f);
+    if (mapped.has_value()) {
+      RelayFeedback(0, FeedbackPunctuation::Assumed(*mapped));
+      ctx()->PurgeInput(0, *mapped);
+    }
+  }
+  if (d.purge_by_partial && options_.window.tumbling()) {
+    // "Propagate G in terms of the input schema": each purged
+    // (window, group) becomes ¬[ts∈window-range, group=..] upstream.
+    // Only sound for tumbling windows — a sliding-window tuple feeds
+    // neighbours that were not purged (Example 2).
+    for (const Key& key : purged) {
+      PunctPattern up =
+          PunctPattern::AllWildcard(input_schema(0)->num_fields());
+      up = up.With(options_.ts_attr,
+                   AttrPattern::Range(
+                       Value::Timestamp(options_.window.WindowStart(key.wid)),
+                       Value::Timestamp(
+                           options_.window.WindowEnd(key.wid) - 1)));
+      for (int gi = 0; gi < num_groups_; ++gi) {
+        up = up.With(options_.group_attrs[static_cast<size_t>(gi)],
+                     AttrPattern::Eq(key.groups[static_cast<size_t>(gi)]));
+      }
+      RelayFeedback(0, FeedbackPunctuation::Assumed(up));
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowAggregate::HandleDesired(const FeedbackPunctuation& fb) {
+  std::optional<PunctPattern> mapped = MapToInput(fb.pattern());
+  if (mapped.has_value()) {
+    ctx()->PrioritizeInput(0, *mapped);
+    if (PolicyAtLeast(options_.feedback_policy,
+                      FeedbackPolicy::kExploitAndPropagate)) {
+      FeedbackPunctuation up(fb.intent(), *mapped);
+      up.set_origin_op(fb.origin_op());
+      RelayFeedback(0, std::move(up));
+    }
+  } else {
+    ++stats_.feedback_ignored;
+  }
+  return Status::OK();
+}
+
+Status WindowAggregate::HandleDemanded(const FeedbackPunctuation& fb) {
+  // §3.4: "a demanded punctuation may cause some aggregates to unblock
+  // and produce partial results" — emit current partials for matching
+  // open windows right now (approximate results, by design), then ask
+  // upstream to hurry the inputs along.
+  std::vector<const Key*> matches;
+  for (const auto& [key, p] : *state_) {
+    Tuple out = MakeOutput(key, p);
+    if (fb.pattern().arity() == out.size() && fb.pattern().Matches(out)) {
+      matches.push_back(&key);
+    } else if (fb.pattern().arity() == out.size()) {
+      // Also match on the key alone (wildcard agg): a demanded subset
+      // is usually stated over windows/groups, not aggregate values.
+      if (fb.pattern().Matches(MakeProbe(key))) matches.push_back(&key);
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Key* a, const Key* b) { return a->wid < b->wid; });
+  for (const Key* key : matches) {
+    Tuple out = MakeOutput(*key, state_->at(*key));
+    ++partials_emitted_;
+    Emit(0, std::move(out));
+  }
+  return HandleDesired(fb);
+}
+
+Status WindowAggregate::ProcessFeedback(int,
+                                        const FeedbackPunctuation& fb) {
+  if (options_.feedback_policy == FeedbackPolicy::kIgnore ||
+      fb.pattern().arity() != output_schema(0)->num_fields()) {
+    ++stats_.feedback_ignored;
+    return Status::OK();
+  }
+  switch (fb.intent()) {
+    case FeedbackIntent::kAssumed:
+      return HandleAssumed(fb.pattern());
+    case FeedbackIntent::kDesired:
+      return HandleDesired(fb);
+    case FeedbackIntent::kDemanded:
+      return HandleDemanded(fb);
+  }
+  return Status::OK();
+}
+
+size_t WindowAggregate::state_size() const { return state_->size(); }
+size_t WindowAggregate::tombstone_count() const {
+  return tombstones_->size();
+}
+
+}  // namespace nstream

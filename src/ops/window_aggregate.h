@@ -1,0 +1,133 @@
+// WindowAggregate: grouped window aggregation (COUNT / SUM / AVG / MAX
+// / MIN) in the WID/OOP style — state is keyed by (window-id, group),
+// results are produced and state purged when embedded punctuation
+// closes windows, and arrival order is irrelevant.
+//
+// This operator carries the paper's richest feedback characterization:
+//   * Table 1 (COUNT) rows, generalized by monotonicity to SUM/MAX/MIN
+//     via core/aggregate_feedback;
+//   * the §3.5 AVERAGE example (non-monotone ⇒ output guard only, with
+//     the "window 4 at partial 51" purge pitfall avoided);
+//   * the §3.5 MAX example (purge matching partials + tombstones so a
+//     late value-40 tuple cannot recreate a purged window);
+//   * demanded punctuation (§3.4): unblock and emit partial results;
+//   * window-aware upstream propagation that respects Example 2's
+//     sliding-window pitfall (a tuple feeds several windows).
+//
+// Output schema: (window_end:timestamp, group attrs..., agg).
+
+#ifndef NSTREAM_OPS_WINDOW_AGGREGATE_H_
+#define NSTREAM_OPS_WINDOW_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/aggregate_feedback.h"
+#include "core/feedback_policy.h"
+#include "core/guards.h"
+#include "exec/operator.h"
+#include "ops/window.h"
+
+namespace nstream {
+
+enum class AggKind : uint8_t { kCount = 0, kSum, kAvg, kMax, kMin };
+
+const char* AggKindName(AggKind k);
+
+struct WindowAggregateOptions {
+  int ts_attr = 0;               // input timestamp attribute
+  std::vector<int> group_attrs;  // input grouping attributes
+  int agg_attr = -1;             // input value attribute (-1: COUNT(*))
+  AggKind kind = AggKind::kAvg;
+  WindowSpec window;
+  // Declares SUM's inputs non-negative, making it monotone
+  // non-decreasing for feedback purposes.
+  bool assume_non_negative = false;
+  FeedbackPolicy feedback_policy = FeedbackPolicy::kExploitAndPropagate;
+  // Cap on per-feedback derived propagations (the "propagate G" row).
+  int max_propagations = 64;
+  // Optional virtual cost per state update (SimExecutor experiments).
+  double charge_ms_per_update = 0.0;
+  // Optional real CPU work per state update (wall-clock benches):
+  // calibrates the per-update cost to the reference engine's
+  // constant factors (see EXPERIMENTS.md). 0 = raw C++ hash update.
+  int work_iters_per_update = 0;
+};
+
+class WindowAggregate final : public Operator {
+ public:
+  WindowAggregate(std::string name, WindowAggregateOptions options);
+  ~WindowAggregate() override;
+
+  Status InferSchemas() override;
+  Status ProcessTuple(int port, const Tuple& tuple) override;
+  Status ProcessPunctuation(int port, const Punctuation& punct) override;
+  Status OnAllInputsEos() override;
+  Status ProcessFeedback(int out_port,
+                         const FeedbackPunctuation& fb) override;
+
+  AggMonotonicity monotonicity() const;
+
+  // Introspection for tests/benches.
+  size_t state_size() const;
+  size_t tombstone_count() const;
+  const GuardSet& output_guards() const { return output_guards_; }
+  const GuardSet& group_guards() const { return group_guards_; }
+  uint64_t partials_emitted() const { return partials_emitted_; }
+  uint64_t updates_applied() const { return updates_applied_; }
+  uint64_t updates_skipped() const { return updates_skipped_; }
+
+ private:
+  struct Key;
+  struct KeyHash;
+  struct KeyEq;
+  struct Partial;
+
+  // Build the output tuple for a state entry (agg from the partial).
+  Tuple MakeOutput(const Key& key, const Partial& partial) const;
+  // Key-only probe tuple (agg position NULL) for group-guard checks.
+  Tuple MakeProbe(const Key& key) const;
+  // Allocation-free input-guard check against the raw tuple values.
+  bool GroupGuardBlocks(int64_t wid, const Tuple& tuple) const;
+  void EmitResult(const Key& key, const Partial& partial);
+  // Close every window with id <= last_closable; emit + purge.
+  void CloseThrough(int64_t last_closable);
+  Status HandleAssumed(const PunctPattern& f);
+  Status HandleDesired(const FeedbackPunctuation& fb);
+  Status HandleDemanded(const FeedbackPunctuation& fb);
+  // Map an output-schema pattern to input-schema terms; nullopt when
+  // no sound mapping exists.
+  std::optional<PunctPattern> MapToInput(const PunctPattern& f) const;
+
+  WindowAggregateOptions options_;
+  int num_groups_ = 0;  // == options_.group_attrs.size()
+  int agg_out_idx_ = 0;
+
+  std::unique_ptr<
+      std::unordered_map<Key, Partial, KeyHash, KeyEq>>
+      state_;
+  std::unique_ptr<std::unordered_set<Key, KeyHash, KeyEq>> tombstones_;
+
+  // Guards, both expressed over the OUTPUT schema. group_guards_ hold
+  // patterns with wildcard agg (evaluated against key probes on the
+  // input path); output_guards_ may constrain the aggregate value and
+  // are evaluated at emission.
+  GuardSet group_guards_;
+  GuardSet output_guards_;
+  // Patterns from implication-valid assumed feedback; partials are
+  // re-checked against these on every update (the MAX ¬[*,≥50] case).
+  std::vector<PunctPattern> purge_partial_patterns_;
+
+  int64_t closed_through_ = INT64_MIN;
+  uint64_t work_checksum_ = 0;
+  uint64_t partials_emitted_ = 0;
+  uint64_t updates_applied_ = 0;
+  uint64_t updates_skipped_ = 0;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_OPS_WINDOW_AGGREGATE_H_

@@ -1,0 +1,234 @@
+#include "punct/attr_pattern.h"
+
+namespace nstream {
+namespace {
+
+// c = Compare(a, b) helpers that treat incomparable pairs as "unknown"
+// and make the caller fail conservatively.
+bool CmpKnown(const Value& a, const Value& b, int* out) {
+  Result<int> r = a.Compare(b);
+  if (!r.ok()) return false;
+  *out = r.value();
+  return true;
+}
+
+}  // namespace
+
+const char* PatternOpName(PatternOp op) {
+  switch (op) {
+    case PatternOp::kAny:
+      return "any";
+    case PatternOp::kEq:
+      return "eq";
+    case PatternOp::kNe:
+      return "ne";
+    case PatternOp::kLt:
+      return "lt";
+    case PatternOp::kLe:
+      return "le";
+    case PatternOp::kGt:
+      return "gt";
+    case PatternOp::kGe:
+      return "ge";
+    case PatternOp::kRange:
+      return "range";
+    case PatternOp::kIsNull:
+      return "is_null";
+    case PatternOp::kNotNull:
+      return "not_null";
+  }
+  return "?";
+}
+
+bool AttrPattern::Matches(const Value& v) const {
+  if (op_ == PatternOp::kAny) return true;
+  if (op_ == PatternOp::kIsNull) return v.is_null();
+  if (op_ == PatternOp::kNotNull) return !v.is_null();
+  // Comparison patterns never match NULL (SQL-style).
+  if (v.is_null()) return false;
+  int c;
+  switch (op_) {
+    case PatternOp::kEq:
+      return CmpKnown(v, operand_, &c) && c == 0;
+    case PatternOp::kNe:
+      return CmpKnown(v, operand_, &c) && c != 0;
+    case PatternOp::kLt:
+      return CmpKnown(v, operand_, &c) && c < 0;
+    case PatternOp::kLe:
+      return CmpKnown(v, operand_, &c) && c <= 0;
+    case PatternOp::kGt:
+      return CmpKnown(v, operand_, &c) && c > 0;
+    case PatternOp::kGe:
+      return CmpKnown(v, operand_, &c) && c >= 0;
+    case PatternOp::kRange: {
+      int clo, chi;
+      return CmpKnown(v, operand_, &clo) && clo >= 0 &&
+             CmpKnown(v, hi_, &chi) && chi <= 0;
+    }
+    default:
+      return false;
+  }
+}
+
+bool AttrPattern::Subsumes(const AttrPattern& other) const {
+  if (op_ == PatternOp::kAny) return true;
+  if (other.op_ == PatternOp::kAny) return false;
+
+  // NULL handling first: comparison ops (and kNotNull) match only
+  // non-null values; kIsNull matches only NULL.
+  if (op_ == PatternOp::kIsNull) return other.op_ == PatternOp::kIsNull;
+  if (op_ == PatternOp::kNotNull) return other.op_ != PatternOp::kIsNull;
+  if (other.op_ == PatternOp::kIsNull) return false;
+  if (other.op_ == PatternOp::kNotNull) return false;  // broader set
+
+  int c;  // scratch for comparisons
+  const Value& a = operand_;
+  switch (op_) {
+    case PatternOp::kEq:
+      switch (other.op_) {
+        case PatternOp::kEq:
+          return CmpKnown(other.operand_, a, &c) && c == 0;
+        case PatternOp::kRange: {
+          int cl, ch;
+          return CmpKnown(other.operand_, a, &cl) && cl == 0 &&
+                 CmpKnown(other.hi_, a, &ch) && ch == 0;
+        }
+        default:
+          return false;
+      }
+    case PatternOp::kNe:
+      switch (other.op_) {
+        case PatternOp::kEq:
+          return CmpKnown(other.operand_, a, &c) && c != 0;
+        case PatternOp::kNe:
+          return CmpKnown(other.operand_, a, &c) && c == 0;
+        case PatternOp::kLt:  // x < b avoids a iff a >= b
+          return CmpKnown(a, other.operand_, &c) && c >= 0;
+        case PatternOp::kLe:  // x <= b avoids a iff a > b
+          return CmpKnown(a, other.operand_, &c) && c > 0;
+        case PatternOp::kGt:  // x > b avoids a iff a <= b
+          return CmpKnown(a, other.operand_, &c) && c <= 0;
+        case PatternOp::kGe:  // x >= b avoids a iff a < b
+          return CmpKnown(a, other.operand_, &c) && c < 0;
+        case PatternOp::kRange: {
+          int cl, ch;
+          // a outside [lo, hi]
+          return (CmpKnown(a, other.operand_, &cl) && cl < 0) ||
+                 (CmpKnown(a, other.hi_, &ch) && ch > 0);
+        }
+        default:
+          return false;
+      }
+    case PatternOp::kLt:
+      switch (other.op_) {
+        case PatternOp::kEq:
+          return CmpKnown(other.operand_, a, &c) && c < 0;
+        case PatternOp::kLt:
+          return CmpKnown(other.operand_, a, &c) && c <= 0;
+        case PatternOp::kLe:
+          return CmpKnown(other.operand_, a, &c) && c < 0;
+        case PatternOp::kRange:
+          return CmpKnown(other.hi_, a, &c) && c < 0;
+        default:
+          return false;
+      }
+    case PatternOp::kLe:
+      switch (other.op_) {
+        case PatternOp::kEq:
+          return CmpKnown(other.operand_, a, &c) && c <= 0;
+        case PatternOp::kLt:
+          return CmpKnown(other.operand_, a, &c) && c <= 0;
+        case PatternOp::kLe:
+          return CmpKnown(other.operand_, a, &c) && c <= 0;
+        case PatternOp::kRange:
+          return CmpKnown(other.hi_, a, &c) && c <= 0;
+        default:
+          return false;
+      }
+    case PatternOp::kGt:
+      switch (other.op_) {
+        case PatternOp::kEq:
+          return CmpKnown(other.operand_, a, &c) && c > 0;
+        case PatternOp::kGt:
+          return CmpKnown(other.operand_, a, &c) && c >= 0;
+        case PatternOp::kGe:
+          return CmpKnown(other.operand_, a, &c) && c > 0;
+        case PatternOp::kRange:
+          return CmpKnown(other.operand_, a, &c) && c > 0;
+        default:
+          return false;
+      }
+    case PatternOp::kGe:
+      switch (other.op_) {
+        case PatternOp::kEq:
+          return CmpKnown(other.operand_, a, &c) && c >= 0;
+        case PatternOp::kGt:
+          return CmpKnown(other.operand_, a, &c) && c >= 0;
+        case PatternOp::kGe:
+          return CmpKnown(other.operand_, a, &c) && c >= 0;
+        case PatternOp::kRange:
+          return CmpKnown(other.operand_, a, &c) && c >= 0;
+        default:
+          return false;
+      }
+    case PatternOp::kRange:
+      switch (other.op_) {
+        case PatternOp::kEq: {
+          int cl, ch;
+          return CmpKnown(other.operand_, a, &cl) && cl >= 0 &&
+                 CmpKnown(other.operand_, hi_, &ch) && ch <= 0;
+        }
+        case PatternOp::kRange: {
+          int cl, ch;
+          return CmpKnown(other.operand_, a, &cl) && cl >= 0 &&
+                 CmpKnown(other.hi_, hi_, &ch) && ch <= 0;
+        }
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+bool AttrPattern::operator==(const AttrPattern& other) const {
+  if (op_ != other.op_) return false;
+  switch (op_) {
+    case PatternOp::kAny:
+    case PatternOp::kIsNull:
+    case PatternOp::kNotNull:
+      return true;
+    case PatternOp::kRange:
+      return operand_ == other.operand_ && hi_ == other.hi_;
+    default:
+      return operand_ == other.operand_;
+  }
+}
+
+std::string AttrPattern::ToString() const {
+  switch (op_) {
+    case PatternOp::kAny:
+      return "*";
+    case PatternOp::kEq:
+      return operand_.ToString();  // paper style: [7,3,*]
+    case PatternOp::kNe:
+      return "\xE2\x89\xA0" + operand_.ToString();  // ≠
+    case PatternOp::kLt:
+      return "<" + operand_.ToString();
+    case PatternOp::kLe:
+      return "\xE2\x89\xA4" + operand_.ToString();  // ≤
+    case PatternOp::kGt:
+      return ">" + operand_.ToString();
+    case PatternOp::kGe:
+      return "\xE2\x89\xA5" + operand_.ToString();  // ≥
+    case PatternOp::kRange:
+      return "[" + operand_.ToString() + ".." + hi_.ToString() + "]";
+    case PatternOp::kIsNull:
+      return "null";
+    case PatternOp::kNotNull:
+      return "!null";
+  }
+  return "?";
+}
+
+}  // namespace nstream

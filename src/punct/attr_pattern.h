@@ -1,0 +1,101 @@
+// AttrPattern: the per-attribute building block of punctuation. A
+// punctuation like ¬[*,≥50] (paper §3.4) is a vector of these — here a
+// wildcard followed by GreaterEq(50).
+
+#ifndef NSTREAM_PUNCT_ATTR_PATTERN_H_
+#define NSTREAM_PUNCT_ATTR_PATTERN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace nstream {
+
+/// Comparison shape of one attribute pattern.
+enum class PatternOp : uint8_t {
+  kAny = 0,   // "*"  — matches every value, including NULL
+  kEq,        // = c
+  kNe,        // ≠ c
+  kLt,        // < c
+  kLe,        // ≤ c
+  kGt,        // > c
+  kGe,        // ≥ c
+  kRange,     // [lo .. hi], closed on both ends
+  kIsNull,    // value is NULL (Experiment 1's "dirty" predicate)
+  kNotNull,   // value is not NULL
+};
+
+const char* PatternOpName(PatternOp op);
+
+/// A predicate over a single attribute. Immutable once built.
+class AttrPattern {
+ public:
+  AttrPattern() : op_(PatternOp::kAny) {}
+
+  static AttrPattern Any() { return AttrPattern(); }
+  static AttrPattern Eq(Value v) {
+    return AttrPattern(PatternOp::kEq, std::move(v));
+  }
+  static AttrPattern Ne(Value v) {
+    return AttrPattern(PatternOp::kNe, std::move(v));
+  }
+  static AttrPattern Lt(Value v) {
+    return AttrPattern(PatternOp::kLt, std::move(v));
+  }
+  static AttrPattern Le(Value v) {
+    return AttrPattern(PatternOp::kLe, std::move(v));
+  }
+  static AttrPattern Gt(Value v) {
+    return AttrPattern(PatternOp::kGt, std::move(v));
+  }
+  static AttrPattern Ge(Value v) {
+    return AttrPattern(PatternOp::kGe, std::move(v));
+  }
+  static AttrPattern Range(Value lo, Value hi) {
+    AttrPattern p(PatternOp::kRange, std::move(lo));
+    p.hi_ = std::move(hi);
+    return p;
+  }
+  static AttrPattern IsNull() {
+    return AttrPattern(PatternOp::kIsNull, Value::Null());
+  }
+  static AttrPattern NotNull() {
+    return AttrPattern(PatternOp::kNotNull, Value::Null());
+  }
+
+  PatternOp op() const { return op_; }
+  bool is_wildcard() const { return op_ == PatternOp::kAny; }
+  const Value& operand() const { return operand_; }
+  const Value& hi() const { return hi_; }
+
+  /// Does `v` satisfy this pattern? Comparison patterns never match
+  /// NULL (SQL-style semantics); kAny matches everything.
+  bool Matches(const Value& v) const;
+
+  /// Sound subsumption test: true only if every value matching `other`
+  /// also matches *this. (Conservative: may return false for exotic
+  /// cross-op pairs, never incorrectly true.)
+  bool Subsumes(const AttrPattern& other) const;
+
+  /// Structural equality (same op and operands).
+  bool operator==(const AttrPattern& other) const;
+  bool operator!=(const AttrPattern& other) const {
+    return !(*this == other);
+  }
+
+  /// Paper-style rendering: "*", "=5", "≥50", "[3..9]", "null".
+  std::string ToString() const;
+
+ private:
+  AttrPattern(PatternOp op, Value operand)
+      : op_(op), operand_(std::move(operand)) {}
+
+  PatternOp op_;
+  Value operand_;
+  Value hi_;  // only for kRange
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_PUNCT_ATTR_PATTERN_H_

@@ -1,0 +1,33 @@
+#include "punct/feedback.h"
+
+namespace nstream {
+
+const char* FeedbackIntentName(FeedbackIntent intent) {
+  switch (intent) {
+    case FeedbackIntent::kAssumed:
+      return "assumed";
+    case FeedbackIntent::kDesired:
+      return "desired";
+    case FeedbackIntent::kDemanded:
+      return "demanded";
+  }
+  return "?";
+}
+
+const char* FeedbackIntentGlyph(FeedbackIntent intent) {
+  switch (intent) {
+    case FeedbackIntent::kAssumed:
+      return "\xC2\xAC";  // ¬
+    case FeedbackIntent::kDesired:
+      return "?";
+    case FeedbackIntent::kDemanded:
+      return "!";
+  }
+  return "?";
+}
+
+std::string FeedbackPunctuation::ToString() const {
+  return std::string(FeedbackIntentGlyph(intent_)) + pattern_.ToString();
+}
+
+}  // namespace nstream

@@ -1,0 +1,97 @@
+// FeedbackPunctuation (§3.2-§3.4): like embedded punctuation it carries
+// a predicate describing a subset of the stream, but it flows *against*
+// the stream direction, outside the data stream (on the control
+// channel), and carries an additional piece of information: the intent.
+//
+//   assumed  (¬)  "I will ignore this subset — stop producing it."
+//   desired  (?)  "Please prioritize this subset."
+//   demanded (!)  "I need this subset now; partial results acceptable."
+
+#ifndef NSTREAM_PUNCT_FEEDBACK_H_
+#define NSTREAM_PUNCT_FEEDBACK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "punct/punct_pattern.h"
+
+namespace nstream {
+
+/// The intent carried by a feedback punctuation (§3.4).
+enum class FeedbackIntent : uint8_t {
+  kAssumed = 0,  // ¬[...]  avoid producing the subset
+  kDesired,      // ?[...]  prioritize the subset
+  kDemanded,     // ![...]  produce the subset now, partials allowed
+};
+
+const char* FeedbackIntentName(FeedbackIntent intent);
+
+/// Prefix glyph used in renderings: "¬", "?", "!".
+const char* FeedbackIntentGlyph(FeedbackIntent intent);
+
+/// A feedback punctuation message. Immutable payload plus provenance
+/// metadata used for tracing, auditing, and experiment accounting.
+class FeedbackPunctuation {
+ public:
+  FeedbackPunctuation() = default;
+  FeedbackPunctuation(FeedbackIntent intent, PunctPattern pattern)
+      : intent_(intent), pattern_(std::move(pattern)) {}
+
+  static FeedbackPunctuation Assumed(PunctPattern p) {
+    return FeedbackPunctuation(FeedbackIntent::kAssumed, std::move(p));
+  }
+  static FeedbackPunctuation Desired(PunctPattern p) {
+    return FeedbackPunctuation(FeedbackIntent::kDesired, std::move(p));
+  }
+  static FeedbackPunctuation Demanded(PunctPattern p) {
+    return FeedbackPunctuation(FeedbackIntent::kDemanded, std::move(p));
+  }
+
+  FeedbackIntent intent() const { return intent_; }
+  const PunctPattern& pattern() const { return pattern_; }
+
+  bool is_assumed() const { return intent_ == FeedbackIntent::kAssumed; }
+  bool is_desired() const { return intent_ == FeedbackIntent::kDesired; }
+  bool is_demanded() const {
+    return intent_ == FeedbackIntent::kDemanded;
+  }
+
+  /// Id of the operator that originally issued the feedback (not the
+  /// last relayer). 0 = unset.
+  int64_t origin_op() const { return origin_op_; }
+  void set_origin_op(int64_t id) { origin_op_ = id; }
+
+  /// Number of relayers this feedback passed through (0 = direct).
+  int hop_count() const { return hop_count_; }
+  void set_hop_count(int h) { hop_count_ = h; }
+
+  /// System time at which the feedback was issued; -1 = unset.
+  TimeMs issued_at_ms() const { return issued_at_ms_; }
+  void set_issued_at_ms(TimeMs t) { issued_at_ms_ = t; }
+
+  /// For demanded punctuation: the deadline by which partial results
+  /// are useful (§3.4's "margin of action"); -1 = none.
+  TimeMs deadline_ms() const { return deadline_ms_; }
+  void set_deadline_ms(TimeMs t) { deadline_ms_ = t; }
+
+  /// Same intent and pattern (provenance ignored).
+  bool EquivalentTo(const FeedbackPunctuation& o) const {
+    return intent_ == o.intent_ && pattern_ == o.pattern_;
+  }
+
+  /// Paper-style rendering, e.g. "¬[*,≥50]".
+  std::string ToString() const;
+
+ private:
+  FeedbackIntent intent_ = FeedbackIntent::kAssumed;
+  PunctPattern pattern_;
+  int64_t origin_op_ = 0;
+  int hop_count_ = 0;
+  TimeMs issued_at_ms_ = -1;
+  TimeMs deadline_ms_ = -1;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_PUNCT_FEEDBACK_H_

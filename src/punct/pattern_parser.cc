@@ -1,0 +1,224 @@
+#include "punct/pattern_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace nstream {
+namespace {
+
+// Recursive-descent style cursor over the input text.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(
+                                   s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eof() {
+    SkipWs();
+    return pos_ >= s_.size();
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeStr(std::string_view lit) {
+    SkipWs();
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view Rest() const { return s_.substr(pos_); }
+  size_t pos() const { return pos_; }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StringPrintf("parse error at offset %zu: %s (input: '%.*s')",
+                     pos_, what.c_str(), static_cast<int>(s_.size()),
+                     s_.data()));
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+Result<Value> ParseValue(Cursor* c) {
+  c->SkipWs();
+  if (c->ConsumeStr("true")) return Value::Bool(true);
+  if (c->ConsumeStr("false")) return Value::Bool(false);
+  if (c->ConsumeStr("t:")) {
+    std::string num;
+    while (!c->Eof() && (std::isdigit(static_cast<unsigned char>(
+                             c->Peek())) ||
+                         c->Peek() == '-')) {
+      num.push_back(c->Peek());
+      c->Consume(c->Peek());
+    }
+    if (num.empty()) return c->Error("expected timestamp digits");
+    return Value::Timestamp(std::strtoll(num.c_str(), nullptr, 10));
+  }
+  if (c->Peek() == '\'') {
+    c->Consume('\'');
+    std::string out;
+    std::string_view rest = c->Rest();
+    size_t i = 0;
+    while (i < rest.size() && rest[i] != '\'') {
+      out.push_back(rest[i]);
+      ++i;
+    }
+    if (i >= rest.size()) return c->Error("unterminated string literal");
+    // Advance past the content and closing quote.
+    for (size_t k = 0; k < i; ++k) c->Consume(rest[k]);
+    c->Consume('\'');
+    return Value::String(std::move(out));
+  }
+  // Numeric literal.
+  std::string num;
+  bool is_double = false;
+  while (true) {
+    char p = c->Peek();
+    if (std::isdigit(static_cast<unsigned char>(p)) || p == '-' ||
+        p == '+') {
+      num.push_back(p);
+      c->Consume(p);
+    } else if (p == '.') {
+      // Distinguish "3.5" from the ".." of a range.
+      std::string_view rest = c->Rest();
+      if (rest.size() >= 2 && rest[1] == '.') break;
+      is_double = true;
+      num.push_back(p);
+      c->Consume(p);
+    } else if (p == 'e' || p == 'E') {
+      is_double = true;
+      num.push_back(p);
+      c->Consume(p);
+    } else {
+      break;
+    }
+  }
+  if (num.empty()) return c->Error("expected a value literal");
+  if (is_double) return Value::Double(std::strtod(num.c_str(), nullptr));
+  return Value::Int64(std::strtoll(num.c_str(), nullptr, 10));
+}
+
+Result<AttrPattern> ParseAttr(Cursor* c) {
+  c->SkipWs();
+  if (c->Consume('*')) return AttrPattern::Any();
+  if (c->ConsumeStr("!null")) return AttrPattern::NotNull();
+  if (c->ConsumeStr("null")) return AttrPattern::IsNull();
+
+  if (c->Peek() == '[') {  // range [lo..hi]
+    c->Consume('[');
+    NSTREAM_ASSIGN_OR_RETURN(Value lo, ParseValue(c));
+    if (!c->ConsumeStr("..")) return c->Error("expected '..' in range");
+    NSTREAM_ASSIGN_OR_RETURN(Value hi, ParseValue(c));
+    if (!c->Consume(']')) return c->Error("expected ']' closing range");
+    return AttrPattern::Range(std::move(lo), std::move(hi));
+  }
+
+  // Comparison operator (UTF-8 glyphs first, then ASCII digraphs).
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe } op = Op::kEq;
+  if (c->ConsumeStr("\xE2\x89\xA4")) {  // ≤
+    op = Op::kLe;
+  } else if (c->ConsumeStr("\xE2\x89\xA5")) {  // ≥
+    op = Op::kGe;
+  } else if (c->ConsumeStr("\xE2\x89\xA0")) {  // ≠
+    op = Op::kNe;
+  } else if (c->ConsumeStr("<=")) {
+    op = Op::kLe;
+  } else if (c->ConsumeStr(">=")) {
+    op = Op::kGe;
+  } else if (c->ConsumeStr("!=")) {
+    op = Op::kNe;
+  } else if (c->ConsumeStr("<")) {
+    op = Op::kLt;
+  } else if (c->ConsumeStr(">")) {
+    op = Op::kGt;
+  } else if (c->ConsumeStr("=")) {
+    op = Op::kEq;
+  }
+
+  NSTREAM_ASSIGN_OR_RETURN(Value v, ParseValue(c));
+  switch (op) {
+    case Op::kEq:
+      return AttrPattern::Eq(std::move(v));
+    case Op::kNe:
+      return AttrPattern::Ne(std::move(v));
+    case Op::kLt:
+      return AttrPattern::Lt(std::move(v));
+    case Op::kLe:
+      return AttrPattern::Le(std::move(v));
+    case Op::kGt:
+      return AttrPattern::Gt(std::move(v));
+    case Op::kGe:
+      return AttrPattern::Ge(std::move(v));
+  }
+  return c->Error("unreachable");
+}
+
+Result<PunctPattern> ParsePatternBody(Cursor* c) {
+  if (!c->Consume('[')) return c->Error("expected '[' opening pattern");
+  std::vector<AttrPattern> attrs;
+  if (c->Peek() == ']') {
+    c->Consume(']');
+    return PunctPattern(std::move(attrs));
+  }
+  while (true) {
+    NSTREAM_ASSIGN_OR_RETURN(AttrPattern a, ParseAttr(c));
+    attrs.push_back(std::move(a));
+    if (c->Consume(',')) continue;
+    if (c->Consume(']')) break;
+    return c->Error("expected ',' or ']' in pattern");
+  }
+  return PunctPattern(std::move(attrs));
+}
+
+}  // namespace
+
+Result<PunctPattern> ParsePattern(std::string_view text) {
+  Cursor c(text);
+  NSTREAM_ASSIGN_OR_RETURN(PunctPattern p, ParsePatternBody(&c));
+  if (!c.Eof()) return c.Error("trailing characters after pattern");
+  return p;
+}
+
+Result<FeedbackPunctuation> ParseFeedback(std::string_view text) {
+  Cursor c(text);
+  FeedbackIntent intent;
+  if (c.ConsumeStr("\xC2\xAC") || c.ConsumeStr("~")) {
+    intent = FeedbackIntent::kAssumed;
+  } else if (c.ConsumeStr("?")) {
+    intent = FeedbackIntent::kDesired;
+  } else if (c.ConsumeStr("!")) {
+    intent = FeedbackIntent::kDemanded;
+  } else {
+    return c.Error("expected feedback intent prefix (¬/~, ?, !)");
+  }
+  NSTREAM_ASSIGN_OR_RETURN(PunctPattern p, ParsePatternBody(&c));
+  if (!c.Eof()) return c.Error("trailing characters after feedback");
+  return FeedbackPunctuation(intent, std::move(p));
+}
+
+}  // namespace nstream

@@ -1,0 +1,35 @@
+// Textual punctuation syntax, used by tests, examples, and logs. The
+// grammar follows the paper's notation with ASCII fallbacks:
+//
+//   feedback   := intent pattern
+//   intent     := "¬" | "~" | "?" | "!"
+//   pattern    := "[" attr ("," attr)* "]"
+//   attr       := "*" | "null" | "!null" | cmp value
+//               | "[" value ".." value "]"
+//   cmp        := "" (equality) | "=" | "!=" | "≠" | "<" | "<=" | "≤"
+//               | ">" | ">=" | "≥"
+//   value      := int | double (with '.') | 'string' | t:int
+//               | true | false
+//
+// Examples: "[*,≥50]", "~[*,3,4,*]", "?[7,3,*]", "![≤t:5000,*]".
+
+#ifndef NSTREAM_PUNCT_PATTERN_PARSER_H_
+#define NSTREAM_PUNCT_PATTERN_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "punct/feedback.h"
+#include "punct/punct_pattern.h"
+
+namespace nstream {
+
+/// Parse a bare pattern like "[*,≥50]".
+Result<PunctPattern> ParsePattern(std::string_view text);
+
+/// Parse a feedback punctuation with intent prefix like "¬[*,≥50]".
+Result<FeedbackPunctuation> ParseFeedback(std::string_view text);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_PUNCT_PATTERN_PARSER_H_

@@ -1,0 +1,107 @@
+#include "punct/punct_pattern.h"
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+PunctPattern PunctPattern::With(int i, AttrPattern p) const {
+  PunctPattern out = *this;
+  out.attrs_[static_cast<size_t>(i)] = std::move(p);
+  return out;
+}
+
+bool PunctPattern::Matches(const Tuple& t) const {
+  if (t.size() != arity()) return false;
+  for (int i = 0; i < arity(); ++i) {
+    if (!attrs_[static_cast<size_t>(i)].Matches(t.value(i))) return false;
+  }
+  return true;
+}
+
+bool PunctPattern::Subsumes(const PunctPattern& other) const {
+  if (arity() != other.arity()) return false;
+  for (int i = 0; i < arity(); ++i) {
+    if (!attrs_[static_cast<size_t>(i)].Subsumes(
+            other.attrs_[static_cast<size_t>(i)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> PunctPattern::ConstrainedIndices() const {
+  std::vector<int> out;
+  for (int i = 0; i < arity(); ++i) {
+    if (!attrs_[static_cast<size_t>(i)].is_wildcard()) out.push_back(i);
+  }
+  return out;
+}
+
+Result<PunctPattern> PunctPattern::Project(
+    const std::vector<int>& indices) const {
+  std::vector<AttrPattern> out;
+  out.reserve(indices.size());
+  for (int i : indices) {
+    if (i < 0 || i >= arity()) {
+      return Status::OutOfRange(
+          StringPrintf("pattern projection index %d out of range "
+                       "(arity %d)",
+                       i, arity()));
+    }
+    out.push_back(attrs_[static_cast<size_t>(i)]);
+  }
+  return PunctPattern(std::move(out));
+}
+
+Status PunctPattern::Validate(const Schema& schema) const {
+  if (arity() != schema.num_fields()) {
+    return Status::SchemaMismatch(
+        StringPrintf("pattern arity %d vs schema arity %d", arity(),
+                     schema.num_fields()));
+  }
+  for (int i = 0; i < arity(); ++i) {
+    const AttrPattern& p = attrs_[static_cast<size_t>(i)];
+    switch (p.op()) {
+      case PatternOp::kAny:
+      case PatternOp::kIsNull:
+      case PatternOp::kNotNull:
+        continue;
+      default:
+        break;
+    }
+    const Field& f = schema.field(i);
+    const Value& v = p.operand();
+    bool compatible = false;
+    switch (f.type) {
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+      case ValueType::kTimestamp:
+        compatible = v.is_numeric();
+        break;
+      case ValueType::kString:
+        compatible = v.type() == ValueType::kString;
+        break;
+      case ValueType::kBool:
+        compatible = v.type() == ValueType::kBool;
+        break;
+      case ValueType::kNull:
+        compatible = true;
+        break;
+    }
+    if (!compatible) {
+      return Status::SchemaMismatch(StringPrintf(
+          "pattern operand %s incompatible with attribute %s:%s",
+          v.ToString().c_str(), f.name.c_str(), ValueTypeName(f.type)));
+    }
+  }
+  return Status::OK();
+}
+
+std::string PunctPattern::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attrs_.size());
+  for (const AttrPattern& p : attrs_) parts.push_back(p.ToString());
+  return "[" + Join(parts, ",") + "]";
+}
+
+}  // namespace nstream

@@ -1,0 +1,107 @@
+// PunctPattern: a conjunctive predicate over a whole schema — one
+// AttrPattern per attribute. This is the "description of the subset of
+// interest" carried by both embedded and feedback punctuation (§3).
+
+#ifndef NSTREAM_PUNCT_PUNCT_PATTERN_H_
+#define NSTREAM_PUNCT_PUNCT_PATTERN_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "punct/attr_pattern.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace nstream {
+
+/// A pattern over an n-attribute schema. Tuples match iff every
+/// attribute matches its AttrPattern (wildcards match anything).
+class PunctPattern {
+ public:
+  PunctPattern() = default;
+  explicit PunctPattern(std::vector<AttrPattern> attrs)
+      : attrs_(std::move(attrs)) {}
+  PunctPattern(std::initializer_list<AttrPattern> attrs)
+      : attrs_(attrs) {}
+
+  /// All-wildcard pattern of the given arity (matches every tuple).
+  static PunctPattern AllWildcard(int arity) {
+    return PunctPattern(std::vector<AttrPattern>(
+        static_cast<size_t>(arity), AttrPattern::Any()));
+  }
+
+  int arity() const { return static_cast<int>(attrs_.size()); }
+  const AttrPattern& attr(int i) const {
+    return attrs_[static_cast<size_t>(i)];
+  }
+  const std::vector<AttrPattern>& attrs() const { return attrs_; }
+
+  /// Replace the pattern at position `i` (builder-style).
+  PunctPattern With(int i, AttrPattern p) const;
+
+  /// True iff the tuple satisfies every attribute pattern. The tuple's
+  /// arity must equal the pattern's (checked).
+  bool Matches(const Tuple& t) const;
+
+  /// Sound subsumption: every tuple matching `other` matches *this.
+  /// Patterns of different arity never subsume each other.
+  bool Subsumes(const PunctPattern& other) const;
+
+  /// Positions whose pattern is not "*".
+  std::vector<int> ConstrainedIndices() const;
+
+  bool IsAllWildcard() const { return ConstrainedIndices().empty(); }
+
+  /// Project onto `indices` (order preserved): used when mapping a
+  /// pattern from an operator's output schema to an input schema.
+  Result<PunctPattern> Project(const std::vector<int>& indices) const;
+
+  /// Check arity and operand-type compatibility against a schema.
+  Status Validate(const Schema& schema) const;
+
+  bool operator==(const PunctPattern& other) const {
+    return attrs_ == other.attrs_;
+  }
+  bool operator!=(const PunctPattern& other) const {
+    return !(*this == other);
+  }
+
+  /// Paper-style rendering, e.g. "[*,≥50]".
+  std::string ToString() const;
+
+ private:
+  std::vector<AttrPattern> attrs_;
+};
+
+/// Embedded punctuation (§3.1): flows *with* the data and asserts that
+/// the subset described by `pattern` is complete — no future tuple in
+/// this stream will match it.
+class Punctuation {
+ public:
+  Punctuation() = default;
+  explicit Punctuation(PunctPattern pattern)
+      : pattern_(std::move(pattern)) {}
+
+  const PunctPattern& pattern() const { return pattern_; }
+
+  /// Does this punctuation promise that no tuple matching `p` will ever
+  /// arrive again? True iff our pattern subsumes `p`.
+  bool Covers(const PunctPattern& p) const {
+    return pattern_.Subsumes(p);
+  }
+
+  bool operator==(const Punctuation& o) const {
+    return pattern_ == o.pattern_;
+  }
+
+  std::string ToString() const { return pattern_.ToString(); }
+
+ private:
+  PunctPattern pattern_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_PUNCT_PUNCT_PATTERN_H_

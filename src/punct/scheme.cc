@@ -1,0 +1,27 @@
+#include "punct/scheme.h"
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+std::string SupportabilityReport::ToString() const {
+  if (supportable) return "supportable";
+  std::vector<std::string> parts;
+  parts.reserve(undelimited_attrs.size());
+  for (int i : undelimited_attrs) parts.push_back(std::to_string(i));
+  return "unsupportable (undelimited attrs: " + Join(parts, ",") + ")";
+}
+
+SupportabilityReport CheckSupportability(const PunctPattern& pattern,
+                                         const PunctScheme& scheme) {
+  SupportabilityReport report;
+  for (int i : pattern.ConstrainedIndices()) {
+    if (i >= scheme.arity() || !scheme.IsDelimited(i)) {
+      report.supportable = false;
+      report.undelimited_attrs.push_back(i);
+    }
+  }
+  return report;
+}
+
+}  // namespace nstream

@@ -1,0 +1,85 @@
+// Punctuation schemes and feedback supportability (§4.4, building on
+// Tucker et al. [14]). An attribute is *delimited* if the stream's
+// punctuation scheme guarantees embedded punctuation will eventually
+// cover any bounded subset of it (e.g. a progressing timestamp, or a
+// finite-lifetime auction id). Feedback whose constrained attributes
+// are all delimited is "supportable": guard state installed for it is
+// guaranteed to be reclaimed. Feedback on undelimited attributes (the
+// paper's "don't show bids more than $1.00") would accumulate state
+// forever — the framework flags it.
+
+#ifndef NSTREAM_PUNCT_SCHEME_H_
+#define NSTREAM_PUNCT_SCHEME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "punct/feedback.h"
+#include "punct/punct_pattern.h"
+#include "types/schema.h"
+
+namespace nstream {
+
+/// How an attribute is covered by embedded punctuation.
+enum class Delimitation : uint8_t {
+  kNone = 0,     // never punctuated (e.g. a bid amount)
+  kProgressing,  // punctuated by a moving low-watermark (timestamps)
+  kFinite,       // punctuated per finite group lifetime (auction ids)
+};
+
+/// A punctuation scheme for one stream schema: per-attribute
+/// delimitation declarations.
+class PunctScheme {
+ public:
+  PunctScheme() = default;
+  explicit PunctScheme(std::vector<Delimitation> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  /// Scheme with no delimited attributes, matching `arity`.
+  static PunctScheme Undelimited(int arity) {
+    return PunctScheme(std::vector<Delimitation>(
+        static_cast<size_t>(arity), Delimitation::kNone));
+  }
+
+  int arity() const { return static_cast<int>(attrs_.size()); }
+  Delimitation attr(int i) const { return attrs_[static_cast<size_t>(i)]; }
+
+  PunctScheme With(int i, Delimitation d) const {
+    PunctScheme out = *this;
+    out.attrs_[static_cast<size_t>(i)] = d;
+    return out;
+  }
+
+  bool IsDelimited(int i) const {
+    return attrs_[static_cast<size_t>(i)] != Delimitation::kNone;
+  }
+
+ private:
+  std::vector<Delimitation> attrs_;
+};
+
+/// Result of a supportability check.
+struct SupportabilityReport {
+  bool supportable = true;
+  // Constrained attribute positions that are NOT delimited; state
+  // installed for them can never be reclaimed via punctuation.
+  std::vector<int> undelimited_attrs;
+
+  std::string ToString() const;
+};
+
+/// §4.4 check: feedback is supportable under `scheme` iff every
+/// constrained attribute of its pattern is delimited.
+SupportabilityReport CheckSupportability(const PunctPattern& pattern,
+                                         const PunctScheme& scheme);
+
+/// Convenience overload for a full feedback message.
+inline SupportabilityReport CheckSupportability(
+    const FeedbackPunctuation& fb, const PunctScheme& scheme) {
+  return CheckSupportability(fb.pattern(), scheme);
+}
+
+}  // namespace nstream
+
+#endif  // NSTREAM_PUNCT_SCHEME_H_

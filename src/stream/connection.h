@@ -1,0 +1,35 @@
+// Connection: one producer→consumer edge of the runtime query plan,
+// bundling the downstream data queue with the upstream control channel
+// exactly as in NiagaraST's inter-operator connection schematic
+// (Fig. 3).
+
+#ifndef NSTREAM_STREAM_CONNECTION_H_
+#define NSTREAM_STREAM_CONNECTION_H_
+
+#include <memory>
+
+#include "stream/control_channel.h"
+#include "stream/data_queue.h"
+
+namespace nstream {
+
+struct Connection {
+  explicit Connection(DataQueueOptions opts = {})
+      : data(std::make_unique<DataQueue>(opts)),
+        control(std::make_unique<ControlChannel>()) {}
+
+  // Tuples + embedded punctuation, producer → consumer.
+  std::unique_ptr<DataQueue> data;
+  // Feedback + shutdown, consumer → producer.
+  std::unique_ptr<ControlChannel> control;
+
+  // Endpoints (operator ids and port indices), filled by the plan.
+  int64_t producer_op = -1;
+  int producer_port = 0;
+  int64_t consumer_op = -1;
+  int consumer_port = 0;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_STREAM_CONNECTION_H_

@@ -1,0 +1,59 @@
+#include "stream/control_channel.h"
+
+namespace nstream {
+
+const char* ControlTypeName(ControlType t) {
+  switch (t) {
+    case ControlType::kFeedback:
+      return "feedback";
+    case ControlType::kShutdown:
+      return "shutdown";
+    case ControlType::kRequestResult:
+      return "request_result";
+  }
+  return "?";
+}
+
+std::string ControlMessage::ToString() const {
+  if (type == ControlType::kFeedback) {
+    return std::string("ctrl{feedback ") + feedback.ToString() + "}";
+  }
+  return std::string("ctrl{") + ControlTypeName(type) + "}";
+}
+
+void ControlChannel::Push(ControlMessage msg) {
+  std::function<void()> fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    messages_.push_back(std::move(msg));
+    ++stats_.messages_pushed;
+    fn = notifier_;
+  }
+  if (fn) fn();
+}
+
+std::optional<ControlMessage> ControlChannel::TryPop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (messages_.empty()) return std::nullopt;
+  ControlMessage m = std::move(messages_.front());
+  messages_.pop_front();
+  ++stats_.messages_popped;
+  return m;
+}
+
+bool ControlChannel::HasMessage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !messages_.empty();
+}
+
+void ControlChannel::SetNotifier(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  notifier_ = std::move(fn);
+}
+
+ControlChannelStats ControlChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace nstream

@@ -1,0 +1,202 @@
+#include "stream/data_queue.h"
+
+#include <chrono>
+
+namespace nstream {
+
+DataQueue::DataQueue(DataQueueOptions options) : options_(options) {
+  if (options_.page_size <= 0) options_.page_size = 1;
+}
+
+void DataQueue::PushTuple(Tuple t) {
+  bool notify = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (options_.max_pages > 0) {
+      not_full_.wait(lock, [&] {
+        return static_cast<int>(pages_.size()) < options_.max_pages;
+      });
+    }
+    open_page_.Add(StreamElement::OfTuple(std::move(t)));
+    ++stats_.tuples_pushed;
+    if (static_cast<int>(open_page_.size()) >= options_.page_size) {
+      FlushLocked(FlushReason::kPageFull);
+      notify = true;
+    }
+  }
+  if (notify) NotifyConsumer();
+}
+
+void DataQueue::PushPunctuation(Punctuation p) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (options_.max_pages > 0) {
+      not_full_.wait(lock, [&] {
+        return static_cast<int>(pages_.size()) < options_.max_pages;
+      });
+    }
+    open_page_.Add(StreamElement::OfPunct(std::move(p)));
+    ++stats_.puncts_pushed;
+    // Punctuation flushes the page: a slow stream must not strand
+    // progress information behind an unfilled page (§5).
+    FlushLocked(FlushReason::kPunctuation);
+  }
+  NotifyConsumer();
+}
+
+void DataQueue::PushEos() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    open_page_.Add(StreamElement::Eos());
+    FlushLocked(FlushReason::kEndOfStream);
+    eos_pushed_ = true;
+  }
+  NotifyConsumer();
+}
+
+void DataQueue::Flush() {
+  bool notify = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!open_page_.empty()) {
+      FlushLocked(FlushReason::kExplicit);
+      notify = true;
+    }
+  }
+  if (notify) NotifyConsumer();
+}
+
+void DataQueue::FlushLocked(FlushReason reason) {
+  if (open_page_.empty()) return;
+  open_page_.set_flush_reason(reason);
+  switch (reason) {
+    case FlushReason::kPageFull:
+      ++stats_.pages_flushed_full;
+      break;
+    case FlushReason::kPunctuation:
+      ++stats_.pages_flushed_punct;
+      break;
+    case FlushReason::kEndOfStream:
+      ++stats_.pages_flushed_eos;
+      break;
+    case FlushReason::kExplicit:
+      ++stats_.pages_flushed_explicit;
+      break;
+  }
+  pages_.push_back(std::move(open_page_));
+  open_page_ = Page();
+  not_empty_.notify_one();
+}
+
+std::optional<Page> DataQueue::TryPopPage() {
+  std::optional<Page> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pages_.empty()) return std::nullopt;
+    out = std::move(pages_.front());
+    pages_.pop_front();
+    ++stats_.pages_popped;
+    not_full_.notify_one();
+  }
+  return out;
+}
+
+std::optional<Page> DataQueue::PopPageBlocking(
+    const std::function<bool()>& cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!pages_.empty()) {
+      Page out = std::move(pages_.front());
+      pages_.pop_front();
+      ++stats_.pages_popped;
+      not_full_.notify_one();
+      return out;
+    }
+    if (eos_pushed_ || (cancel && cancel())) return std::nullopt;
+    not_empty_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+}
+
+int DataQueue::PurgeMatching(const PunctPattern& pattern) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int removed = 0;
+  auto purge_page = [&](Page* page) {
+    std::vector<StreamElement> kept;
+    kept.reserve(page->size());
+    for (StreamElement& e : page->mutable_elements()) {
+      if (e.is_tuple() && pattern.Matches(e.tuple())) {
+        ++removed;
+      } else {
+        kept.push_back(std::move(e));
+      }
+    }
+    page->mutable_elements() = std::move(kept);
+  };
+  for (Page& p : pages_) purge_page(&p);
+  purge_page(&open_page_);
+  // Drop pages emptied by the purge so consumers don't spin on them.
+  std::deque<Page> nonempty;
+  for (Page& p : pages_) {
+    if (!p.empty()) nonempty.push_back(std::move(p));
+  }
+  pages_ = std::move(nonempty);
+  return removed;
+}
+
+int DataQueue::PromoteMatching(const PunctPattern& pattern) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int moved = 0;
+  auto promote_page = [&](Page* page) {
+    std::vector<StreamElement> matched;
+    std::vector<StreamElement> rest;
+    for (StreamElement& e : page->mutable_elements()) {
+      if (e.is_tuple() && pattern.Matches(e.tuple())) {
+        matched.push_back(std::move(e));
+      } else {
+        rest.push_back(std::move(e));
+      }
+    }
+    // Count tuples that actually jumped ahead of a non-matching one.
+    if (!matched.empty() && !rest.empty()) {
+      moved += static_cast<int>(matched.size());
+    }
+    std::vector<StreamElement> out;
+    out.reserve(page->size());
+    for (auto& e : matched) out.push_back(std::move(e));
+    for (auto& e : rest) out.push_back(std::move(e));
+    page->mutable_elements() = std::move(out);
+  };
+  for (Page& p : pages_) promote_page(&p);
+  return moved;
+}
+
+bool DataQueue::Drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return eos_pushed_ && pages_.empty() && open_page_.empty();
+}
+
+bool DataQueue::HasPage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !pages_.empty();
+}
+
+DataQueueStats DataQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void DataQueue::SetConsumerNotifier(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consumer_notifier_ = std::move(fn);
+}
+
+void DataQueue::NotifyConsumer() {
+  std::function<void()> fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn = consumer_notifier_;
+  }
+  if (fn) fn();
+}
+
+}  // namespace nstream

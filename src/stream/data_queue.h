@@ -1,0 +1,109 @@
+// DataQueue: the downstream (with-the-data) half of an inter-operator
+// connection (Fig. 3). Producer-side page assembly with
+// punctuation-triggered flush; consumer-side page pops. Thread-safe so
+// the same queue serves the single-threaded executors and the
+// thread-per-operator executor.
+
+#ifndef NSTREAM_STREAM_DATA_QUEUE_H_
+#define NSTREAM_STREAM_DATA_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "stream/page.h"
+
+namespace nstream {
+
+/// Tuning knobs for one queue.
+struct DataQueueOptions {
+  // Elements per page before an automatic flush. NiagaraST batches
+  // tuples into pages to limit context switching; bench_queue measures
+  // the effect of this knob.
+  int page_size = 128;
+  // Maximum queued pages before the producer blocks (threaded executor
+  // backpressure). <= 0 means unbounded (single-threaded executors).
+  int max_pages = 0;
+};
+
+/// Monotonic counters exposed for tests and benches.
+struct DataQueueStats {
+  uint64_t tuples_pushed = 0;
+  uint64_t puncts_pushed = 0;
+  uint64_t pages_flushed_full = 0;
+  uint64_t pages_flushed_punct = 0;
+  uint64_t pages_flushed_eos = 0;
+  uint64_t pages_flushed_explicit = 0;
+  uint64_t pages_popped = 0;
+
+  uint64_t pages_flushed_total() const {
+    return pages_flushed_full + pages_flushed_punct + pages_flushed_eos +
+           pages_flushed_explicit;
+  }
+};
+
+class DataQueue {
+ public:
+  explicit DataQueue(DataQueueOptions options = {});
+
+  // ---- Producer side ----
+  void PushTuple(Tuple t);
+  /// Punctuation is appended and the page is flushed immediately.
+  void PushPunctuation(Punctuation p);
+  /// End-of-stream marker; flushes and marks the queue finished.
+  void PushEos();
+  /// Force the open page (if any) into the queue.
+  void Flush();
+
+  // ---- Consumer side ----
+  /// Non-blocking pop; nullopt when no complete page is queued.
+  std::optional<Page> TryPopPage();
+  /// Blocking pop for the threaded executor; returns nullopt only when
+  /// the queue is finished (EOS seen) and drained, or `cancel` flips.
+  std::optional<Page> PopPageBlocking(const std::function<bool()>& cancel);
+
+  /// Remove queued (not yet popped) tuples matching `pattern`.
+  /// Punctuations and element order are untouched, so punctuation
+  /// semantics are preserved. Returns the number of tuples removed.
+  /// Used by assumed-feedback exploiters purging pending input.
+  int PurgeMatching(const PunctPattern& pattern);
+
+  /// Within each queued page, stably move tuples matching `pattern`
+  /// ahead of non-matching tuples. Because punctuation flushes pages, a
+  /// punctuation can only be a page's last element, so reordering
+  /// within a page never moves a tuple across a punctuation. Used by
+  /// desired-feedback exploiters. Returns the number of tuples moved.
+  int PromoteMatching(const PunctPattern& pattern);
+
+  /// True once EOS has been pushed and every page consumed.
+  bool Drained() const;
+  /// True if a complete page is waiting.
+  bool HasPage() const;
+
+  /// Called (outside the lock) whenever a page becomes available;
+  /// the threaded executor uses it to wake the consumer thread.
+  void SetConsumerNotifier(std::function<void()> fn);
+
+  DataQueueStats stats() const;
+
+ private:
+  void FlushLocked(FlushReason reason);  // requires mu_ held
+  void NotifyConsumer();
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  DataQueueOptions options_;
+  Page open_page_;
+  std::deque<Page> pages_;
+  bool eos_pushed_ = false;
+  DataQueueStats stats_;
+  std::function<void()> consumer_notifier_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_STREAM_DATA_QUEUE_H_

@@ -1,0 +1,82 @@
+// StreamElement: what flows through a data queue — a tuple, an embedded
+// punctuation, or the end-of-stream marker. Mirrors NiagaraST's data
+// path where punctuations are represented similarly to tuples and flow
+// in-band (§3.1, §5).
+
+#ifndef NSTREAM_STREAM_ELEMENT_H_
+#define NSTREAM_STREAM_ELEMENT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "punct/punct_pattern.h"
+#include "types/tuple.h"
+
+namespace nstream {
+
+enum class ElementKind : uint8_t {
+  kTuple = 0,
+  kPunctuation,
+  kEndOfStream,
+};
+
+/// One in-band stream element.
+class StreamElement {
+ public:
+  static StreamElement OfTuple(Tuple t) {
+    StreamElement e;
+    e.rep_ = std::move(t);
+    return e;
+  }
+  static StreamElement OfPunct(Punctuation p) {
+    StreamElement e;
+    e.rep_ = std::move(p);
+    return e;
+  }
+  static StreamElement Eos() { return StreamElement(); }
+
+  ElementKind kind() const {
+    if (std::holds_alternative<Tuple>(rep_)) return ElementKind::kTuple;
+    if (std::holds_alternative<Punctuation>(rep_)) {
+      return ElementKind::kPunctuation;
+    }
+    return ElementKind::kEndOfStream;
+  }
+  bool is_tuple() const { return kind() == ElementKind::kTuple; }
+  bool is_punct() const { return kind() == ElementKind::kPunctuation; }
+  bool is_eos() const { return kind() == ElementKind::kEndOfStream; }
+
+  const Tuple& tuple() const {
+    assert(is_tuple());
+    return std::get<Tuple>(rep_);
+  }
+  Tuple& mutable_tuple() {
+    assert(is_tuple());
+    return std::get<Tuple>(rep_);
+  }
+  const Punctuation& punct() const {
+    assert(is_punct());
+    return std::get<Punctuation>(rep_);
+  }
+
+  std::string ToString() const {
+    switch (kind()) {
+      case ElementKind::kTuple:
+        return tuple().ToString();
+      case ElementKind::kPunctuation:
+        return "punct" + punct().ToString();
+      case ElementKind::kEndOfStream:
+        return "<EOS>";
+    }
+    return "?";
+  }
+
+ private:
+  std::variant<std::monostate, Tuple, Punctuation> rep_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_STREAM_ELEMENT_H_

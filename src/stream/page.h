@@ -1,0 +1,46 @@
+// Page: a batch of stream elements. NiagaraST's inter-operator queues
+// consist of pages of tuples; batching amortizes queue synchronization
+// and context switches. A page is flushed to the queue when it fills OR
+// when a punctuation is written to it (so slow streams don't strand
+// punctuation behind a partially-filled page) — §5, "Inter-Operator
+// Communication".
+
+#ifndef NSTREAM_STREAM_PAGE_H_
+#define NSTREAM_STREAM_PAGE_H_
+
+#include <vector>
+
+#include "stream/element.h"
+
+namespace nstream {
+
+/// Why a page left the producer and entered the queue.
+enum class FlushReason : uint8_t {
+  kPageFull = 0,
+  kPunctuation,   // punctuation written — flushed immediately
+  kEndOfStream,
+  kExplicit,      // producer-forced flush (e.g. operator Close)
+};
+
+class Page {
+ public:
+  Page() = default;
+
+  void Add(StreamElement e) { elems_.push_back(std::move(e)); }
+
+  bool empty() const { return elems_.empty(); }
+  size_t size() const { return elems_.size(); }
+  const std::vector<StreamElement>& elements() const { return elems_; }
+  std::vector<StreamElement>& mutable_elements() { return elems_; }
+
+  FlushReason flush_reason() const { return flush_reason_; }
+  void set_flush_reason(FlushReason r) { flush_reason_ = r; }
+
+ private:
+  std::vector<StreamElement> elems_;
+  FlushReason flush_reason_ = FlushReason::kExplicit;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_STREAM_PAGE_H_

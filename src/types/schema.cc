@@ -1,0 +1,44 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no attribute named '" + name + "' in " +
+                          ToString());
+}
+
+Result<SchemaPtr> Schema::Project(const std::vector<int>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (int i : indices) {
+    if (!HasIndex(i)) {
+      return Status::OutOfRange(
+          StringPrintf("project index %d out of range for %d-field schema",
+                       i, num_fields()));
+    }
+    out.push_back(fields_[static_cast<size_t>(i)]);
+  }
+  return Schema::Make(std::move(out));
+}
+
+SchemaPtr Schema::Concat(const Schema& other) const {
+  std::vector<Field> out = fields_;
+  out.insert(out.end(), other.fields_.begin(), other.fields_.end());
+  return Schema::Make(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    parts.push_back(f.name + ":" + ValueTypeName(f.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace nstream

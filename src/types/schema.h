@@ -1,0 +1,75 @@
+// Schema: an ordered list of named, typed attributes. Schemas are
+// immutable and shared (shared_ptr) between operators, punctuation, and
+// feedback machinery; attribute positions are the currency in which
+// punctuation patterns are expressed.
+
+#ifndef NSTREAM_TYPES_SCHEMA_H_
+#define NSTREAM_TYPES_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace nstream {
+
+/// One attribute of a schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  Field() = default;
+  Field(std::string n, ValueType t) : name(std::move(n)), type(t) {}
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Immutable attribute list. Construct via Schema::Make.
+class Schema {
+ public:
+  static SchemaPtr Make(std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(fields));
+  }
+
+  explicit Schema(std::vector<Field> fields)
+      : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Position of the attribute named `name`, or error.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// True if `i` is a valid attribute position.
+  bool HasIndex(int i) const {
+    return i >= 0 && i < num_fields();
+  }
+
+  bool Equals(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  /// New schema keeping only `indices`, in the given order.
+  Result<SchemaPtr> Project(const std::vector<int>& indices) const;
+
+  /// New schema concatenating this and `other` (join output style).
+  SchemaPtr Concat(const Schema& other) const;
+
+  /// "(name:type, ...)" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_TYPES_SCHEMA_H_

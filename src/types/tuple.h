@@ -1,0 +1,102 @@
+// Tuple: one stream element's data payload, plus the engine metadata the
+// evaluation needs (arrival time for latency accounting, a stable id for
+// Figure 5/6-style output-pattern plots).
+
+#ifndef NSTREAM_TYPES_TUPLE_H_
+#define NSTREAM_TYPES_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace nstream {
+
+/// A relational tuple. Values are positional; the schema lives on the
+/// stream (operators know their input/output schemas), not on each
+/// tuple, keeping tuples small.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  int size() const { return static_cast<int>(values_.size()); }
+  const Value& value(int i) const { return values_[static_cast<size_t>(i)]; }
+  Value& mutable_value(int i) { return values_[static_cast<size_t>(i)]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Engine-assigned monotone id (per source); 0 when unset.
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+
+  /// System time at which the tuple entered the engine. Used by PACE and
+  /// by the timeliness metrics. -1 when unset.
+  TimeMs arrival_ms() const { return arrival_ms_; }
+  void set_arrival_ms(TimeMs t) { arrival_ms_ = t; }
+
+  bool operator==(const Tuple& o) const { return values_ == o.values_; }
+  bool operator!=(const Tuple& o) const { return !(*this == o); }
+
+  /// Hash over a subset of attribute positions (join keys, group keys).
+  size_t HashSubset(const std::vector<int>& indices) const;
+
+  /// Equality restricted to a subset of attribute positions.
+  bool EqualsSubset(const Tuple& other, const std::vector<int>& mine,
+                    const std::vector<int>& theirs) const;
+
+  /// "<v0, v1, ...>" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+  int64_t id_ = 0;
+  TimeMs arrival_ms_ = -1;
+};
+
+/// Convenience builder used heavily in tests and workload generators:
+/// TupleBuilder().I64(3).D(51.2).Ts(9000).Build().
+class TupleBuilder {
+ public:
+  TupleBuilder& Null() {
+    values_.push_back(Value::Null());
+    return *this;
+  }
+  TupleBuilder& B(bool v) {
+    values_.push_back(Value::Bool(v));
+    return *this;
+  }
+  TupleBuilder& I64(int64_t v) {
+    values_.push_back(Value::Int64(v));
+    return *this;
+  }
+  TupleBuilder& D(double v) {
+    values_.push_back(Value::Double(v));
+    return *this;
+  }
+  TupleBuilder& S(std::string v) {
+    values_.push_back(Value::String(std::move(v)));
+    return *this;
+  }
+  TupleBuilder& Ts(TimeMs v) {
+    values_.push_back(Value::Timestamp(v));
+    return *this;
+  }
+  TupleBuilder& V(Value v) {
+    values_.push_back(std::move(v));
+    return *this;
+  }
+
+  Tuple Build() { return Tuple(std::move(values_)); }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_TYPES_TUPLE_H_

@@ -1,0 +1,138 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace nstream {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kTimestamp:
+      return "timestamp";
+  }
+  return "?";
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return static_cast<double>(std::get<int64_t>(rep_));
+    case ValueType::kDouble:
+      return std::get<double>(rep_);
+    case ValueType::kBool:
+      return std::get<bool>(rep_) ? 1.0 : 0.0;
+    default:
+      return Status::InvalidArgument(
+          std::string("AsDouble on non-numeric value of type ") +
+          ValueTypeName(type_));
+  }
+}
+
+Result<int64_t> Value::AsInt64() const {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return std::get<int64_t>(rep_);
+    case ValueType::kBool:
+      return static_cast<int64_t>(std::get<bool>(rep_));
+    default:
+      return Status::InvalidArgument(
+          std::string("AsInt64 on non-integral value of type ") +
+          ValueTypeName(type_));
+  }
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  // NULL sorts before everything; two NULLs are equal.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    // Compare int64/timestamp pairs exactly; mix with double via
+    // widening (fine for the magnitudes streams carry).
+    if (type_ != ValueType::kDouble && other.type_ != ValueType::kDouble) {
+      int64_t a = std::get<int64_t>(rep_);
+      int64_t b = std::get<int64_t>(other.rep_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble().value();
+    double b = other.AsDouble().value();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+    int c = string_value().compare(other.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (type_ == ValueType::kBool && other.type_ == ValueType::kBool) {
+    int a = bool_value();
+    int b = other.bool_value();
+    return a - b;
+  }
+  return Status::InvalidArgument(
+      StringPrintf("incomparable value types %s vs %s",
+                   ValueTypeName(type_), ValueTypeName(other.type_)));
+}
+
+bool Value::operator==(const Value& other) const {
+  Result<int> c = Compare(other);
+  return c.ok() && c.value() == 0;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kBool:
+      return std::get<bool>(rep_) ? 0x1234567 : 0x7654321;
+    case ValueType::kInt64:
+    case ValueType::kTimestamp: {
+      // Hash integers via their double image when exactly representable
+      // so 42 == 42.0 implies equal hashes.
+      int64_t v = std::get<int64_t>(rep_);
+      double d = static_cast<double>(v);
+      if (static_cast<int64_t>(d) == v) {
+        return std::hash<double>{}(d);
+      }
+      return std::hash<int64_t>{}(v);
+    }
+    case ValueType::kDouble:
+      return std::hash<double>{}(std::get<double>(rep_));
+    case ValueType::kString:
+      return std::hash<std::string>{}(std::get<std::string>(rep_));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return std::get<bool>(rep_) ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueType::kDouble:
+      return FormatDouble(std::get<double>(rep_));
+    case ValueType::kString:
+      return "'" + std::get<std::string>(rep_) + "'";
+    case ValueType::kTimestamp:
+      return "t:" + std::to_string(std::get<int64_t>(rep_));
+  }
+  return "?";
+}
+
+}  // namespace nstream

@@ -1,0 +1,118 @@
+// Value: a dynamically-typed scalar cell. Streams in the paper carry
+// relational tuples over a small scalar vocabulary (ids, timestamps,
+// speeds, locations); Value covers exactly that vocabulary plus NULL,
+// which Experiment 1's dirty sensor readings require.
+
+#ifndef NSTREAM_TYPES_VALUE_H_
+#define NSTREAM_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace nstream {
+
+/// Scalar type tags. kTimestamp is int64 milliseconds of application
+/// time; it is kept distinct from kInt64 so punctuation schemes can
+/// recognise delimited (progressing) attributes.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,
+};
+
+/// Name of a ValueType ("int64", "timestamp", ...).
+const char* ValueTypeName(ValueType t);
+
+/// Dynamically typed scalar. Total ordering: NULL sorts first; numeric
+/// types (int64/double/timestamp) compare by numeric value across type
+/// boundaries; strings compare lexicographically and only with strings.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) {
+    Value x;
+    x.type_ = ValueType::kBool;
+    x.rep_ = v;
+    return x;
+  }
+  static Value Int64(int64_t v) {
+    Value x;
+    x.type_ = ValueType::kInt64;
+    x.rep_ = v;
+    return x;
+  }
+  static Value Double(double v) {
+    Value x;
+    x.type_ = ValueType::kDouble;
+    x.rep_ = v;
+    return x;
+  }
+  static Value String(std::string v) {
+    Value x;
+    x.type_ = ValueType::kString;
+    x.rep_ = std::move(v);
+    return x;
+  }
+  static Value Timestamp(TimeMs v) {
+    Value x;
+    x.type_ = ValueType::kTimestamp;
+    x.rep_ = v;
+    return x;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_numeric() const {
+    return type_ == ValueType::kInt64 || type_ == ValueType::kDouble ||
+           type_ == ValueType::kTimestamp;
+  }
+
+  // Accessors assume the type matches (checked in debug builds).
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int64_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(rep_);
+  }
+  TimeMs timestamp_value() const { return std::get<int64_t>(rep_); }
+
+  /// Numeric view: int64/timestamp widened to double. Error on
+  /// non-numeric types.
+  Result<double> AsDouble() const;
+
+  /// Integer view. Error on non-integral types.
+  Result<int64_t> AsInt64() const;
+
+  /// Three-way comparison per the total ordering above. Returns an
+  /// error for incomparable pairs (e.g. string vs int64).
+  Result<int> Compare(const Value& other) const;
+
+  /// Equality per the same ordering; incomparable pairs are unequal.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Hash compatible with operator== (numerically equal int64/double
+  /// values hash identically).
+  size_t Hash() const;
+
+  /// Debug/display rendering ("42", "3.500", "'abc'", "null",
+  /// "t:120000").
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_TYPES_VALUE_H_

@@ -1,0 +1,45 @@
+#include "workload/archive.h"
+
+#include <cmath>
+
+namespace nstream {
+
+ArchiveStore::ArchiveStore(ArchiveConfig config)
+    : config_(config),
+      buckets_per_day_(
+          static_cast<int>(86'400'000 / config.bucket_ms)) {
+  Rng rng(config_.seed);
+  history_.resize(static_cast<size_t>(config_.num_detectors));
+  for (int d = 0; d < config_.num_detectors; ++d) {
+    auto& row = history_[static_cast<size_t>(d)];
+    row.reserve(static_cast<size_t>(buckets_per_day_));
+    double detector_bias = rng.NextGaussian(0, 3.0);
+    for (int b = 0; b < buckets_per_day_; ++b) {
+      double day_frac = static_cast<double>(b) / buckets_per_day_;
+      double dip =
+          config_.daily_dip_mph *
+          0.5 * (1.0 + std::sin(2 * 3.14159265358979 * (2 * day_frac)));
+      row.push_back(config_.free_flow_mph - dip + detector_bias +
+                    rng.NextGaussian(0, config_.noise_stddev));
+    }
+  }
+}
+
+double ArchiveStore::Estimate(int64_t detector, TimeMs ts) const {
+  ++queries_;
+  int64_t d = detector % config_.num_detectors;
+  if (d < 0) d += config_.num_detectors;
+  const auto& row = history_[static_cast<size_t>(d)];
+  int bucket = static_cast<int>((ts % 86'400'000) / config_.bucket_ms);
+  double sum = 0;
+  int n = 0;
+  for (int k = -(config_.k_neighbors / 2);
+       k <= config_.k_neighbors / 2; ++k) {
+    int b = (bucket + k + buckets_per_day_) % buckets_per_day_;
+    sum += row[static_cast<size_t>(b)];
+    ++n;
+  }
+  return n > 0 ? sum / n : config_.free_flow_mph;
+}
+
+}  // namespace nstream

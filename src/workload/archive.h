@@ -1,0 +1,51 @@
+// ArchiveStore: the in-memory stand-in for the archival database that
+// IMPUTE queries once per dirty tuple in Experiment 1 (substitution
+// documented in DESIGN.md). Holds per-(detector, time-of-day bucket)
+// historical mean speeds; Estimate answers "what does a reading from
+// this detector at this time of day usually look like" by averaging
+// the k nearest buckets. Lookups count queries so experiments can
+// report work avoided.
+
+#ifndef NSTREAM_WORKLOAD_ARCHIVE_H_
+#define NSTREAM_WORKLOAD_ARCHIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace nstream {
+
+struct ArchiveConfig {
+  int num_detectors = 360;
+  TimeMs bucket_ms = 300'000;  // 5-minute historical buckets
+  double free_flow_mph = 60.0;
+  double daily_dip_mph = 25.0;  // rush-hour depression
+  double noise_stddev = 2.0;
+  int k_neighbors = 3;
+  uint64_t seed = 7;
+};
+
+class ArchiveStore {
+ public:
+  explicit ArchiveStore(ArchiveConfig config = {});
+
+  /// The "archival query": estimate the speed at `detector` around
+  /// application time `ts`.
+  double Estimate(int64_t detector, TimeMs ts) const;
+
+  uint64_t queries() const { return queries_; }
+  int num_buckets() const { return buckets_per_day_; }
+
+ private:
+  ArchiveConfig config_;
+  int buckets_per_day_;
+  // [detector][bucket] historical mean.
+  std::vector<std::vector<double>> history_;
+  mutable uint64_t queries_ = 0;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_WORKLOAD_ARCHIVE_H_

@@ -1,0 +1,111 @@
+#include "workload/auction.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace nstream {
+
+SchemaPtr AuctionSchema() {
+  static SchemaPtr schema = Schema::Make({
+      {"auction", ValueType::kInt64},
+      {"bidder", ValueType::kInt64},
+      {"amount", ValueType::kDouble},
+      {"timestamp", ValueType::kTimestamp},
+  });
+  return schema;
+}
+
+PunctScheme AuctionPunctScheme() {
+  return PunctScheme::Undelimited(4)
+      .With(kBidAuction, Delimitation::kFinite)
+      .With(kBidTimestamp, Delimitation::kProgressing);
+}
+
+std::vector<TimedElement> GenerateAuctionStream(
+    const AuctionConfig& config) {
+  Rng rng(config.seed);
+  std::vector<TimedElement> out;
+
+  struct Bid {
+    TimeMs ts;
+    int auction;
+    int bidder;
+    double amount;
+  };
+  std::vector<Bid> bids;
+  std::vector<TimeMs> auction_end(
+      static_cast<size_t>(config.num_auctions));
+  for (int a = 0; a < config.num_auctions; ++a) {
+    TimeMs start = static_cast<TimeMs>(a) * config.stagger_ms;
+    TimeMs end = start + config.auction_duration_ms;
+    auction_end[static_cast<size_t>(a)] = end;
+    double price = config.min_bid;
+    for (int b = 0; b < config.bids_per_auction; ++b) {
+      price += rng.NextDouble(0.1, 5.0);  // bids only go up
+      Bid bid;
+      bid.ts = start + static_cast<TimeMs>(rng.NextBounded(
+                           static_cast<uint64_t>(
+                               config.auction_duration_ms)));
+      bid.auction = a;
+      bid.bidder = static_cast<int>(
+          rng.NextBounded(static_cast<uint64_t>(config.num_bidders)));
+      bid.amount = price;
+      bids.push_back(bid);
+    }
+  }
+  std::sort(bids.begin(), bids.end(),
+            [](const Bid& a, const Bid& b) { return a.ts < b.ts; });
+
+  TimeMs last_punct = 0;
+  size_t next_close = 0;
+  std::vector<int> close_order(static_cast<size_t>(config.num_auctions));
+  for (int a = 0; a < config.num_auctions; ++a) {
+    close_order[static_cast<size_t>(a)] = a;
+  }
+  std::sort(close_order.begin(), close_order.end(), [&](int a, int b) {
+    return auction_end[static_cast<size_t>(a)] <
+           auction_end[static_cast<size_t>(b)];
+  });
+
+  for (const Bid& bid : bids) {
+    // Close punctuations for auctions that ended before this bid.
+    while (next_close < close_order.size() &&
+           auction_end[static_cast<size_t>(
+               close_order[next_close])] <= bid.ts) {
+      int a = close_order[next_close++];
+      PunctPattern p = PunctPattern::AllWildcard(4);
+      p = p.With(kBidAuction,
+                 AttrPattern::Eq(Value::Int64(a)));
+      out.push_back(TimedElement::OfPunct(
+          auction_end[static_cast<size_t>(a)],
+          Punctuation(std::move(p))));
+    }
+    Tuple t;
+    t.Append(Value::Int64(bid.auction));
+    t.Append(Value::Int64(bid.bidder));
+    t.Append(Value::Double(bid.amount));
+    t.Append(Value::Timestamp(bid.ts));
+    out.push_back(TimedElement::OfTuple(bid.ts, std::move(t)));
+
+    if (bid.ts - last_punct >= config.punct_every_ms) {
+      PunctPattern p = PunctPattern::AllWildcard(4);
+      p = p.With(kBidTimestamp,
+                 AttrPattern::Le(Value::Timestamp(bid.ts)));
+      out.push_back(
+          TimedElement::OfPunct(bid.ts, Punctuation(std::move(p))));
+      last_punct = bid.ts;
+    }
+  }
+  // Remaining close punctuations.
+  while (next_close < close_order.size()) {
+    int a = close_order[next_close++];
+    PunctPattern p = PunctPattern::AllWildcard(4);
+    p = p.With(kBidAuction, AttrPattern::Eq(Value::Int64(a)));
+    out.push_back(TimedElement::OfPunct(
+        auction_end[static_cast<size_t>(a)], Punctuation(std::move(p))));
+  }
+  return out;
+}
+
+}  // namespace nstream

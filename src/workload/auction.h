@@ -1,0 +1,49 @@
+// Auction workload for the §4.4 supportability examples: bids carry a
+// progressing timestamp (delimited), auction ids with finite lifetimes
+// (delimited via close punctuations), and unbounded bid amounts (NOT
+// delimited — feedback on amounts leaves unreclaimable state, which
+// the supportability check must flag).
+
+#ifndef NSTREAM_WORKLOAD_AUCTION_H_
+#define NSTREAM_WORKLOAD_AUCTION_H_
+
+#include <vector>
+
+#include "ops/vector_source.h"
+#include "punct/scheme.h"
+#include "types/schema.h"
+
+namespace nstream {
+
+/// (auction, bidder, amount, timestamp).
+SchemaPtr AuctionSchema();
+inline constexpr int kBidAuction = 0;
+inline constexpr int kBidBidder = 1;
+inline constexpr int kBidAmount = 2;
+inline constexpr int kBidTimestamp = 3;
+
+/// The punctuation scheme the bid stream actually carries: timestamp
+/// progresses, auctions close; bidders and amounts are never
+/// punctuated.
+PunctScheme AuctionPunctScheme();
+
+struct AuctionConfig {
+  int num_auctions = 20;
+  int num_bidders = 50;
+  int bids_per_auction = 60;
+  TimeMs auction_duration_ms = 120'000;
+  TimeMs stagger_ms = 30'000;  // auction start spacing
+  double min_bid = 1.0;
+  TimeMs punct_every_ms = 10'000;
+  uint64_t seed = 5;
+};
+
+/// Arrival-ordered bids with two kinds of embedded punctuation:
+/// timestamp watermarks and per-auction close punctuations
+/// ([auction,*,*,*] after an auction's last bid).
+std::vector<TimedElement> GenerateAuctionStream(
+    const AuctionConfig& config);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_WORKLOAD_AUCTION_H_

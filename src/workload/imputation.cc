@@ -1,0 +1,58 @@
+#include "workload/imputation.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace nstream {
+
+SchemaPtr ImputationSchema() {
+  static SchemaPtr schema = Schema::Make({
+      {"detector", ValueType::kInt64},
+      {"timestamp", ValueType::kTimestamp},
+      {"speed", ValueType::kDouble},
+      {"imputed", ValueType::kInt64},
+  });
+  return schema;
+}
+
+std::vector<TimedElement> GenerateImputationStream(
+    const ImputationConfig& config) {
+  Rng rng(config.seed);
+  std::vector<TimedElement> out;
+  out.reserve(static_cast<size_t>(config.num_tuples) +
+              static_cast<size_t>(config.num_tuples) *
+                  static_cast<size_t>(config.inter_arrival_ms) /
+                  std::max<TimeMs>(1, config.punct_every_ms));
+  TimeMs last_punct = 0;
+  for (int i = 0; i < config.num_tuples; ++i) {
+    TimeMs ts = static_cast<TimeMs>(i) * config.inter_arrival_ms;
+    bool dirty = config.alternate
+                     ? (i % 2 == 1)
+                     : rng.NextBernoulli(config.dirty_fraction);
+    Tuple t;
+    t.Append(Value::Int64(static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(config.num_detectors)))));
+    t.Append(Value::Timestamp(ts));
+    if (dirty) {
+      t.Append(Value::Null());
+    } else {
+      t.Append(Value::Double(std::max(
+          1.0, config.clean_speed_mph +
+                   rng.NextGaussian(0, config.noise_stddev))));
+    }
+    t.Append(Value::Int64(0));
+    t.set_id(i + 1);
+    out.push_back(TimedElement::OfTuple(ts, std::move(t)));
+
+    if (ts - last_punct >= config.punct_every_ms) {
+      PunctPattern p = PunctPattern::AllWildcard(4);
+      p = p.With(kImpTimestamp, AttrPattern::Le(Value::Timestamp(ts)));
+      out.push_back(TimedElement::OfPunct(ts, Punctuation(std::move(p))));
+      last_punct = ts;
+    }
+  }
+  return out;
+}
+
+}  // namespace nstream

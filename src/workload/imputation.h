@@ -1,0 +1,41 @@
+// Experiment 1 workload: a sensor stream in which dirty (NULL-speed)
+// tuples alternate with clean ones — the paper's "extreme case" — so
+// the imputation branch receives a steady 50% of the input. Schema
+// carries an `imputed` flag (set by IMPUTE) so the harness can split
+// Fig. 5/6 series into clean vs imputed.
+
+#ifndef NSTREAM_WORKLOAD_IMPUTATION_H_
+#define NSTREAM_WORKLOAD_IMPUTATION_H_
+
+#include <vector>
+
+#include "ops/vector_source.h"
+#include "types/schema.h"
+
+namespace nstream {
+
+/// (detector, timestamp, speed, imputed).
+SchemaPtr ImputationSchema();
+inline constexpr int kImpDetector = 0;
+inline constexpr int kImpTimestamp = 1;
+inline constexpr int kImpSpeed = 2;
+inline constexpr int kImpFlag = 3;
+
+struct ImputationConfig {
+  int num_tuples = 5'000;          // the paper's run length
+  TimeMs inter_arrival_ms = 40;    // 5 000 tuples over ~200 s
+  bool alternate = true;           // strict clean/dirty alternation
+  double dirty_fraction = 0.5;     // used when alternate == false
+  int num_detectors = 40;
+  double clean_speed_mph = 55.0;
+  double noise_stddev = 4.0;
+  TimeMs punct_every_ms = 1'000;
+  uint64_t seed = 99;
+};
+
+std::vector<TimedElement> GenerateImputationStream(
+    const ImputationConfig& config);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_WORKLOAD_IMPUTATION_H_

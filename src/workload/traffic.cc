@@ -1,0 +1,192 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nstream {
+
+SchemaPtr DetectorSchema() {
+  static SchemaPtr schema = Schema::Make({
+      {"segment", ValueType::kInt64},
+      {"detector", ValueType::kInt64},
+      {"timestamp", ValueType::kTimestamp},
+      {"speed", ValueType::kDouble},
+  });
+  return schema;
+}
+
+SchemaPtr ProbeSchema() {
+  static SchemaPtr schema = Schema::Make({
+      {"vehicle", ValueType::kInt64},
+      {"segment", ValueType::kInt64},
+      {"timestamp", ValueType::kTimestamp},
+      {"speed", ValueType::kDouble},
+  });
+  return schema;
+}
+
+TrafficGen::TrafficGen(TrafficConfig config)
+    : config_(config), rng_(config.seed) {
+  segment_phase_.reserve(static_cast<size_t>(config_.num_segments));
+  segment_depth_.reserve(static_cast<size_t>(config_.num_segments));
+  for (int s = 0; s < config_.num_segments; ++s) {
+    segment_phase_.push_back(rng_.NextDouble(0.0, 1.0));
+    segment_depth_.push_back(rng_.NextDouble(0.35, 1.0));
+  }
+  BuildTickBuffer();
+}
+
+void TrafficGen::Reset() {
+  rng_ = Rng(config_.seed);
+  // Re-draw the same per-segment profile (same seed → same values).
+  segment_phase_.clear();
+  segment_depth_.clear();
+  for (int s = 0; s < config_.num_segments; ++s) {
+    segment_phase_.push_back(rng_.NextDouble(0.0, 1.0));
+    segment_depth_.push_back(rng_.NextDouble(0.35, 1.0));
+  }
+  current_tick_ = 0;
+  tick_buffer_.clear();
+  tick_pos_ = 0;
+  last_punct_ = 0;
+  tuples_emitted_ = 0;
+  done_ = false;
+  BuildTickBuffer();
+}
+
+double TrafficGen::MeanSpeed(int segment, TimeMs ts) const {
+  // Two rush-hour humps per simulated day, phase-shifted per segment.
+  double day_frac =
+      static_cast<double>(ts % 86'400'000) / 86'400'000.0;
+  double phase = segment_phase_[static_cast<size_t>(segment)];
+  double wave =
+      0.5 * (1.0 + std::sin(2.0 * 3.14159265358979 *
+                            (2.0 * day_frac + phase)));
+  double depth = segment_depth_[static_cast<size_t>(segment)];
+  double congestion = depth * wave * wave;  // sharpen the peaks
+  return config_.free_flow_mph -
+         (config_.free_flow_mph - config_.congested_mph) * congestion;
+}
+
+bool TrafficGen::IsCongested(int segment, TimeMs ts) const {
+  return MeanSpeed(segment, ts) < 45.0;  // the paper's 45 MPH rule
+}
+
+void TrafficGen::BuildTickBuffer() {
+  tick_buffer_.clear();
+  tick_pos_ = 0;
+  if (current_tick_ >= config_.duration_ms) {
+    done_ = true;
+    return;
+  }
+  TimeMs ts = current_tick_;
+  for (int s = 0; s < config_.num_segments; ++s) {
+    for (int d = 0; d < config_.detectors_per_segment; ++d) {
+      double speed =
+          MeanSpeed(s, ts) + rng_.NextGaussian(0, config_.noise_stddev);
+      speed = std::max(1.0, speed);
+      Value speed_value = Value::Double(speed);
+      if (config_.null_prob > 0 && rng_.NextBernoulli(config_.null_prob)) {
+        speed_value = Value::Null();
+      } else if (config_.bad_prob > 0 &&
+                 rng_.NextBernoulli(config_.bad_prob)) {
+        speed_value = Value::Double(-1.0);  // garbage σQ must drop
+      }
+      Tuple t;
+      t.Append(Value::Int64(s));
+      t.Append(
+          Value::Int64(s * config_.detectors_per_segment + d));
+      t.Append(Value::Timestamp(ts));
+      t.Append(std::move(speed_value));
+      TimeMs arrival = ts;
+      if (config_.ooo_jitter_ms > 0) {
+        arrival += static_cast<TimeMs>(
+            rng_.NextBounded(static_cast<uint64_t>(config_.ooo_jitter_ms)));
+      }
+      tick_buffer_.push_back(TimedElement::OfTuple(arrival, std::move(t)));
+    }
+  }
+  // Punctuation: all readings with ts <= bound have been generated once
+  // the jitter horizon passes.
+  if (ts - last_punct_ >= config_.punct_every_ms) {
+    PunctPattern p = PunctPattern::AllWildcard(4);
+    p = p.With(kDetTimestamp, AttrPattern::Le(Value::Timestamp(ts)));
+    tick_buffer_.push_back(TimedElement::OfPunct(
+        ts + config_.ooo_jitter_ms, Punctuation(std::move(p))));
+    last_punct_ = ts;
+  }
+  std::stable_sort(tick_buffer_.begin(), tick_buffer_.end(),
+                   [](const TimedElement& a, const TimedElement& b) {
+                     return a.arrival_ms < b.arrival_ms;
+                   });
+  current_tick_ += config_.tick_ms;
+}
+
+std::optional<TimedElement> TrafficGen::Next() {
+  while (!done_ && tick_pos_ >= tick_buffer_.size()) {
+    BuildTickBuffer();
+  }
+  if (done_ && tick_pos_ >= tick_buffer_.size()) return std::nullopt;
+  TimedElement out = std::move(tick_buffer_[tick_pos_++]);
+  if (out.element.is_tuple()) ++tuples_emitted_;
+  return out;
+}
+
+std::vector<TimedElement> GenerateTraffic(const TrafficConfig& config) {
+  TrafficGen gen(config);
+  std::vector<TimedElement> out;
+  while (auto e = gen.Next()) out.push_back(std::move(*e));
+  return out;
+}
+
+std::vector<TimedElement> GenerateProbes(const ProbeConfig& config,
+                                         const TrafficGen* truth) {
+  Rng rng(config.seed);
+  std::vector<TimedElement> out;
+  // Decide per (segment, minute) coverage up front so empty windows
+  // exist by construction (THRIFTY JOIN's trigger).
+  int64_t minutes = config.duration_ms / 60'000 + 1;
+  std::vector<bool> covered(
+      static_cast<size_t>(config.num_segments * minutes));
+  for (size_t i = 0; i < covered.size(); ++i) {
+    covered[i] = rng.NextBernoulli(config.coverage);
+  }
+  for (TimeMs ts = 0; ts < config.duration_ms;
+       ts += config.report_every_ms) {
+    bool outage = false;
+    if (config.outage_period_min > 0) {
+      int64_t minute = ts / 60'000;
+      outage = minute % config.outage_period_min <
+               config.outage_len_min;
+    }
+    for (int v = 0; outage ? false : v < config.num_vehicles; ++v) {
+      int segment =
+          static_cast<int>(rng.NextBounded(
+              static_cast<uint64_t>(config.num_segments)));
+      int64_t minute = ts / 60'000;
+      if (!covered[static_cast<size_t>(segment * minutes + minute)]) {
+        continue;  // vehicles avoid uncovered cells
+      }
+      double base = truth != nullptr
+                        ? truth->MeanSpeed(segment, ts)
+                        : 45.0;
+      Tuple t;
+      t.Append(Value::Int64(v));
+      t.Append(Value::Int64(segment));
+      t.Append(Value::Timestamp(ts));
+      t.Append(Value::Double(
+          std::max(1.0, base + rng.NextGaussian(0, config.noise_stddev))));
+      out.push_back(TimedElement::OfTuple(ts, std::move(t)));
+    }
+    bool minute_edge = (ts % 60'000) + config.report_every_ms >= 60'000;
+    if (config.punct_every_ms > 0 && minute_edge) {
+      PunctPattern p = PunctPattern::AllWildcard(4);
+      p = p.With(kProbeTimestamp, AttrPattern::Le(Value::Timestamp(ts)));
+      out.push_back(
+          TimedElement::OfPunct(ts, Punctuation(std::move(p))));
+    }
+  }
+  return out;
+}
+
+}  // namespace nstream

@@ -1,0 +1,112 @@
+// Traffic workloads: synthetic stand-ins for the Portland fixed-sensor
+// and probe-vehicle feeds the paper's scenarios are built around
+// (substitution documented in DESIGN.md). Deterministic given the
+// seed; congestion follows per-segment rush-hour profiles so
+// "congested segment" predicates have realistic spatial/temporal
+// structure.
+
+#ifndef NSTREAM_WORKLOAD_TRAFFIC_H_
+#define NSTREAM_WORKLOAD_TRAFFIC_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "ops/vector_source.h"
+#include "types/schema.h"
+
+namespace nstream {
+
+/// Fixed-sensor schema: (segment, detector, timestamp, speed).
+SchemaPtr DetectorSchema();
+/// Attribute positions in DetectorSchema.
+inline constexpr int kDetSegment = 0;
+inline constexpr int kDetDetector = 1;
+inline constexpr int kDetTimestamp = 2;
+inline constexpr int kDetSpeed = 3;
+
+struct TrafficConfig {
+  int num_segments = 9;
+  int detectors_per_segment = 40;
+  TimeMs tick_ms = 20'000;        // one report per detector per tick
+  TimeMs duration_ms = 3'600'000; // Experiment 2 uses 18h
+  double free_flow_mph = 62.0;
+  double congested_mph = 22.0;
+  double noise_stddev = 3.5;
+  // Probability a reading is NULL (sensor dropout; Experiment 1 fodder).
+  double null_prob = 0.0;
+  // Probability a reading is garbage (negative speed; σQ drops it).
+  double bad_prob = 0.0;
+  // Embedded punctuation cadence on the timestamp attribute.
+  TimeMs punct_every_ms = 60'000;
+  // Max arrival jitter (out-of-order arrival); punctuation is emitted
+  // only once the jitter horizon has safely passed.
+  TimeMs ooo_jitter_ms = 0;
+  uint64_t seed = 42;
+};
+
+/// Pull-based generator (use with CallbackSource for large runs).
+class TrafficGen {
+ public:
+  explicit TrafficGen(TrafficConfig config);
+
+  std::optional<TimedElement> Next();
+  void Reset();
+
+  /// Ground truth used by tests: is `segment` congested at `ts`?
+  bool IsCongested(int segment, TimeMs ts) const;
+  /// Mean speed (pre-noise) for a segment at a time.
+  double MeanSpeed(int segment, TimeMs ts) const;
+
+  uint64_t tuples_emitted() const { return tuples_emitted_; }
+
+ private:
+  void BuildTickBuffer();
+
+  TrafficConfig config_;
+  Rng rng_;
+  std::vector<double> segment_phase_;   // rush-hour offset per segment
+  std::vector<double> segment_depth_;   // congestion severity 0..1
+  TimeMs current_tick_ = 0;
+  std::vector<TimedElement> tick_buffer_;
+  size_t tick_pos_ = 0;
+  TimeMs last_punct_ = 0;
+  uint64_t tuples_emitted_ = 0;
+  bool done_ = false;
+};
+
+/// Materialized convenience for tests / small runs.
+std::vector<TimedElement> GenerateTraffic(const TrafficConfig& config);
+
+/// Probe-vehicle schema: (vehicle, segment, timestamp, speed).
+SchemaPtr ProbeSchema();
+inline constexpr int kProbeVehicle = 0;
+inline constexpr int kProbeSegment = 1;
+inline constexpr int kProbeTimestamp = 2;
+inline constexpr int kProbeSpeed = 3;
+
+struct ProbeConfig {
+  int num_segments = 9;
+  int num_vehicles = 25;
+  TimeMs report_every_ms = 4'000;  // per-vehicle report cadence
+  TimeMs duration_ms = 600'000;
+  double noise_stddev = 5.0;
+  TimeMs punct_every_ms = 60'000;
+  // Fraction of windows with no probe coverage at all (THRIFTY JOIN's
+  // empty windows): vehicles cluster, leaving some segments bare.
+  double coverage = 0.6;  // probability a (segment, minute) has probes
+  // Fleet-wide GPS outages: every `outage_period_min` minutes the
+  // probe stream goes completely dark for `outage_len_min` minutes —
+  // deterministic empty windows for THRIFTY JOIN. 0 = no outages.
+  int outage_period_min = 0;
+  int outage_len_min = 0;
+  uint64_t seed = 1234;
+};
+
+/// Materialized probe stream, arrival-ordered, punctuated.
+std::vector<TimedElement> GenerateProbes(const ProbeConfig& config,
+                                         const TrafficGen* truth = nullptr);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_WORKLOAD_TRAFFIC_H_

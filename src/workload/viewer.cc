@@ -1,0 +1,44 @@
+#include "workload/viewer.h"
+
+#include <memory>
+
+namespace nstream {
+
+CollectorSink::FeedbackDriver MakeViewerDriver(ViewerConfig config) {
+  // State shared across invocations of the driver.
+  auto last_interval = std::make_shared<int64_t>(-1);
+  return [config, last_interval](
+             const Tuple& t, TimeMs) -> std::vector<FeedbackPunctuation> {
+    Result<int64_t> we = t.value(config.window_end_attr).AsInt64();
+    if (!we.ok()) return {};
+    // A window belongs to the interval containing its start.
+    int64_t interval =
+        (we.value() - config.window_range_ms) / config.switch_every_ms;
+    if (interval == *last_interval) return {};
+    *last_interval = interval;
+
+    // A real viewer switches on wall time, ahead of the data; emitting
+    // feedback for the current *and* the next interval models that
+    // head start (otherwise every interval's first window would always
+    // be computed before the feedback lands).
+    std::vector<FeedbackPunctuation> out;
+    for (int64_t k = interval; k <= interval + 1; ++k) {
+      TimeMs lo = k * config.switch_every_ms;
+      int visible = VisibleSegmentAt(config, lo);
+      // Windows starting inside [lo, lo+switch) have ends in
+      // [lo+range, lo+switch+range).
+      PunctPattern p = PunctPattern::AllWildcard(config.out_arity);
+      p = p.With(config.window_end_attr,
+                 AttrPattern::Range(
+                     Value::Timestamp(lo + config.window_range_ms),
+                     Value::Timestamp(lo + config.switch_every_ms +
+                                      config.window_range_ms - 1)));
+      p = p.With(config.segment_attr,
+                 AttrPattern::Ne(Value::Int64(visible)));
+      out.push_back(FeedbackPunctuation::Assumed(std::move(p)));
+    }
+    return out;
+  };
+}
+
+}  // namespace nstream

@@ -1,0 +1,45 @@
+// Viewer: the event-driven feedback source of Experiment 2 — an
+// on-board navigation display showing one freeway segment at a time,
+// switching segments every few minutes. On each switch it issues
+// assumed punctuation for the *other* segments over the upcoming
+// interval:  ¬[[T .. T+interval), ≠visible, *].
+//
+// Bounding the pattern by the window-end interval keeps the feedback
+// final (no retractions, §4.4) and supportable: window_end is a
+// delimited attribute, so guards installed for it expire as windows
+// close.
+
+#ifndef NSTREAM_WORKLOAD_VIEWER_H_
+#define NSTREAM_WORKLOAD_VIEWER_H_
+
+#include "ops/sink.h"
+
+namespace nstream {
+
+struct ViewerConfig {
+  int num_segments = 9;
+  // The viewer looks at segment ((t / switch_every_ms) % num_segments).
+  TimeMs switch_every_ms = 120'000;
+  // Output-schema positions in the aggregate's (window_end, segment,
+  // avg) layout.
+  int window_end_attr = 0;
+  int segment_attr = 1;
+  int out_arity = 3;
+  // The aggregate's window range; a window belongs to the viewer
+  // interval containing its START (it displays that interval's data).
+  TimeMs window_range_ms = 60'000;
+};
+
+/// Build the sink driver implementing the viewer. Driven by data time
+/// (the window_end of arriving results), so runs are deterministic.
+CollectorSink::FeedbackDriver MakeViewerDriver(ViewerConfig config);
+
+/// Which segment is visible at data time `t`.
+inline int VisibleSegmentAt(const ViewerConfig& config, TimeMs t) {
+  return static_cast<int>((t / config.switch_every_ms) %
+                          config.num_segments);
+}
+
+}  // namespace nstream
+
+#endif  // NSTREAM_WORKLOAD_VIEWER_H_

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregate_feedback.h"
+#include "core/characterization.h"
+#include "core/correctness.h"
+#include "core/guards.h"
+#include "core/propagation.h"
+#include "core/schema_map.h"
+#include "testing/test_util.h"
+
+namespace nstream {
+namespace {
+
+using testing_util::P;
+
+// ---------------------------------------------------------------- Guards
+
+TEST(GuardSetTest, BlocksMatchingTuples) {
+  GuardSet g;
+  EXPECT_TRUE(g.Add(P("[*,>=50]")));
+  EXPECT_TRUE(g.Blocks(TupleBuilder().I64(1).D(55).Build()));
+  EXPECT_FALSE(g.Blocks(TupleBuilder().I64(1).D(45).Build()));
+}
+
+TEST(GuardSetTest, AddDedupsSubsumedPatterns) {
+  GuardSet g;
+  EXPECT_TRUE(g.Add(P("[*,>=50]")));
+  EXPECT_FALSE(g.Add(P("[*,>=60]")));  // already covered
+  EXPECT_EQ(g.size(), 1);
+  // A wider pattern replaces the narrower one.
+  EXPECT_TRUE(g.Add(P("[*,>=40]")));
+  EXPECT_EQ(g.size(), 1);
+  EXPECT_TRUE(g.Blocks(TupleBuilder().I64(0).D(41).Build()));
+}
+
+TEST(GuardSetTest, ExpireCoveredRemovesDeadGuards) {
+  GuardSet g;
+  g.Add(P("[<=t:1000,*]"));  // time-bounded: will be covered
+  g.Add(P("[*,>=50]"));      // value-bounded: never covered by time
+  // Punctuation: no more tuples with ts <= 5000 — only the first guard
+  // is fully covered (can never block again).
+  Punctuation punct(P("[<=t:5000,*]"));
+  EXPECT_EQ(g.ExpireCovered(punct), 1);
+  EXPECT_EQ(g.size(), 1);
+  EXPECT_EQ(g.total_expired(), 1u);
+}
+
+TEST(GuardSetTest, CountersTrackLifetime) {
+  GuardSet g;
+  g.Add(P("[1,*]"));
+  g.Blocks(TupleBuilder().I64(1).D(0).Build());
+  g.Blocks(TupleBuilder().I64(2).D(0).Build());
+  EXPECT_EQ(g.total_installed(), 1u);
+  EXPECT_EQ(g.total_blocked(), 1u);
+}
+
+// ------------------------------------------------------------- SchemaMap
+
+TEST(SchemaMapTest, IdentityMapsEveryAttr) {
+  SchemaMap m = SchemaMap::Identity(3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.InputIndex(i, 0), std::optional<int>(i));
+    EXPECT_TRUE(m.IsMapped(i));
+  }
+}
+
+TEST(SchemaMapTest, ProjectionMarksComputedAttrs) {
+  SchemaMap m = SchemaMap::Projection({2, -1, 0});
+  EXPECT_EQ(m.InputIndex(0, 0), std::optional<int>(2));
+  EXPECT_FALSE(m.IsMapped(1));
+  EXPECT_EQ(m.InputIndex(2, 0), std::optional<int>(0));
+}
+
+TEST(SchemaMapTest, MapValidatesRanges) {
+  SchemaMap m(2, 3);
+  EXPECT_TRUE(m.Map(0, 0, 5).ok());
+  EXPECT_FALSE(m.Map(3, 0, 0).ok());
+  EXPECT_FALSE(m.Map(0, 2, 0).ok());
+  EXPECT_FALSE(m.Map(0, 0, -1).ok());
+}
+
+// --------------------------------------------------- Safe propagation §4.2
+
+SchemaMap JoinMapATIdB() {
+  // A(a,t,id) ⋈ B(t,id,b) → C(a,t,id,b)
+  SchemaMap m(2, 4);
+  EXPECT_TRUE(m.Map(0, 0, 0).ok());
+  EXPECT_TRUE(m.Map(1, 0, 1).ok());
+  EXPECT_TRUE(m.Map(1, 1, 0).ok());
+  EXPECT_TRUE(m.Map(2, 0, 2).ok());
+  EXPECT_TRUE(m.Map(2, 1, 1).ok());
+  EXPECT_TRUE(m.Map(3, 1, 2).ok());
+  return m;
+}
+
+TEST(PropagationTest, JoinAttrsPropagateToBothInputs) {
+  SchemaMap m = JoinMapATIdB();
+  PunctPattern f = P("[*,3,4,*]");
+  Result<PunctPattern> to_a = DeriveForInput(f, m, 0, 3);
+  Result<PunctPattern> to_b = DeriveForInput(f, m, 1, 3);
+  ASSERT_TRUE(to_a.ok());
+  ASSERT_TRUE(to_b.ok());
+  EXPECT_EQ(to_a.value(), P("[*,3,4]"));  // ¬[*,3,4] to A
+  EXPECT_EQ(to_b.value(), P("[3,4,*]"));  // ¬[3,4,*] to B
+}
+
+TEST(PropagationTest, LeftOnlyAttrPropagatesToLeftOnly) {
+  SchemaMap m = JoinMapATIdB();
+  PunctPattern f = P("[50,*,*,*]");
+  Result<PunctPattern> to_a = DeriveForInput(f, m, 0, 3);
+  ASSERT_TRUE(to_a.ok());
+  EXPECT_EQ(to_a.value(), P("[50,*,*]"));
+  EXPECT_TRUE(DeriveForInput(f, m, 1, 3).status().IsUnsafe());
+}
+
+TEST(PropagationTest, SplitConstraintsHaveNoSafePropagation) {
+  // The paper's counterexample: ¬[50,*,*,50] must not be pushed to
+  // either input — it would suppress <49,2,3,50>.
+  SchemaMap m = JoinMapATIdB();
+  PunctPattern f = P("[50,*,*,50]");
+  EXPECT_FALSE(CanPropagate(f, m, 0));
+  EXPECT_FALSE(CanPropagate(f, m, 1));
+}
+
+TEST(PropagationTest, AllWildcardPropagatesNowhere) {
+  SchemaMap m = JoinMapATIdB();
+  EXPECT_FALSE(CanPropagate(PunctPattern::AllWildcard(4), m, 0));
+}
+
+TEST(PropagationTest, DeriveAllMatchesPerInputResults) {
+  SchemaMap m = JoinMapATIdB();
+  auto all = DeriveAll(P("[*,3,4,*]"), m, {3, 3});
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_TRUE(all[0].has_value());
+  EXPECT_TRUE(all[1].has_value());
+  auto split = DeriveAll(P("[50,*,*,50]"), m, {3, 3});
+  EXPECT_FALSE(split[0].has_value());
+  EXPECT_FALSE(split[1].has_value());
+}
+
+TEST(PropagationTest, SuppressionSoundness) {
+  // Any tuple suppressed upstream must only remove covered outputs:
+  // probe a grid of joined tuples; if the derived input pattern drops
+  // the input tuple, every join output it could produce must match f.
+  SchemaMap m = JoinMapATIdB();
+  PunctPattern f = P("[*,3,4,*]");
+  Result<PunctPattern> to_a = DeriveForInput(f, m, 0, 3);
+  ASSERT_TRUE(to_a.ok());
+  for (int64_t a = 0; a < 5; ++a) {
+    for (int64_t t = 0; t < 5; ++t) {
+      for (int64_t id = 0; id < 5; ++id) {
+        Tuple left = TupleBuilder().I64(a).I64(t).I64(id).Build();
+        if (!to_a.value().Matches(left)) continue;
+        for (int64_t b = 0; b < 5; ++b) {
+          Tuple joined =
+              TupleBuilder().I64(a).I64(t).I64(id).I64(b).Build();
+          EXPECT_TRUE(f.Matches(joined))
+              << "suppressing " << left.ToString()
+              << " would lose uncovered output " << joined.ToString();
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------- Aggregate feedback decisions
+
+struct DecisionCase {
+  const char* pattern;
+  AggMonotonicity mono;
+  bool purge_groups;
+  bool purge_by_partial;
+  bool guard_output;
+};
+
+class DecideAggFeedbackTest
+    : public ::testing::TestWithParam<DecisionCase> {};
+
+TEST_P(DecideAggFeedbackTest, MatchesExpectedActions) {
+  const DecisionCase& c = GetParam();
+  AggFeedbackDecision d =
+      DecideAggFeedback(P(c.pattern), {0, 1}, {2}, c.mono);
+  EXPECT_EQ(d.purge_groups, c.purge_groups) << c.pattern;
+  EXPECT_EQ(d.purge_by_partial, c.purge_by_partial) << c.pattern;
+  EXPECT_EQ(d.guard_output, c.guard_output) << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1AndSection35, DecideAggFeedbackTest,
+    ::testing::Values(
+        // COUNT-like (non-decreasing): the four Table 1 rows.
+        DecisionCase{"[*,3,*]", AggMonotonicity::kNonDecreasing, true,
+                     false, false},
+        DecisionCase{"[*,*,7]", AggMonotonicity::kNonDecreasing, false,
+                     false, true},
+        DecisionCase{"[*,*,>=7]", AggMonotonicity::kNonDecreasing,
+                     false, true, true},
+        DecisionCase{"[*,*,<=7]", AggMonotonicity::kNonDecreasing,
+                     false, false, true},
+        // AVERAGE (§3.5): never purge on a value bound.
+        DecisionCase{"[*,*,>=50]", AggMonotonicity::kNone, false, false,
+                     true},
+        DecisionCase{"[*,*,<=50]", AggMonotonicity::kNone, false, false,
+                     true},
+        // MIN (non-increasing): the mirror-image bound is purgeable.
+        DecisionCase{"[*,*,<=7]", AggMonotonicity::kNonIncreasing,
+                     false, true, true},
+        DecisionCase{"[*,*,>=7]", AggMonotonicity::kNonIncreasing,
+                     false, false, true},
+        // Mixed group + monotone-valid bound: purge by partial.
+        DecisionCase{"[*,3,>=7]", AggMonotonicity::kNonDecreasing,
+                     false, true, true},
+        // Group-only works for any monotonicity.
+        DecisionCase{"[<=t:5000,*,*]", AggMonotonicity::kNone, true,
+                     false, false}));
+
+TEST(DecideAggFeedbackTest, AllWildcardIsNullResponse) {
+  AggFeedbackDecision d = DecideAggFeedback(
+      P("[*,*,*]"), {0, 1}, {2}, AggMonotonicity::kNonDecreasing);
+  EXPECT_TRUE(d.null_response);
+}
+
+TEST(DecideAggFeedbackTest, UnknownAttrIsOutputGuardOnly) {
+  // Constraint on an attribute that is neither group nor aggregate.
+  AggFeedbackDecision d = DecideAggFeedback(
+      P("[*,*,5]"), {0}, {1}, AggMonotonicity::kNonDecreasing);
+  EXPECT_TRUE(d.guard_output);
+  EXPECT_FALSE(d.purge_groups);
+}
+
+TEST(PartialImpliesFinalTest, ShapeByMonotonicity) {
+  AttrPattern ge = AttrPattern::Ge(Value::Int64(5));
+  AttrPattern le = AttrPattern::Le(Value::Int64(5));
+  AttrPattern eq = AttrPattern::Eq(Value::Int64(5));
+  EXPECT_TRUE(PartialImpliesFinal(ge, AggMonotonicity::kNonDecreasing));
+  EXPECT_FALSE(PartialImpliesFinal(le, AggMonotonicity::kNonDecreasing));
+  EXPECT_FALSE(PartialImpliesFinal(eq, AggMonotonicity::kNonDecreasing));
+  EXPECT_TRUE(PartialImpliesFinal(le, AggMonotonicity::kNonIncreasing));
+  EXPECT_FALSE(PartialImpliesFinal(ge, AggMonotonicity::kNone));
+}
+
+// -------------------------------------------------- Correctness (Def. 1)
+
+std::vector<Tuple> Tuples(std::initializer_list<int64_t> keys) {
+  std::vector<Tuple> out;
+  for (int64_t k : keys) out.push_back(TupleBuilder().I64(k).Build());
+  return out;
+}
+
+TEST(CorrectnessTest, NullResponseIsCorrect) {
+  auto base = Tuples({1, 2, 3, 4});
+  ExploitationCheck c =
+      CheckCorrectExploitation(base, base, P("[>=3]"));
+  EXPECT_TRUE(c.correct);
+  EXPECT_EQ(c.suppressed, 0);
+  EXPECT_EQ(c.covered_in_baseline, 2);
+}
+
+TEST(CorrectnessTest, MaximumExploitationIsCorrect) {
+  auto base = Tuples({1, 2, 3, 4});
+  auto exploited = Tuples({1, 2});
+  ExploitationCheck c =
+      CheckCorrectExploitation(base, exploited, P("[>=3]"));
+  EXPECT_TRUE(c.correct);
+  EXPECT_EQ(c.suppressed, 2);
+}
+
+TEST(CorrectnessTest, LosingUncoveredTupleIsViolation) {
+  auto base = Tuples({1, 2, 3});
+  auto exploited = Tuples({1});  // lost "2", which f does not cover
+  ExploitationCheck c =
+      CheckCorrectExploitation(base, exploited, P("[>=3]"));
+  EXPECT_FALSE(c.correct);
+  EXPECT_EQ(c.missing_uncovered, 1);
+}
+
+TEST(CorrectnessTest, InventedTupleIsViolation) {
+  auto base = Tuples({1, 2});
+  auto exploited = Tuples({1, 2, 9});
+  ExploitationCheck c =
+      CheckCorrectExploitation(base, exploited, P("[>=3]"));
+  EXPECT_FALSE(c.correct);
+  EXPECT_EQ(c.extra, 1);
+}
+
+TEST(CorrectnessTest, MultisetSemantics) {
+  auto base = Tuples({5, 5, 5});
+  auto exploited = Tuples({5});  // two copies suppressed
+  ExploitationCheck c =
+      CheckCorrectExploitation(base, exploited, P("[>=3]"));
+  EXPECT_TRUE(c.correct);
+  EXPECT_EQ(c.suppressed, 2);
+}
+
+TEST(CorrectnessTest, OrderInsensitive) {
+  auto base = Tuples({1, 2, 3});
+  auto exploited = Tuples({3, 1, 2});
+  EXPECT_TRUE(
+      CheckCorrectExploitation(base, exploited, P("[>=9]")).correct);
+}
+
+// --------------------------------------------------- Characterizations
+
+TEST(CharacterizationTest, TablesHaveThePaperRowCounts) {
+  EXPECT_EQ(Table1Count().size(), 4u);
+  EXPECT_EQ(Table2Join().size(), 4u);
+  std::string rendered =
+      RenderCharacterization("Table 1", Table1Count());
+  EXPECT_NE(rendered.find("guard output"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nstream

@@ -1,0 +1,169 @@
+#include "punct/attr_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nstream {
+namespace {
+
+TEST(AttrPatternTest, AnyMatchesEverything) {
+  AttrPattern p = AttrPattern::Any();
+  EXPECT_TRUE(p.Matches(Value::Int64(1)));
+  EXPECT_TRUE(p.Matches(Value::Null()));
+  EXPECT_TRUE(p.Matches(Value::String("x")));
+}
+
+TEST(AttrPatternTest, ComparisonNeverMatchesNull) {
+  EXPECT_FALSE(AttrPattern::Eq(Value::Int64(1)).Matches(Value::Null()));
+  EXPECT_FALSE(AttrPattern::Le(Value::Int64(1)).Matches(Value::Null()));
+  EXPECT_FALSE(AttrPattern::Ne(Value::Int64(1)).Matches(Value::Null()));
+}
+
+TEST(AttrPatternTest, NullTests) {
+  EXPECT_TRUE(AttrPattern::IsNull().Matches(Value::Null()));
+  EXPECT_FALSE(AttrPattern::IsNull().Matches(Value::Int64(0)));
+  EXPECT_TRUE(AttrPattern::NotNull().Matches(Value::Int64(0)));
+  EXPECT_FALSE(AttrPattern::NotNull().Matches(Value::Null()));
+}
+
+TEST(AttrPatternTest, ComparisonMatches) {
+  EXPECT_TRUE(AttrPattern::Eq(Value::Int64(5)).Matches(Value::Int64(5)));
+  EXPECT_TRUE(
+      AttrPattern::Eq(Value::Int64(5)).Matches(Value::Double(5.0)));
+  EXPECT_TRUE(AttrPattern::Lt(Value::Int64(5)).Matches(Value::Int64(4)));
+  EXPECT_FALSE(AttrPattern::Lt(Value::Int64(5)).Matches(Value::Int64(5)));
+  EXPECT_TRUE(AttrPattern::Le(Value::Int64(5)).Matches(Value::Int64(5)));
+  EXPECT_TRUE(AttrPattern::Gt(Value::Int64(5)).Matches(Value::Int64(6)));
+  EXPECT_TRUE(AttrPattern::Ge(Value::Int64(5)).Matches(Value::Int64(5)));
+  EXPECT_TRUE(AttrPattern::Ne(Value::Int64(5)).Matches(Value::Int64(4)));
+  EXPECT_FALSE(AttrPattern::Ne(Value::Int64(5)).Matches(Value::Int64(5)));
+}
+
+TEST(AttrPatternTest, RangeMatches) {
+  AttrPattern p = AttrPattern::Range(Value::Int64(3), Value::Int64(9));
+  EXPECT_TRUE(p.Matches(Value::Int64(3)));
+  EXPECT_TRUE(p.Matches(Value::Int64(9)));
+  EXPECT_FALSE(p.Matches(Value::Int64(2)));
+  EXPECT_FALSE(p.Matches(Value::Int64(10)));
+}
+
+TEST(AttrPatternTest, IncomparableNeverMatches) {
+  EXPECT_FALSE(
+      AttrPattern::Eq(Value::String("5")).Matches(Value::Int64(5)));
+  EXPECT_FALSE(
+      AttrPattern::Ne(Value::String("5")).Matches(Value::Int64(5)));
+}
+
+TEST(AttrPatternTest, SubsumesBasics) {
+  EXPECT_TRUE(AttrPattern::Any().Subsumes(AttrPattern::Eq(Value::Int64(1))));
+  EXPECT_FALSE(
+      AttrPattern::Eq(Value::Int64(1)).Subsumes(AttrPattern::Any()));
+  EXPECT_TRUE(AttrPattern::Le(Value::Int64(10))
+                  .Subsumes(AttrPattern::Le(Value::Int64(5))));
+  EXPECT_FALSE(AttrPattern::Le(Value::Int64(5))
+                   .Subsumes(AttrPattern::Le(Value::Int64(10))));
+  EXPECT_TRUE(AttrPattern::Ge(Value::Int64(5))
+                  .Subsumes(AttrPattern::Gt(Value::Int64(5))));
+  EXPECT_TRUE(AttrPattern::NotNull().Subsumes(
+      AttrPattern::Eq(Value::Int64(1))));
+  EXPECT_FALSE(AttrPattern::NotNull().Subsumes(AttrPattern::IsNull()));
+}
+
+TEST(AttrPatternTest, SubsumesRange) {
+  AttrPattern wide = AttrPattern::Range(Value::Int64(0), Value::Int64(100));
+  AttrPattern narrow = AttrPattern::Range(Value::Int64(10), Value::Int64(20));
+  EXPECT_TRUE(wide.Subsumes(narrow));
+  EXPECT_FALSE(narrow.Subsumes(wide));
+  EXPECT_TRUE(wide.Subsumes(AttrPattern::Eq(Value::Int64(50))));
+  EXPECT_FALSE(wide.Subsumes(AttrPattern::Eq(Value::Int64(101))));
+  EXPECT_TRUE(AttrPattern::Le(Value::Int64(100)).Subsumes(wide));
+}
+
+TEST(AttrPatternTest, SubsumesNe) {
+  AttrPattern ne5 = AttrPattern::Ne(Value::Int64(5));
+  EXPECT_TRUE(ne5.Subsumes(AttrPattern::Eq(Value::Int64(4))));
+  EXPECT_FALSE(ne5.Subsumes(AttrPattern::Eq(Value::Int64(5))));
+  EXPECT_TRUE(ne5.Subsumes(AttrPattern::Lt(Value::Int64(5))));
+  EXPECT_TRUE(ne5.Subsumes(AttrPattern::Gt(Value::Int64(5))));
+  EXPECT_FALSE(ne5.Subsumes(AttrPattern::Le(Value::Int64(5))));
+  EXPECT_TRUE(
+      ne5.Subsumes(AttrPattern::Range(Value::Int64(6), Value::Int64(9))));
+  EXPECT_FALSE(
+      ne5.Subsumes(AttrPattern::Range(Value::Int64(4), Value::Int64(6))));
+}
+
+TEST(AttrPatternTest, ToStringPaperStyle) {
+  EXPECT_EQ(AttrPattern::Any().ToString(), "*");
+  EXPECT_EQ(AttrPattern::Eq(Value::Int64(7)).ToString(), "7");
+  EXPECT_EQ(AttrPattern::Ge(Value::Int64(50)).ToString(),
+            "\xE2\x89\xA5"
+            "50");
+  EXPECT_EQ(AttrPattern::IsNull().ToString(), "null");
+}
+
+// ---- Property test: Subsumes soundness ------------------------------
+// If A.Subsumes(B), then every value matching B must match A. We fuzz
+// random pattern pairs and random probe values; any counterexample is
+// a soundness bug in the feedback machinery (guards would over-drop).
+
+struct SubsumeCase {
+  uint64_t seed;
+};
+
+class SubsumeSoundness : public ::testing::TestWithParam<int> {};
+
+AttrPattern RandomPattern(Rng* rng) {
+  int64_t a = rng->NextInt(-8, 8);
+  int64_t b = rng->NextInt(-8, 8);
+  switch (rng->NextBounded(9)) {
+    case 0:
+      return AttrPattern::Any();
+    case 1:
+      return AttrPattern::Eq(Value::Int64(a));
+    case 2:
+      return AttrPattern::Ne(Value::Int64(a));
+    case 3:
+      return AttrPattern::Lt(Value::Int64(a));
+    case 4:
+      return AttrPattern::Le(Value::Int64(a));
+    case 5:
+      return AttrPattern::Gt(Value::Int64(a));
+    case 6:
+      return AttrPattern::Ge(Value::Int64(a));
+    case 7:
+      return AttrPattern::Range(Value::Int64(std::min(a, b)),
+                                Value::Int64(std::max(a, b)));
+    default:
+      return rng->NextBernoulli(0.5) ? AttrPattern::IsNull()
+                                     : AttrPattern::NotNull();
+  }
+}
+
+TEST_P(SubsumeSoundness, NoFalsePositives) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  for (int iter = 0; iter < 500; ++iter) {
+    AttrPattern a = RandomPattern(&rng);
+    AttrPattern b = RandomPattern(&rng);
+    if (!a.Subsumes(b)) continue;
+    // Probe the integer lattice plus null.
+    for (int64_t v = -10; v <= 10; ++v) {
+      if (b.Matches(Value::Int64(v))) {
+        EXPECT_TRUE(a.Matches(Value::Int64(v)))
+            << a.ToString() << " claimed to subsume " << b.ToString()
+            << " but misses value " << v;
+      }
+    }
+    if (b.Matches(Value::Null())) {
+      EXPECT_TRUE(a.Matches(Value::Null()))
+          << a.ToString() << " claimed to subsume " << b.ToString()
+          << " but misses NULL";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsumeSoundness,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace nstream

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "punct/pattern_parser.h"
+#include "punct/scheme.h"
+
+namespace nstream {
+namespace {
+
+TEST(ParserTest, Wildcards) {
+  PunctPattern p = ParsePattern("[*,*,*]").value();
+  EXPECT_EQ(p.arity(), 3);
+  EXPECT_TRUE(p.IsAllWildcard());
+}
+
+TEST(ParserTest, ComparisonOps) {
+  PunctPattern p =
+      ParsePattern("[=5, !=6, <7, <=8, >9, >=10]").value();
+  EXPECT_EQ(p.attr(0), AttrPattern::Eq(Value::Int64(5)));
+  EXPECT_EQ(p.attr(1), AttrPattern::Ne(Value::Int64(6)));
+  EXPECT_EQ(p.attr(2), AttrPattern::Lt(Value::Int64(7)));
+  EXPECT_EQ(p.attr(3), AttrPattern::Le(Value::Int64(8)));
+  EXPECT_EQ(p.attr(4), AttrPattern::Gt(Value::Int64(9)));
+  EXPECT_EQ(p.attr(5), AttrPattern::Ge(Value::Int64(10)));
+}
+
+TEST(ParserTest, Utf8Glyphs) {
+  PunctPattern p =
+      ParsePattern("[\xE2\x89\xA4""5,\xE2\x89\xA5""6,\xE2\x89\xA0""7]")
+          .value();
+  EXPECT_EQ(p.attr(0), AttrPattern::Le(Value::Int64(5)));
+  EXPECT_EQ(p.attr(1), AttrPattern::Ge(Value::Int64(6)));
+  EXPECT_EQ(p.attr(2), AttrPattern::Ne(Value::Int64(7)));
+}
+
+TEST(ParserTest, ValueKinds) {
+  PunctPattern p =
+      ParsePattern("[3.5, 'abc', t:9000, true, null, !null]").value();
+  EXPECT_EQ(p.attr(0), AttrPattern::Eq(Value::Double(3.5)));
+  EXPECT_EQ(p.attr(1), AttrPattern::Eq(Value::String("abc")));
+  EXPECT_EQ(p.attr(2), AttrPattern::Eq(Value::Timestamp(9000)));
+  EXPECT_EQ(p.attr(3), AttrPattern::Eq(Value::Bool(true)));
+  EXPECT_EQ(p.attr(4), AttrPattern::IsNull());
+  EXPECT_EQ(p.attr(5), AttrPattern::NotNull());
+}
+
+TEST(ParserTest, Ranges) {
+  PunctPattern p = ParsePattern("[[3..9],*]").value();
+  EXPECT_EQ(p.attr(0),
+            AttrPattern::Range(Value::Int64(3), Value::Int64(9)));
+}
+
+TEST(ParserTest, NegativeAndScientific) {
+  PunctPattern p = ParsePattern("[<-5, 1e3]").value();
+  EXPECT_EQ(p.attr(0), AttrPattern::Lt(Value::Int64(-5)));
+  EXPECT_EQ(p.attr(1), AttrPattern::Eq(Value::Double(1000.0)));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("[").ok());
+  EXPECT_FALSE(ParsePattern("[*,]").ok());
+  EXPECT_FALSE(ParsePattern("[*] trailing").ok());
+  EXPECT_FALSE(ParsePattern("[3..]").ok());
+  EXPECT_FALSE(ParsePattern("['unterminated]").ok());
+}
+
+TEST(ParserTest, FeedbackIntents) {
+  EXPECT_TRUE(ParseFeedback("~[*,>=50]").value().is_assumed());
+  EXPECT_TRUE(ParseFeedback("\xC2\xAC[*,>=50]").value().is_assumed());
+  EXPECT_TRUE(ParseFeedback("?[7,3,*]").value().is_desired());
+  EXPECT_TRUE(ParseFeedback("![<=t:5000,*]").value().is_demanded());
+  EXPECT_FALSE(ParseFeedback("[*,*]").ok());  // missing intent
+}
+
+TEST(ParserTest, PaperExamples) {
+  // §4.2's JOIN feedback examples parse as written (ASCII form).
+  FeedbackPunctuation f = ParseFeedback("~[*,3,4,*]").value();
+  EXPECT_EQ(f.pattern().ConstrainedIndices(),
+            (std::vector<int>{1, 2}));
+  FeedbackPunctuation g = ParseFeedback("~[50,*,*,50]").value();
+  EXPECT_EQ(g.pattern().ConstrainedIndices(),
+            (std::vector<int>{0, 3}));
+}
+
+TEST(SchemeTest, SupportabilityOnDelimitedAttrs) {
+  // Auction stream (§4.4): timestamp progressing, auction finite,
+  // bidder/amount undelimited.
+  PunctScheme scheme = PunctScheme::Undelimited(4)
+                           .With(0, Delimitation::kFinite)
+                           .With(3, Delimitation::kProgressing);
+
+  // "Do not show bids prior to 1:00 pm" — timestamp only: supportable.
+  PunctPattern by_time = ParsePattern("[*,*,*,<=t:46800000]").value();
+  EXPECT_TRUE(CheckSupportability(by_time, scheme).supportable);
+
+  // "No results for bidder #2 in auction #4" — auction delimited but
+  // bidder not: unsupportable, flagging attr 1.
+  PunctPattern bidder = ParsePattern("[4,2,*,*]").value();
+  SupportabilityReport r = CheckSupportability(bidder, scheme);
+  EXPECT_FALSE(r.supportable);
+  EXPECT_EQ(r.undelimited_attrs, std::vector<int>{1});
+
+  // "Don't show bids more than $1.00" — amounts never punctuated.
+  PunctPattern amount = ParsePattern("[*,*,>1.0,*]").value();
+  EXPECT_FALSE(CheckSupportability(amount, scheme).supportable);
+}
+
+TEST(SchemeTest, WildcardAlwaysSupportable) {
+  PunctScheme scheme = PunctScheme::Undelimited(3);
+  EXPECT_TRUE(
+      CheckSupportability(PunctPattern::AllWildcard(3), scheme)
+          .supportable);
+}
+
+TEST(FeedbackTest, ToStringGlyphs) {
+  FeedbackPunctuation fb = ParseFeedback("~[*,>=50]").value();
+  EXPECT_EQ(fb.ToString(), "\xC2\xAC[*,\xE2\x89\xA5""50]");
+  EXPECT_EQ(ParseFeedback("?[*]").value().ToString(), "?[*]");
+  EXPECT_EQ(ParseFeedback("![*]").value().ToString(), "![*]");
+}
+
+TEST(FeedbackTest, ProvenanceFields) {
+  FeedbackPunctuation fb =
+      FeedbackPunctuation::Assumed(PunctPattern::AllWildcard(1));
+  fb.set_origin_op(7);
+  fb.set_hop_count(2);
+  fb.set_issued_at_ms(123);
+  fb.set_deadline_ms(456);
+  EXPECT_EQ(fb.origin_op(), 7);
+  EXPECT_EQ(fb.hop_count(), 2);
+  EXPECT_EQ(fb.issued_at_ms(), 123);
+  EXPECT_EQ(fb.deadline_ms(), 456);
+  EXPECT_TRUE(fb.EquivalentTo(
+      FeedbackPunctuation::Assumed(PunctPattern::AllWildcard(1))));
+}
+
+}  // namespace
+}  // namespace nstream

@@ -1,0 +1,92 @@
+#include "punct/punct_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "punct/pattern_parser.h"
+
+namespace nstream {
+namespace {
+
+Tuple T(int64_t a, double b) {
+  return TupleBuilder().I64(a).D(b).Build();
+}
+
+TEST(PunctPatternTest, MatchesConjunction) {
+  PunctPattern p{AttrPattern::Eq(Value::Int64(3)),
+                 AttrPattern::Ge(Value::Double(50))};
+  EXPECT_TRUE(p.Matches(T(3, 51)));
+  EXPECT_FALSE(p.Matches(T(3, 49)));
+  EXPECT_FALSE(p.Matches(T(4, 51)));
+}
+
+TEST(PunctPatternTest, ArityMismatchNeverMatches) {
+  PunctPattern p{AttrPattern::Any()};
+  EXPECT_FALSE(p.Matches(T(1, 2)));
+}
+
+TEST(PunctPatternTest, AllWildcard) {
+  PunctPattern p = PunctPattern::AllWildcard(2);
+  EXPECT_TRUE(p.IsAllWildcard());
+  EXPECT_TRUE(p.Matches(T(1, 2)));
+  EXPECT_TRUE(p.ConstrainedIndices().empty());
+}
+
+TEST(PunctPatternTest, ConstrainedIndices) {
+  PunctPattern p{AttrPattern::Any(), AttrPattern::Ge(Value::Double(50))};
+  EXPECT_EQ(p.ConstrainedIndices(), std::vector<int>{1});
+}
+
+TEST(PunctPatternTest, SubsumesAttrwise) {
+  PunctPattern wide{AttrPattern::Any(), AttrPattern::Ge(Value::Double(50))};
+  PunctPattern narrow{AttrPattern::Eq(Value::Int64(3)),
+                      AttrPattern::Ge(Value::Double(60))};
+  EXPECT_TRUE(wide.Subsumes(narrow));
+  EXPECT_FALSE(narrow.Subsumes(wide));
+}
+
+TEST(PunctPatternTest, ProjectReorders) {
+  PunctPattern p{AttrPattern::Eq(Value::Int64(1)),
+                 AttrPattern::Eq(Value::Int64(2)),
+                 AttrPattern::Any()};
+  PunctPattern q = p.Project({2, 0}).value();
+  EXPECT_EQ(q.arity(), 2);
+  EXPECT_TRUE(q.attr(0).is_wildcard());
+  EXPECT_EQ(q.attr(1), AttrPattern::Eq(Value::Int64(1)));
+  EXPECT_FALSE(p.Project({7}).ok());
+}
+
+TEST(PunctPatternTest, ValidateAgainstSchema) {
+  SchemaPtr s = Schema::Make({{"seg", ValueType::kInt64},
+                              {"speed", ValueType::kDouble}});
+  PunctPattern ok{AttrPattern::Eq(Value::Int64(1)),
+                  AttrPattern::Ge(Value::Double(50))};
+  EXPECT_TRUE(ok.Validate(*s).ok());
+  PunctPattern bad_arity{AttrPattern::Any()};
+  EXPECT_TRUE(bad_arity.Validate(*s).IsSchemaMismatch());
+  PunctPattern bad_type{AttrPattern::Eq(Value::String("x")),
+                        AttrPattern::Any()};
+  EXPECT_TRUE(bad_type.Validate(*s).IsSchemaMismatch());
+}
+
+TEST(PunctuationTest, CoversUsesSubsumption) {
+  Punctuation punct(PunctPattern{
+      AttrPattern::Any(), AttrPattern::Le(Value::Timestamp(1000))});
+  PunctPattern guard{AttrPattern::Any(),
+                     AttrPattern::Le(Value::Timestamp(500))};
+  EXPECT_TRUE(punct.Covers(guard));
+  PunctPattern live{AttrPattern::Any(),
+                    AttrPattern::Le(Value::Timestamp(2000))};
+  EXPECT_FALSE(punct.Covers(live));
+}
+
+TEST(PunctPatternTest, PaperNotationRoundTrip) {
+  // The paper's [*, ≥50] example renders and reparses identically.
+  PunctPattern p{AttrPattern::Any(), AttrPattern::Ge(Value::Int64(50))};
+  std::string text = p.ToString();
+  EXPECT_EQ(text, "[*,\xE2\x89\xA5""50]");
+  PunctPattern q = ParsePattern(text).value();
+  EXPECT_EQ(p, q);
+}
+
+}  // namespace
+}  // namespace nstream

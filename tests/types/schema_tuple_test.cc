@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace nstream {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({{"segment", ValueType::kInt64},
+                       {"timestamp", ValueType::kTimestamp},
+                       {"speed", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, IndexOf) {
+  SchemaPtr s = TestSchema();
+  EXPECT_EQ(s->IndexOf("segment").value(), 0);
+  EXPECT_EQ(s->IndexOf("speed").value(), 2);
+  EXPECT_TRUE(s->IndexOf("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, Project) {
+  SchemaPtr s = TestSchema();
+  SchemaPtr p = s->Project({2, 0}).value();
+  ASSERT_EQ(p->num_fields(), 2);
+  EXPECT_EQ(p->field(0).name, "speed");
+  EXPECT_EQ(p->field(1).name, "segment");
+  EXPECT_FALSE(s->Project({5}).ok());
+}
+
+TEST(SchemaTest, Concat) {
+  SchemaPtr s = TestSchema();
+  SchemaPtr c = s->Concat(*s);
+  EXPECT_EQ(c->num_fields(), 6);
+  EXPECT_EQ(c->field(4).name, "timestamp");
+}
+
+TEST(SchemaTest, EqualsAndToString) {
+  EXPECT_TRUE(TestSchema()->Equals(*TestSchema()));
+  EXPECT_EQ(TestSchema()->ToString(),
+            "(segment:int64, timestamp:timestamp, speed:double)");
+}
+
+TEST(TupleTest, BuilderAndAccess) {
+  Tuple t = TupleBuilder().I64(3).Ts(9000).D(51.5).Build();
+  ASSERT_EQ(t.size(), 3);
+  EXPECT_EQ(t.value(0).int64_value(), 3);
+  EXPECT_EQ(t.value(1).timestamp_value(), 9000);
+  EXPECT_DOUBLE_EQ(t.value(2).double_value(), 51.5);
+}
+
+TEST(TupleTest, Metadata) {
+  Tuple t = TupleBuilder().I64(1).Build();
+  EXPECT_EQ(t.id(), 0);
+  EXPECT_EQ(t.arrival_ms(), -1);
+  t.set_id(42);
+  t.set_arrival_ms(100);
+  EXPECT_EQ(t.id(), 42);
+  EXPECT_EQ(t.arrival_ms(), 100);
+}
+
+TEST(TupleTest, EqualityIgnoresMetadata) {
+  Tuple a = TupleBuilder().I64(1).D(2.0).Build();
+  Tuple b = TupleBuilder().I64(1).D(2.0).Build();
+  b.set_id(99);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TupleTest, HashSubsetMatchesEqualSubsets) {
+  Tuple a = TupleBuilder().I64(7).I64(3).D(1.0).Build();
+  Tuple b = TupleBuilder().I64(7).I64(3).D(9.9).Build();
+  EXPECT_EQ(a.HashSubset({0, 1}), b.HashSubset({0, 1}));
+  EXPECT_TRUE(a.EqualsSubset(b, {0, 1}, {0, 1}));
+  EXPECT_FALSE(a.EqualsSubset(b, {2}, {2}));
+}
+
+TEST(TupleTest, EqualsSubsetCrossPositions) {
+  Tuple a = TupleBuilder().I64(5).S("x").Build();
+  Tuple b = TupleBuilder().S("x").I64(5).Build();
+  EXPECT_TRUE(a.EqualsSubset(b, {0, 1}, {1, 0}));
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t = TupleBuilder().I64(1).Null().S("hi").Build();
+  EXPECT_EQ(t.ToString(), "<1, null, 'hi'>");
+}
+
+}  // namespace
+}  // namespace nstream

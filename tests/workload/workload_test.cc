@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "workload/archive.h"
+#include "workload/auction.h"
+#include "workload/imputation.h"
+#include "workload/traffic.h"
+#include "workload/viewer.h"
+
+namespace nstream {
+namespace {
+
+// Every workload must satisfy the punctuation contract: once a
+// punctuation is emitted, no later element may match it. Violations
+// here would silently corrupt every downstream experiment.
+void CheckPunctuationValidity(const std::vector<TimedElement>& stream) {
+  std::vector<Punctuation> puncts;
+  TimeMs last_arrival = INT64_MIN;
+  for (const TimedElement& te : stream) {
+    EXPECT_GE(te.arrival_ms, last_arrival) << "arrival order violated";
+    last_arrival = te.arrival_ms;
+    if (te.element.is_punct()) {
+      puncts.push_back(te.element.punct());
+    } else if (te.element.is_tuple()) {
+      for (const Punctuation& p : puncts) {
+        EXPECT_FALSE(p.pattern().Matches(te.element.tuple()))
+            << "tuple " << te.element.tuple().ToString()
+            << " violates earlier punctuation " << p.ToString();
+      }
+    }
+  }
+  EXPECT_FALSE(puncts.empty()) << "stream carries no punctuation";
+}
+
+TEST(TrafficGenTest, DeterministicGivenSeed) {
+  TrafficConfig c;
+  c.num_segments = 3;
+  c.detectors_per_segment = 2;
+  c.duration_ms = 5 * 60'000;
+  std::vector<TimedElement> a = GenerateTraffic(c);
+  std::vector<TimedElement> b = GenerateTraffic(c);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms);
+    EXPECT_EQ(a[i].element.is_tuple(), b[i].element.is_tuple());
+    if (a[i].element.is_tuple()) {
+      EXPECT_EQ(a[i].element.tuple(), b[i].element.tuple());
+    }
+  }
+}
+
+TEST(TrafficGenTest, VolumeMatchesConfiguration) {
+  TrafficConfig c;
+  c.num_segments = 9;
+  c.detectors_per_segment = 40;
+  c.tick_ms = 20'000;
+  c.duration_ms = 10 * 60'000;  // 10 minutes: 30 ticks
+  TrafficGen gen(c);
+  uint64_t tuples = 0;
+  while (auto e = gen.Next()) {
+    if (e->element.is_tuple()) ++tuples;
+  }
+  EXPECT_EQ(tuples, 9u * 40u * 30u);
+}
+
+TEST(TrafficGenTest, PunctuationContractHolds) {
+  TrafficConfig c;
+  c.num_segments = 2;
+  c.detectors_per_segment = 3;
+  c.duration_ms = 6 * 60'000;
+  c.ooo_jitter_ms = 15'000;  // even with disorder
+  CheckPunctuationValidity(GenerateTraffic(c));
+}
+
+TEST(TrafficGenTest, CongestionVariesAcrossSegmentsAndTime) {
+  TrafficConfig c;
+  TrafficGen gen(c);
+  int congested = 0;
+  int total = 0;
+  for (int s = 0; s < c.num_segments; ++s) {
+    for (TimeMs t = 0; t < 86'400'000; t += 3'600'000) {
+      ++total;
+      if (gen.IsCongested(s, t)) ++congested;
+    }
+  }
+  EXPECT_GT(congested, 0);
+  EXPECT_LT(congested, total);
+}
+
+TEST(TrafficGenTest, DropoutsAndGarbageAppearAtConfiguredRates) {
+  TrafficConfig c;
+  c.num_segments = 4;
+  c.detectors_per_segment = 10;
+  c.duration_ms = 20 * 60'000;
+  c.null_prob = 0.2;
+  c.bad_prob = 0.1;
+  int nulls = 0;
+  int bad = 0;
+  int total = 0;
+  for (const TimedElement& te : GenerateTraffic(c)) {
+    if (!te.element.is_tuple()) continue;
+    ++total;
+    const Value& v = te.element.tuple().value(kDetSpeed);
+    if (v.is_null()) {
+      ++nulls;
+    } else if (v.double_value() < 0) {
+      ++bad;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(nulls) / total, 0.2, 0.05);
+  EXPECT_NEAR(static_cast<double>(bad) / total, 0.08, 0.05);
+}
+
+TEST(ProbeGenTest, OutagesProduceEmptyMinutes) {
+  ProbeConfig c;
+  c.num_segments = 3;
+  c.num_vehicles = 10;
+  c.duration_ms = 14 * 60'000;
+  c.coverage = 1.0;
+  c.outage_period_min = 7;
+  c.outage_len_min = 2;
+  std::vector<int> per_minute(14, 0);
+  for (const TimedElement& te : GenerateProbes(c)) {
+    if (!te.element.is_tuple()) continue;
+    per_minute[static_cast<size_t>(
+        te.element.tuple().value(kProbeTimestamp).timestamp_value() /
+        60'000)]++;
+  }
+  // Minutes 0,1 and 7,8 are dark; others are not.
+  EXPECT_EQ(per_minute[0], 0);
+  EXPECT_EQ(per_minute[1], 0);
+  EXPECT_GT(per_minute[2], 0);
+  EXPECT_EQ(per_minute[7], 0);
+  EXPECT_GT(per_minute[9], 0);
+}
+
+TEST(ImputationStreamTest, AlternatesCleanAndDirty) {
+  ImputationConfig c;
+  c.num_tuples = 100;
+  int dirty = 0;
+  for (const TimedElement& te : GenerateImputationStream(c)) {
+    if (te.element.is_tuple() &&
+        te.element.tuple().value(kImpSpeed).is_null()) {
+      ++dirty;
+    }
+  }
+  EXPECT_EQ(dirty, 50);
+}
+
+TEST(ImputationStreamTest, PunctuationContractHolds) {
+  ImputationConfig c;
+  c.num_tuples = 500;
+  CheckPunctuationValidity(GenerateImputationStream(c));
+}
+
+TEST(AuctionStreamTest, ClosePunctuationsRespectAuctionLifetimes) {
+  AuctionConfig c;
+  c.num_auctions = 5;
+  c.bids_per_auction = 20;
+  CheckPunctuationValidity(GenerateAuctionStream(c));
+}
+
+TEST(AuctionStreamTest, BidsMonotonePerAuction) {
+  AuctionConfig c;
+  c.num_auctions = 3;
+  std::vector<TimedElement> stream = GenerateAuctionStream(c);
+  // Count bids; the stream must carry all of them.
+  int bids = 0;
+  for (const TimedElement& te : stream) {
+    if (te.element.is_tuple()) ++bids;
+  }
+  EXPECT_EQ(bids, 3 * c.bids_per_auction);
+}
+
+TEST(ArchiveStoreTest, DeterministicAndQueryCounted) {
+  ArchiveStore a;
+  ArchiveStore b;
+  double x = a.Estimate(17, 3'600'000);
+  double y = b.Estimate(17, 3'600'000);
+  EXPECT_DOUBLE_EQ(x, y);
+  EXPECT_EQ(a.queries(), 1u);
+  // Estimates stay in a sane speed range.
+  for (int d = 0; d < 20; ++d) {
+    double v = a.Estimate(d, d * 997'000);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 90.0);
+  }
+}
+
+TEST(ArchiveStoreTest, TimeOfDayStructure) {
+  // Rush-hour buckets should differ from free-flow buckets.
+  ArchiveStore a;
+  double night = a.Estimate(3, 0);
+  double rush = a.Estimate(3, 6 * 3'600'000);
+  EXPECT_NE(night, rush);
+}
+
+TEST(ViewerTest, SwitchesSegmentsOnSchedule) {
+  ViewerConfig v;
+  v.num_segments = 4;
+  v.switch_every_ms = 120'000;
+  EXPECT_EQ(VisibleSegmentAt(v, 0), 0);
+  EXPECT_EQ(VisibleSegmentAt(v, 119'999), 0);
+  EXPECT_EQ(VisibleSegmentAt(v, 120'000), 1);
+  EXPECT_EQ(VisibleSegmentAt(v, 4 * 120'000), 0);  // wraps
+}
+
+TEST(ViewerTest, DriverEmitsBoundedAssumedFeedback) {
+  ViewerConfig v;
+  v.num_segments = 4;
+  v.switch_every_ms = 120'000;
+  auto driver = MakeViewerDriver(v);
+  Tuple first_result =
+      TupleBuilder().Ts(60'000).I64(2).D(50).Build();
+  std::vector<FeedbackPunctuation> out = driver(first_result, 0);
+  ASSERT_EQ(out.size(), 2u);  // current + prefetched next interval
+  for (const FeedbackPunctuation& fb : out) {
+    EXPECT_TRUE(fb.is_assumed());
+    // Time-bounded (supportable) and segment-constrained.
+    EXPECT_EQ(fb.pattern().ConstrainedIndices(),
+              (std::vector<int>{0, 1}));
+  }
+  // Same interval again: no duplicate feedback.
+  EXPECT_TRUE(driver(first_result, 0).empty());
+}
+
+}  // namespace
+}  // namespace nstream
