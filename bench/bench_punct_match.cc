@@ -3,15 +3,73 @@
 // against installed patterns), so these costs bound the overhead of
 // the whole mechanism — the reason Experiment 2 sees "no discernible
 // overhead" from more frequent feedback.
+//
+// The bench also carries a frozen copy of the seed's Result-based
+// matcher (`seed_ref`) so the interpreted-vs-compiled before/after is
+// measured inside one binary and recorded to BENCH_hotpath.json.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "core/guards.h"
+#include "punct/compiled_pattern.h"
 #include "punct/punct_pattern.h"
 #include "types/tuple.h"
 
 namespace nstream {
 namespace {
+
+// ---- Frozen seed matcher (pre-hot-path-overhaul reference) ----
+// Replicates the original AttrPattern::Matches, which routed every
+// comparison through Result<int> Value::Compare — one Status+optional
+// construction per attribute test.
+namespace seed_ref {
+
+bool CmpKnown(const Value& a, const Value& b, int* out) {
+  Result<int> r = a.Compare(b);
+  if (!r.ok()) return false;
+  *out = r.value();
+  return true;
+}
+
+bool AttrMatches(const AttrPattern& p, const Value& v) {
+  if (p.op() == PatternOp::kAny) return true;
+  if (p.op() == PatternOp::kIsNull) return v.is_null();
+  if (p.op() == PatternOp::kNotNull) return !v.is_null();
+  if (v.is_null()) return false;
+  int c;
+  switch (p.op()) {
+    case PatternOp::kEq:
+      return CmpKnown(v, p.operand(), &c) && c == 0;
+    case PatternOp::kNe:
+      return CmpKnown(v, p.operand(), &c) && c != 0;
+    case PatternOp::kLt:
+      return CmpKnown(v, p.operand(), &c) && c < 0;
+    case PatternOp::kLe:
+      return CmpKnown(v, p.operand(), &c) && c <= 0;
+    case PatternOp::kGt:
+      return CmpKnown(v, p.operand(), &c) && c > 0;
+    case PatternOp::kGe:
+      return CmpKnown(v, p.operand(), &c) && c >= 0;
+    case PatternOp::kRange: {
+      int clo, chi;
+      return CmpKnown(v, p.operand(), &clo) && clo >= 0 &&
+             CmpKnown(v, p.hi(), &chi) && chi <= 0;
+    }
+    default:
+      return false;
+  }
+}
+
+bool PatternMatches(const PunctPattern& p, const Tuple& t) {
+  if (t.size() != p.arity()) return false;
+  for (int i = 0; i < p.arity(); ++i) {
+    if (!AttrMatches(p.attr(i), t.value(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace seed_ref
 
 Tuple MakeTuple(int64_t i) {
   return TupleBuilder()
@@ -29,6 +87,21 @@ PunctPattern MakePattern(int64_t i) {
                                   Value::Timestamp((i + 60) * 1'000)));
 }
 
+// The dominant feedback shape: a watermark prefix over the timestamp.
+PunctPattern MakeTsPrefixPattern(int64_t bound) {
+  return PunctPattern::AllWildcard(4).With(
+      2, AttrPattern::Le(Value::Timestamp(bound)));
+}
+
+void BM_PatternMatchSeedReference(benchmark::State& state) {
+  PunctPattern p = MakePattern(7);
+  Tuple t = MakeTuple(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seed_ref::PatternMatches(p, t));
+  }
+}
+BENCHMARK(BM_PatternMatchSeedReference);
+
 void BM_PatternMatch(benchmark::State& state) {
   PunctPattern p = MakePattern(7);
   Tuple t = MakeTuple(12345);
@@ -37,6 +110,24 @@ void BM_PatternMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PatternMatch);
+
+void BM_CompiledPatternMatch(benchmark::State& state) {
+  CompiledPattern p(MakePattern(7));
+  Tuple t = MakeTuple(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Matches(t));
+  }
+}
+BENCHMARK(BM_CompiledPatternMatch);
+
+void BM_CompiledPatternMatchTsPrefix(benchmark::State& state) {
+  CompiledPattern p(MakeTsPrefixPattern(1'000'000));
+  Tuple t = MakeTuple(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Matches(t));
+  }
+}
+BENCHMARK(BM_CompiledPatternMatchTsPrefix);
 
 void BM_PatternMatchWildcardOnly(benchmark::State& state) {
   PunctPattern p = PunctPattern::AllWildcard(4);
@@ -59,7 +150,8 @@ BENCHMARK(BM_PatternSubsumes);
 
 void BM_GuardSetBlocks(benchmark::State& state) {
   // Cost of an input guard holding `k` active patterns — the per-tuple
-  // overhead an exploiting operator pays.
+  // overhead an exploiting operator pays. GuardSet now matches via
+  // CompiledPattern internally.
   GuardSet guards;
   for (int64_t i = 0; i < state.range(0); ++i) {
     guards.Add(MakePattern(i * 101));
@@ -87,7 +179,73 @@ void BM_GuardSetAddWithSubsumption(benchmark::State& state) {
 }
 BENCHMARK(BM_GuardSetAddWithSubsumption)->Arg(4)->Arg(64);
 
+void RecordHotpathJson() {
+  using benchjson::MeasurePerSec;
+  const int kReps = 512;
+  PunctPattern p = MakePattern(7);
+  CompiledPattern cp(p);
+  CompiledPattern ts(MakeTsPrefixPattern(1'000'000));
+  Tuple t = MakeTuple(12345);
+
+  double seed = MeasurePerSec(kReps, 120.0, [&] {
+    bool acc = false;
+    for (int i = 0; i < kReps; ++i) acc ^= seed_ref::PatternMatches(p, t);
+    benchmark::DoNotOptimize(acc);
+  });
+  double interp = MeasurePerSec(kReps, 120.0, [&] {
+    bool acc = false;
+    for (int i = 0; i < kReps; ++i) acc ^= p.Matches(t);
+    benchmark::DoNotOptimize(acc);
+  });
+  double compiled = MeasurePerSec(kReps, 120.0, [&] {
+    bool acc = false;
+    for (int i = 0; i < kReps; ++i) acc ^= cp.Matches(t);
+    benchmark::DoNotOptimize(acc);
+  });
+  double ts_prefix = MeasurePerSec(kReps, 120.0, [&] {
+    bool acc = false;
+    for (int i = 0; i < kReps; ++i) acc ^= ts.Matches(t);
+    benchmark::DoNotOptimize(acc);
+  });
+
+  GuardSet guards;
+  for (int64_t i = 0; i < 16; ++i) guards.Add(MakePattern(i * 101));
+  Tuple miss = MakeTuple(999);
+  double guard16 = MeasurePerSec(kReps, 120.0, [&] {
+    bool acc = false;
+    for (int i = 0; i < kReps; ++i) acc ^= guards.Blocks(miss);
+    benchmark::DoNotOptimize(acc);
+  });
+  double guard16_seed = MeasurePerSec(kReps, 120.0, [&] {
+    bool acc = false;
+    for (int i = 0; i < kReps; ++i) {
+      for (const PunctPattern& g : guards.patterns()) {
+        if (seed_ref::PatternMatches(g, miss)) {
+          acc = true;
+          break;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+
+  benchjson::RecordAll({
+      {"punct_match.seed_interpreted_per_sec", seed},
+      {"punct_match.interpreted_per_sec", interp},
+      {"punct_match.compiled_per_sec", compiled},
+      {"punct_match.compiled_ts_prefix_per_sec", ts_prefix},
+      {"punct_match.compiled_speedup_vs_seed", compiled / seed},
+      {"guard_blocks.16guards_seed_per_sec", guard16_seed},
+      {"guard_blocks.16guards_per_sec", guard16},
+  });
+}
+
 }  // namespace
 }  // namespace nstream
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  nstream::RecordHotpathJson();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "stream/data_queue.h"
 #include "types/tuple.h"
 
@@ -86,7 +87,41 @@ void BM_QueuePurgeMatching(benchmark::State& state) {
 }
 BENCHMARK(BM_QueuePurgeMatching)->Arg(1024)->Arg(16384);
 
+void RecordHotpathJson() {
+  using benchjson::MeasurePerSec;
+  const int kBatch = 4096;
+  auto pushpop = [&](int page_size) {
+    return MeasurePerSec(kBatch, 150.0, [&] {
+      DataQueue q(DataQueueOptions{page_size, 0});
+      for (int i = 0; i < kBatch; ++i) q.PushTuple(MakeTuple(i));
+      q.PushEos();
+      size_t popped = 0;
+      while (auto page = q.TryPopPage()) popped += page->size();
+      benchmark::DoNotOptimize(popped);
+    });
+  };
+  const int kBacklog = 16384;
+  PunctPattern old_half = PunctPattern::AllWildcard(2).With(
+      0, AttrPattern::Le(Value::Int64(kBacklog / 2)));
+  double purge = MeasurePerSec(kBacklog, 150.0, [&] {
+    DataQueue q(DataQueueOptions{128, 0});
+    for (int i = 0; i < kBacklog; ++i) q.PushTuple(MakeTuple(i));
+    benchmark::DoNotOptimize(q.PurgeMatching(old_half));
+  });
+  benchjson::RecordAll({
+      {"queue.pushpop_page1_tuples_per_sec", pushpop(1)},
+      {"queue.pushpop_page128_tuples_per_sec", pushpop(128)},
+      {"queue.pushpop_page2048_tuples_per_sec", pushpop(2048)},
+      {"queue.purge_16k_tuples_per_sec", purge},
+  });
+}
+
 }  // namespace
 }  // namespace nstream
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  nstream::RecordHotpathJson();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -5,8 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <unordered_map>
 
+#include "bench_json.h"
 #include "common/logging.h"
 #include "core/characterization.h"
 #include "core/propagation.h"
@@ -132,6 +135,81 @@ void BM_Join_SplitFeedback(benchmark::State& state) {
 }
 BENCHMARK(BM_Join_SplitFeedback)->Arg(1 << 11)->Arg(1 << 13);
 
+// ---- Join-key probe microbench: seed string keys vs hashed keys ----
+// The seed join rendered "wid|v0|v1|..." per probe (one std::string
+// allocation plus a ToString per key attribute); the overhauled join
+// keys on a 64-bit (wid, HashSubset) value. Both are measured here so
+// the before/after lands in BENCH_hotpath.json.
+
+std::string SeedMakeKey(const Tuple& t, const std::vector<int>& keys,
+                        int64_t wid) {
+  std::string out = std::to_string(wid);
+  for (int k : keys) {
+    out += '|';
+    out += t.value(k).ToString();
+  }
+  return out;
+}
+
+uint64_t HashedKey(const Tuple& t, const std::vector<int>& keys,
+                   int64_t wid) {
+  // The production scheme, via the join's own mixer — keeps the
+  // recorded "after" number honest if the scheme ever changes.
+  return SymmetricHashJoin::MixWidHash(
+      static_cast<uint64_t>(t.HashSubset(keys)), wid);
+}
+
+void RecordHotpathJson() {
+  using benchjson::MeasurePerSec;
+  const int kTuples = 4096;
+  const std::vector<int> keys = {1, 2};
+  std::vector<Tuple> tuples;
+  tuples.reserve(kTuples);
+  for (int i = 0; i < kTuples; ++i) {
+    tuples.push_back(
+        TupleBuilder().I64(i % 100).I64(i % 50).I64(i % 7).Build());
+  }
+
+  // Build + probe a table the seed way and the hashed way.
+  double seed_probe = MeasurePerSec(kTuples, 150.0, [&] {
+    std::unordered_map<std::string, int> table;
+    for (const Tuple& t : tuples) table[SeedMakeKey(t, keys, 3)] += 1;
+    int hits = 0;
+    for (const Tuple& t : tuples) {
+      auto it = table.find(SeedMakeKey(t, keys, 3));
+      if (it != table.end()) hits += it->second;
+    }
+    benchmark::DoNotOptimize(hits);
+  });
+  double hashed_probe = MeasurePerSec(kTuples, 150.0, [&] {
+    std::unordered_map<uint64_t, int> table;
+    for (const Tuple& t : tuples) table[HashedKey(t, keys, 3)] += 1;
+    int hits = 0;
+    for (const Tuple& t : tuples) {
+      auto it = table.find(HashedKey(t, keys, 3));
+      if (it != table.end()) hits += it->second;
+    }
+    benchmark::DoNotOptimize(hits);
+  });
+
+  // End-to-end Table 2 join throughput (tuples pushed per wall second).
+  const int kJoinN = 1 << 13;
+  auto join_start = std::chrono::steady_clock::now();
+  JoinRun run = RunJoin(nullptr, kJoinN, nullptr);
+  double join_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - join_start)
+                       .count();
+  benchmark::DoNotOptimize(run.joined);
+
+  benchjson::RecordAll({
+      {"join.seed_stringkey_probes_per_sec", seed_probe},
+      {"join.hashed_probes_per_sec", hashed_probe},
+      {"join.hashed_probe_speedup", hashed_probe / seed_probe},
+      {"join.table2_8192_tuples_per_sec",
+       2.0 * kJoinN / (join_ms / 1000.0)},
+  });
+}
+
 }  // namespace
 }  // namespace nstream
 
@@ -193,6 +271,7 @@ int main(int argc, char** argv) {
       (unsigned long long)split.guarded);
   if (!all_ok) return 1;
 
+  RecordHotpathJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

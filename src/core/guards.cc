@@ -10,18 +10,25 @@ bool GuardSet::Add(const PunctPattern& pattern) {
   }
   // Drop existing guards the new one covers.
   std::vector<PunctPattern> kept;
+  std::vector<CompiledPattern> kept_compiled;
   kept.reserve(patterns_.size() + 1);
-  for (PunctPattern& existing : patterns_) {
-    if (!pattern.Subsumes(existing)) kept.push_back(std::move(existing));
+  kept_compiled.reserve(patterns_.size() + 1);
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (!pattern.Subsumes(patterns_[i])) {
+      kept.push_back(std::move(patterns_[i]));
+      kept_compiled.push_back(std::move(compiled_[i]));
+    }
   }
   kept.push_back(pattern);
+  kept_compiled.push_back(CompiledPattern(pattern));
   patterns_ = std::move(kept);
+  compiled_ = std::move(kept_compiled);
   ++total_installed_;
   return true;
 }
 
 bool GuardSet::Blocks(const Tuple& t) const {
-  for (const PunctPattern& p : patterns_) {
+  for (const CompiledPattern& p : compiled_) {
     if (p.Matches(t)) {
       ++total_blocked_;
       return true;
@@ -32,16 +39,20 @@ bool GuardSet::Blocks(const Tuple& t) const {
 
 int GuardSet::ExpireCovered(const Punctuation& punct) {
   std::vector<PunctPattern> kept;
+  std::vector<CompiledPattern> kept_compiled;
   kept.reserve(patterns_.size());
+  kept_compiled.reserve(patterns_.size());
   int removed = 0;
-  for (PunctPattern& p : patterns_) {
-    if (punct.Covers(p)) {
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (punct.Covers(patterns_[i])) {
       ++removed;
     } else {
-      kept.push_back(std::move(p));
+      kept.push_back(std::move(patterns_[i]));
+      kept_compiled.push_back(std::move(compiled_[i]));
     }
   }
   patterns_ = std::move(kept);
+  compiled_ = std::move(kept_compiled);
   total_expired_ += static_cast<uint64_t>(removed);
   return removed;
 }

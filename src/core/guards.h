@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "punct/compiled_pattern.h"
 #include "punct/punct_pattern.h"
 #include "types/tuple.h"
 
@@ -40,7 +41,10 @@ class GuardSet {
   /// number of guards removed.
   int ExpireCovered(const Punctuation& punct);
 
-  void Clear() { patterns_.clear(); }
+  void Clear() {
+    patterns_.clear();
+    compiled_.clear();
+  }
   int size() const { return static_cast<int>(patterns_.size()); }
   bool empty() const { return patterns_.empty(); }
   const std::vector<PunctPattern>& patterns() const { return patterns_; }
@@ -53,7 +57,11 @@ class GuardSet {
   std::string ToString() const;
 
  private:
+  // patterns_ and compiled_ are parallel: patterns_ drives the
+  // subsumption logic (Add/ExpireCovered), compiled_ the per-tuple
+  // Blocks hot path.
   std::vector<PunctPattern> patterns_;
+  std::vector<CompiledPattern> compiled_;
   uint64_t total_installed_ = 0;
   uint64_t total_expired_ = 0;
   mutable uint64_t total_blocked_ = 0;

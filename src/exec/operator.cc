@@ -47,6 +47,25 @@ Status Operator::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
+Status Operator::ProcessPage(int port, Page&& page, TimeMs* tick) {
+  for (StreamElement& e : page.mutable_elements()) {
+    if (tick) ++*tick;
+    switch (e.kind()) {
+      case ElementKind::kTuple:
+        ++stats_.tuples_in;
+        NSTREAM_RETURN_NOT_OK(ProcessTuple(port, e.tuple()));
+        break;
+      case ElementKind::kPunctuation:
+        NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, e.punct()));
+        break;
+      case ElementKind::kEndOfStream:
+        NSTREAM_RETURN_NOT_OK(ProcessEos(port));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
 Status Operator::ProcessPunctuation(int port, const Punctuation& punct) {
   ++stats_.puncts_in;
   // Pass-through is only sound when schemas line up; otherwise the

@@ -15,6 +15,7 @@
 #define NSTREAM_EXEC_OPERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "exec/exec_context.h"
 #include "punct/feedback.h"
 #include "stream/element.h"
+#include "stream/page.h"
 #include "types/schema.h"
 
 namespace nstream {
@@ -76,6 +78,13 @@ class Operator {
   // ---- Lifecycle (invoked by executors) ----
   virtual Status Open(ExecContext* ctx);
   virtual Status ProcessTuple(int port, const Tuple& tuple) = 0;
+  /// Process an entire popped page with one virtual dispatch. The
+  /// default walks the elements and routes them to ProcessTuple /
+  /// ProcessPunctuation / ProcessEos (charging tuples_in); stateless
+  /// operators override it with a tight batch loop. `tick` (may be
+  /// null) is an executor logical-clock counter incremented once per
+  /// element, exactly as the old per-element dispatch advanced it.
+  virtual Status ProcessPage(int port, Page&& page, TimeMs* tick);
   /// Embedded punctuation arrived on `port`. Default: forward to all
   /// outputs unchanged when input/output schemas match, else drop.
   virtual Status ProcessPunctuation(int port, const Punctuation& punct);

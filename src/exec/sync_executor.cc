@@ -115,28 +115,15 @@ Status SyncExecutor::Run(QueryPlan* plan) {
         }
       }
 
-      // 3. Deliver at most one data page per input port per round.
+      // 3. Deliver at most one data page per input port per round,
+      // handing the whole page to the operator in one call.
       for (int p = 0; p < op->num_inputs(); ++p) {
         DataQueue* q = rt->input_conn(id, p)->data.get();
         std::optional<Page> page = q->TryPopPage();
         if (!page) continue;
         progress = true;
-        for (StreamElement& e : page->mutable_elements()) {
-          ++now_ms_;
-          switch (e.kind()) {
-            case ElementKind::kTuple:
-              ++op->mutable_stats()->tuples_in;
-              NSTREAM_RETURN_NOT_OK(op->ProcessTuple(p, e.tuple()));
-              break;
-            case ElementKind::kPunctuation:
-              NSTREAM_RETURN_NOT_OK(
-                  op->ProcessPunctuation(p, e.punct()));
-              break;
-            case ElementKind::kEndOfStream:
-              NSTREAM_RETURN_NOT_OK(op->ProcessEos(p));
-              break;
-          }
-        }
+        NSTREAM_RETURN_NOT_OK(
+            op->ProcessPage(p, std::move(*page), &now_ms_));
       }
     }
 

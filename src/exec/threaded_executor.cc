@@ -182,26 +182,15 @@ Status ThreadedExecutor::Run(QueryPlan* plan) {
         continue;
       }
 
-      // 3. One page per input, then loop back to re-check control.
+      // 3. One page per input — a single batch call per page — then
+      // loop back to re-check control.
       for (int p = 0; p < op->num_inputs(); ++p) {
         DataQueue* q = rt->input_conn(id, p)->data.get();
         std::optional<Page> page = q->TryPopPage();
         if (!page) continue;
         did_work = true;
-        for (StreamElement& e : page->mutable_elements()) {
-          switch (e.kind()) {
-            case ElementKind::kTuple:
-              ++op->mutable_stats()->tuples_in;
-              NSTREAM_RETURN_NOT_OK(op->ProcessTuple(p, e.tuple()));
-              break;
-            case ElementKind::kPunctuation:
-              NSTREAM_RETURN_NOT_OK(op->ProcessPunctuation(p, e.punct()));
-              break;
-            case ElementKind::kEndOfStream:
-              NSTREAM_RETURN_NOT_OK(op->ProcessEos(p));
-              break;
-          }
-        }
+        NSTREAM_RETURN_NOT_OK(
+            op->ProcessPage(p, std::move(*page), nullptr));
       }
       if (op->finished()) break;  // all inputs hit EOS
       if (!did_work) wake->Wait();

@@ -51,6 +51,22 @@ class Project final : public Operator {
     return Status::OK();
   }
 
+  Status ProcessPage(int port, Page&& page, TimeMs* tick) override {
+    // Stateless projection: batch loop, one virtual call per page.
+    for (StreamElement& e : page.mutable_elements()) {
+      if (tick) ++*tick;
+      if (e.is_tuple()) {
+        ++stats_.tuples_in;
+        NSTREAM_RETURN_NOT_OK(ProcessTuple(port, e.tuple()));
+      } else if (e.is_punct()) {
+        NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, e.punct()));
+      } else {
+        NSTREAM_RETURN_NOT_OK(ProcessEos(port));
+      }
+    }
+    return Status::OK();
+  }
+
   Status ProcessPunctuation(int, const Punctuation& punct) override {
     ++stats_.puncts_in;
     input_guards_.ExpireCovered(punct);

@@ -52,6 +52,28 @@ class Select final : public Operator {
     return Status::OK();
   }
 
+  Status ProcessPage(int port, Page&& page, TimeMs* tick) override {
+    // Stateless filter: run the whole page through a tight loop with
+    // no per-tuple virtual dispatch.
+    for (StreamElement& e : page.mutable_elements()) {
+      if (tick) ++*tick;
+      if (e.is_tuple()) {
+        ++stats_.tuples_in;
+        const Tuple& tuple = e.tuple();
+        if (guards_.Blocks(tuple)) {
+          ++stats_.input_guard_drops;
+          continue;
+        }
+        if (predicate_(tuple)) Emit(0, std::move(e.mutable_tuple()));
+      } else if (e.is_punct()) {
+        NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, e.punct()));
+      } else {
+        NSTREAM_RETURN_NOT_OK(ProcessEos(port));
+      }
+    }
+    return Status::OK();
+  }
+
   Status ProcessPunctuation(int port, const Punctuation& punct) override {
     // Embedded punctuation both expires dead guards (§4.4) and passes
     // through (a filter only removes tuples, so completeness claims

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/propagation.h"
+#include "punct/compiled_pattern.h"
 
 namespace nstream {
 
@@ -80,21 +81,22 @@ int64_t SymmetricHashJoin::WidOf(const Tuple& t, int port) const {
   return WindowSpec::FloorDiv(ts.value(), options_.window.slide_ms);
 }
 
-std::string SymmetricHashJoin::MakeKey(const Tuple& t, int port,
-                                       int64_t wid) const {
+uint64_t SymmetricHashJoin::KeyHash(const Tuple& t, int port,
+                                    int64_t wid) const {
+  if (options_.key_hash_override) {
+    return options_.key_hash_override(t, port, wid);
+  }
   const std::vector<int>& keys =
       port == 0 ? options_.left_keys : options_.right_keys;
-  std::string out = std::to_string(wid);
-  for (int k : keys) {
-    out += '|';
-    out += t.value(k).ToString();
-  }
-  return out;
+  // Mixing the window id keeps the same key in adjacent windows in
+  // different buckets.
+  return MixWidHash(static_cast<uint64_t>(t.HashSubset(keys)), wid);
 }
 
 Tuple SymmetricHashJoin::JoinTuples(const Tuple& left,
                                     const Tuple& right) const {
   Tuple out;
+  out.Reserve(left.values().size() + right_nonkey_.size());
   for (const Value& v : left.values()) out.Append(v);
   for (int i : right_nonkey_) out.Append(right.value(i));
   out.set_id(left.id());
@@ -103,6 +105,7 @@ Tuple SymmetricHashJoin::JoinTuples(const Tuple& left,
 
 Tuple SymmetricHashJoin::OuterTuple(const Tuple& left) const {
   Tuple out;
+  out.Reserve(left.values().size() + right_nonkey_.size());
   for (const Value& v : left.values()) out.Append(v);
   for (size_t i = 0; i < right_nonkey_.size(); ++i) {
     out.Append(Value::Null());
@@ -130,7 +133,7 @@ Status SymmetricHashJoin::ProcessTuple(int port, const Tuple& tuple) {
     // Straggler past its window's punctuation: nothing to join with.
     return Status::OK();
   }
-  std::string key = MakeKey(tuple, port, wid);
+  uint64_t key = KeyHash(tuple, port, wid);
 
   // Adaptive gate: a failed left tuple neither probes nor is probed;
   // it still emits as an outer row at window close. Its failure is the
@@ -139,17 +142,26 @@ Status SymmetricHashJoin::ProcessTuple(int port, const Tuple& tuple) {
   if (port == 0 && options_.left_gate && !options_.left_gate(tuple)) {
     gated = true;
     if (options_.gate_feedback_horizon > 0 && options_.window_join) {
-      SendGateFeedback(tuple, wid);
+      SendGateFeedback(tuple, wid, key);
     }
   }
 
-  // Probe the other side.
+  // Probe the other side. Equal hashes are not enough: each candidate
+  // must pass the wid check and value equality on the key subset.
+  const std::vector<int>& my_keys =
+      port == 0 ? options_.left_keys : options_.right_keys;
+  const std::vector<int>& other_keys =
+      port == 0 ? options_.right_keys : options_.left_keys;
   int other = 1 - port;
   auto it = tables_[other].find(key);
   bool matched_now = false;
   if (!gated && it != tables_[other].end()) {
     for (Entry& e : it->second) {
       if (port == 1 && e.gated) continue;  // right probe skips gated
+      if (e.wid != wid ||
+          !tuple.EqualsSubset(e.tuple, my_keys, other_keys)) {
+        continue;  // hash collision: not actually the same key
+      }
       e.matched = true;
       matched_now = true;
       if (port == 0) {
@@ -165,22 +177,21 @@ Status SymmetricHashJoin::ProcessTuple(int port, const Tuple& tuple) {
   entry.wid = wid;
   entry.gated = gated;
   entry.matched = matched_now;
-  tables_[port][std::move(key)].push_back(std::move(entry));
+  tables_[port][key].push_back(std::move(entry));
 
   if (options_.window_join) {
     ++window_counts_[port][wid];
     if (wid < min_seen_wid_[port]) min_seen_wid_[port] = wid;
     if (options_.impatient && port == options_.impatient_data_input) {
-      MaybeImpatient(tuple, port, wid);
+      MaybeImpatient(tuple, port, wid, key);
     }
   }
   return Status::OK();
 }
 
 void SymmetricHashJoin::MaybeImpatient(const Tuple& t, int port,
-                                       int64_t wid) {
-  std::string req_key = MakeKey(t, port, wid);
-  if (!impatient_requested_.insert(req_key).second) return;
+                                       int64_t wid, uint64_t key) {
+  if (!impatient_requested_.insert(key).second) return;
 
   // Build a desired pattern over the OTHER input's schema: same join
   // keys, timestamps within this window.
@@ -203,10 +214,10 @@ void SymmetricHashJoin::MaybeImpatient(const Tuple& t, int port,
   SendFeedback(other, FeedbackPunctuation::Desired(std::move(p)));
 }
 
-void SymmetricHashJoin::SendGateFeedback(const Tuple& t, int64_t wid) {
+void SymmetricHashJoin::SendGateFeedback(const Tuple& t, int64_t wid,
+                                         uint64_t key) {
   // Rate-limit: one prediction per (window, key).
-  std::string req = MakeKey(t, /*port=*/0, wid);
-  if (!gate_requested_.insert(req).second) return;
+  if (!gate_requested_.insert(key).second) return;
 
   PunctPattern p = PunctPattern::AllWildcard(
       input_schema(1)->num_fields());
@@ -385,7 +396,9 @@ Status SymmetricHashJoin::HandleAssumed(const FeedbackPunctuation& fb) {
     if (!derived.ok()) continue;
     exploited = true;
     // Table 2 local exploit: purge matching entries from this side's
-    // hash table and guard the input.
+    // hash table and guard the input. Compile the derived pattern once
+    // for the sweep.
+    CompiledPattern compiled(derived.value());
     Table& table = tables_[input];
     for (auto it = table.begin(); it != table.end();) {
       std::vector<Entry>& entries = it->second;
@@ -393,7 +406,7 @@ Status SymmetricHashJoin::HandleAssumed(const FeedbackPunctuation& fb) {
       entries.erase(
           std::remove_if(entries.begin(), entries.end(),
                          [&](const Entry& e) {
-                           return derived.value().Matches(e.tuple);
+                           return compiled.Matches(e.tuple);
                          }),
           entries.end());
       stats_.state_purged += before - entries.size();

@@ -21,11 +21,12 @@
 #ifndef NSTREAM_OPS_SYMMETRIC_HASH_JOIN_H_
 #define NSTREAM_OPS_SYMMETRIC_HASH_JOIN_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/feedback_policy.h"
@@ -64,6 +65,13 @@ struct JoinOptions {
   bool impatient = false;
   int impatient_data_input = 0;
 
+  // Test seam: replaces the (wid, key-subset) hash used for the join
+  // tables and feedback dedup sets. Forcing a constant here makes every
+  // key collide, which exercises the collision-checked subset-equality
+  // probe (hash equality must never be sufficient to join).
+  std::function<uint64_t(const Tuple&, int port, int64_t wid)>
+      key_hash_override;
+
   // Adaptive gate (the paper's motivating speed-map scenario, §1 and
   // §3.3 "Adaptive"): left tuples failing the gate do not join — e.g.
   // "sensor speed >= 45 MPH means vehicle data is not needed". When a
@@ -86,6 +94,19 @@ class SymmetricHashJoin final : public Operator {
   Status ProcessFeedback(int out_port,
                          const FeedbackPunctuation& fb) override;
 
+  /// Mixes a window id into a key-subset hash (splitmix64 finalizer) —
+  /// the production join-key scheme. Public so the hot-path bench
+  /// measures exactly what the join uses.
+  static uint64_t MixWidHash(uint64_t subset_hash, int64_t wid) {
+    uint64_t h = subset_hash;
+    h ^= static_cast<uint64_t>(wid) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    return h;
+  }
+
   // Introspection.
   size_t table_size(int input) const;
   const GuardSet& input_guards(int input) const {
@@ -105,19 +126,22 @@ class SymmetricHashJoin final : public Operator {
     bool matched = false;
     bool gated = false;  // failed the adaptive gate; outer-emits only
   };
-  // Key = window id (0 when not windowed) + join-key values rendered
-  // canonically; values keep full entries for re-checking.
-  using Table = std::unordered_map<std::string, std::vector<Entry>>;
+  // Keyed by a 64-bit hash of (window id, join-key subset) — no string
+  // rendering, no per-probe allocation. Hash collisions are resolved by
+  // collision-checked subset equality at probe time (each bucket entry
+  // is verified with wid + EqualsSubset before it joins).
+  using Table = std::unordered_map<uint64_t, std::vector<Entry>>;
 
-  std::string MakeKey(const Tuple& t, int port, int64_t wid) const;
+  uint64_t KeyHash(const Tuple& t, int port, int64_t wid) const;
   int64_t WidOf(const Tuple& t, int port) const;
   Tuple JoinTuples(const Tuple& left, const Tuple& right) const;
   Tuple OuterTuple(const Tuple& left) const;
   void EmitJoined(Tuple out);
   void PurgeWindowsThrough(int side, int64_t wid, bool emit_outer);
   void MaybeThrifty(int64_t through_wid);
-  void MaybeImpatient(const Tuple& t, int port, int64_t wid);
-  void SendGateFeedback(const Tuple& t, int64_t wid);
+  void MaybeImpatient(const Tuple& t, int port, int64_t wid,
+                      uint64_t key);
+  void SendGateFeedback(const Tuple& t, int64_t wid, uint64_t key);
   Status HandleAssumed(const FeedbackPunctuation& fb);
 
   JoinOptions options_;
@@ -136,9 +160,13 @@ class SymmetricHashJoin final : public Operator {
   int64_t watermark_[2] = {INT64_MIN, INT64_MIN};
   int64_t emitted_punct_through_ = INT64_MIN;
   int64_t thrifty_checked_through_ = INT64_MIN;
-  std::set<std::string> impatient_requested_;
+  // Feedback rate-limit sets, keyed by the same (wid, key) hash as the
+  // tables. A hash collision here can only suppress a redundant
+  // optimization hint (desired/assumed feedback), never affect join
+  // correctness, so hash-only membership is sound.
+  std::unordered_set<uint64_t> impatient_requested_;
 
-  std::set<std::string> gate_requested_;
+  std::unordered_set<uint64_t> gate_requested_;
   uint64_t thrifty_feedbacks_ = 0;
   uint64_t impatient_feedbacks_ = 0;
   uint64_t gate_feedbacks_ = 0;

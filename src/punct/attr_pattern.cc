@@ -3,13 +3,10 @@
 namespace nstream {
 namespace {
 
-// c = Compare(a, b) helpers that treat incomparable pairs as "unknown"
-// and make the caller fail conservatively.
+// c = Compare(a, b) helper that treats incomparable pairs as "unknown"
+// and makes the caller fail conservatively. Allocation-free.
 bool CmpKnown(const Value& a, const Value& b, int* out) {
-  Result<int> r = a.Compare(b);
-  if (!r.ok()) return false;
-  *out = r.value();
-  return true;
+  return a.TryCompare(b, out);
 }
 
 }  // namespace

@@ -1,0 +1,64 @@
+#include "punct/compiled_pattern.h"
+
+namespace nstream {
+namespace {
+
+bool IsIntLike(const Value& v) {
+  return v.type() == ValueType::kInt64 ||
+         v.type() == ValueType::kTimestamp;
+}
+
+// An int64 operand that double precision cannot represent exactly
+// must not be compared through its double image: the interpreted
+// matcher compares it against int64 values exactly.
+bool IntOperandSafeInDouble(const Value& v) {
+  if (!IsIntLike(v)) return true;
+  int64_t x = v.int64_value();
+  return x > -Value::kDoubleExactBound && x < Value::kDoubleExactBound;
+}
+
+double DoubleImage(const Value& v) {
+  return v.type() == ValueType::kDouble
+             ? v.double_value()
+             : static_cast<double>(v.int64_value());
+}
+
+}  // namespace
+
+CompiledPattern::CompiledPattern(PunctPattern pattern)
+    : pattern_(std::move(pattern)) {
+  for (int i = 0; i < pattern_.arity(); ++i) {
+    const AttrPattern& ap = pattern_.attr(i);
+    if (ap.is_wildcard()) continue;
+    Check c;
+    c.index = i;
+    c.op = ap.op();
+    if (c.op != PatternOp::kIsNull && c.op != PatternOp::kNotNull) {
+      const Value& lo = ap.operand();
+      bool has_hi = c.op == PatternOp::kRange;
+      const Value& hi = ap.hi();
+      if (IsIntLike(lo) && (!has_hi || IsIntLike(hi))) {
+        c.cls = OperandClass::kInt;
+        c.ilo = lo.int64_value();
+        c.ihi = has_hi ? hi.int64_value() : 0;
+        c.dlo = static_cast<double>(c.ilo);
+        c.dhi = static_cast<double>(c.ihi);
+      } else if (lo.is_numeric() && (!has_hi || hi.is_numeric()) &&
+                 IntOperandSafeInDouble(lo) &&
+                 (!has_hi || IntOperandSafeInDouble(hi))) {
+        // Mixed int/double operands (only possible for Range): the
+        // interpreted matcher compares an int64 value against an int64
+        // bound exactly, so the bound is lowered to double only when
+        // double precision preserves it.
+        c.cls = OperandClass::kDouble;
+        c.dlo = DoubleImage(lo);
+        c.dhi = has_hi ? DoubleImage(hi) : 0;
+      } else {
+        c.cls = OperandClass::kGeneric;
+      }
+    }
+    checks_.push_back(c);
+  }
+}
+
+}  // namespace nstream

@@ -1,0 +1,116 @@
+// CompiledPattern: a PunctPattern pre-lowered for the tuple hot path.
+// Pattern matching rides every guarded tuple, every queue purge/promote
+// sweep, and every feedback exploit, so the interpreted
+// attribute-by-attribute walk (wildcard test, Value::Compare dispatch)
+// is worth compiling away: constrained indices are extracted once, and
+// each constrained attribute gets a typed comparison plan — the
+// dominant timestamp prefix/range patterns reduce to one or two int64
+// compares with no allocation and no variant re-interpretation.
+
+#ifndef NSTREAM_PUNCT_COMPILED_PATTERN_H_
+#define NSTREAM_PUNCT_COMPILED_PATTERN_H_
+
+#include <vector>
+
+#include "punct/punct_pattern.h"
+#include "types/tuple.h"
+
+namespace nstream {
+
+class CompiledPattern {
+ public:
+  /// Compiles the empty pattern (arity 0).
+  CompiledPattern() = default;
+  explicit CompiledPattern(PunctPattern pattern);
+
+  const PunctPattern& pattern() const { return pattern_; }
+  int arity() const { return pattern_.arity(); }
+  /// No constrained attributes: matches every tuple of the right arity.
+  bool always_true() const { return checks_.empty(); }
+
+  /// Exactly PunctPattern::Matches, minus the interpretation overhead.
+  bool Matches(const Tuple& t) const {
+    if (t.size() != pattern_.arity()) return false;
+    for (const Check& c : checks_) {
+      if (!MatchCheck(c, t.value(c.index))) return false;
+    }
+    return true;
+  }
+
+ private:
+  // How the operand(s) of a comparison check were classified at
+  // compile time.
+  enum class OperandClass : uint8_t {
+    kInt,      // all operands int64/timestamp: exact integer compares
+    kDouble,   // all numeric, at least one double: widened compares
+    kGeneric,  // string/bool operands: fall back to AttrPattern
+  };
+
+  struct Check {
+    int index = 0;
+    PatternOp op = PatternOp::kAny;
+    OperandClass cls = OperandClass::kGeneric;
+    int64_t ilo = 0;  // operand (and range-hi) as exact integers
+    int64_t ihi = 0;
+    double dlo = 0;   // operand (and range-hi) double images
+    double dhi = 0;
+  };
+
+  template <typename T>
+  static bool ApplyOp(PatternOp op, T x, T lo, T hi) {
+    switch (op) {
+      case PatternOp::kEq:
+        return x == lo;
+      case PatternOp::kNe:
+        return x != lo;
+      case PatternOp::kLt:
+        return x < lo;
+      case PatternOp::kLe:
+        return x <= lo;
+      case PatternOp::kGt:
+        return x > lo;
+      case PatternOp::kGe:
+        return x >= lo;
+      case PatternOp::kRange:
+        return x >= lo && x <= hi;
+      default:
+        return false;
+    }
+  }
+
+  bool MatchCheck(const Check& c, const Value& v) const {
+    if (c.op == PatternOp::kIsNull) return v.is_null();
+    if (c.op == PatternOp::kNotNull) return !v.is_null();
+    if (c.cls == OperandClass::kGeneric) {
+      // String/bool operands, or numeric operands that cannot be
+      // lowered exactly: interpret via the original pattern.
+      return pattern_.attr(c.index).Matches(v);
+    }
+    switch (v.type()) {
+      case ValueType::kInt64:
+      case ValueType::kTimestamp: {
+        int64_t x = v.int64_value();
+        if (c.cls == OperandClass::kInt) {
+          return ApplyOp<int64_t>(c.op, x, c.ilo, c.ihi);
+        }
+        return ApplyOp<double>(c.op, static_cast<double>(x), c.dlo,
+                               c.dhi);
+      }
+      case ValueType::kDouble:
+        return ApplyOp<double>(c.op, v.double_value(), c.dlo, c.dhi);
+      case ValueType::kNull:
+        return false;  // comparison patterns never match NULL
+      default:
+        // Numeric operand vs string/bool value: incomparable, and
+        // strings/bools are rare — interpret via the original pattern.
+        return pattern_.attr(c.index).Matches(v);
+    }
+  }
+
+  PunctPattern pattern_;
+  std::vector<Check> checks_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_PUNCT_COMPILED_PATTERN_H_

@@ -1,6 +1,9 @@
 #include "stream/data_queue.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "punct/compiled_pattern.h"
 
 namespace nstream {
 
@@ -118,53 +121,47 @@ std::optional<Page> DataQueue::PopPageBlocking(
 }
 
 int DataQueue::PurgeMatching(const PunctPattern& pattern) {
+  // Compile once, then a single in-place erase-remove pass per page —
+  // no per-element re-interpretation, no rebuilt element vectors.
+  CompiledPattern compiled(pattern);
   std::lock_guard<std::mutex> lock(mu_);
   int removed = 0;
   auto purge_page = [&](Page* page) {
-    std::vector<StreamElement> kept;
-    kept.reserve(page->size());
-    for (StreamElement& e : page->mutable_elements()) {
-      if (e.is_tuple() && pattern.Matches(e.tuple())) {
-        ++removed;
-      } else {
-        kept.push_back(std::move(e));
-      }
-    }
-    page->mutable_elements() = std::move(kept);
+    std::vector<StreamElement>& elems = page->mutable_elements();
+    auto it = std::remove_if(
+        elems.begin(), elems.end(), [&](const StreamElement& e) {
+          return e.is_tuple() && compiled.Matches(e.tuple());
+        });
+    removed += static_cast<int>(elems.end() - it);
+    elems.erase(it, elems.end());
   };
   for (Page& p : pages_) purge_page(&p);
   purge_page(&open_page_);
   // Drop pages emptied by the purge so consumers don't spin on them.
-  std::deque<Page> nonempty;
-  for (Page& p : pages_) {
-    if (!p.empty()) nonempty.push_back(std::move(p));
-  }
-  pages_ = std::move(nonempty);
+  pages_.erase(std::remove_if(pages_.begin(), pages_.end(),
+                              [](const Page& p) { return p.empty(); }),
+               pages_.end());
   return removed;
 }
 
 int DataQueue::PromoteMatching(const PunctPattern& pattern) {
+  CompiledPattern compiled(pattern);
   std::lock_guard<std::mutex> lock(mu_);
   int moved = 0;
+  // A punctuation flushes its page, so it can only be a page's last
+  // element; partitioning within a page therefore never moves a tuple
+  // across a punctuation. std::stable_partition keeps relative order
+  // on both sides and works in place.
   auto promote_page = [&](Page* page) {
-    std::vector<StreamElement> matched;
-    std::vector<StreamElement> rest;
-    for (StreamElement& e : page->mutable_elements()) {
-      if (e.is_tuple() && pattern.Matches(e.tuple())) {
-        matched.push_back(std::move(e));
-      } else {
-        rest.push_back(std::move(e));
-      }
-    }
+    std::vector<StreamElement>& elems = page->mutable_elements();
+    auto mid = std::stable_partition(
+        elems.begin(), elems.end(), [&](const StreamElement& e) {
+          return e.is_tuple() && compiled.Matches(e.tuple());
+        });
     // Count tuples that actually jumped ahead of a non-matching one.
-    if (!matched.empty() && !rest.empty()) {
-      moved += static_cast<int>(matched.size());
+    if (mid != elems.begin() && mid != elems.end()) {
+      moved += static_cast<int>(mid - elems.begin());
     }
-    std::vector<StreamElement> out;
-    out.reserve(page->size());
-    for (auto& e : matched) out.push_back(std::move(e));
-    for (auto& e : rest) out.push_back(std::move(e));
-    page->mutable_elements() = std::move(out);
   };
   for (Page& p : pages_) promote_page(&p);
   return moved;

@@ -26,6 +26,14 @@ class Page {
  public:
   Page() = default;
 
+  // Move-only: a page's elements travel producer → queue → consumer by
+  // transfer of ownership, never by copy. Keeps the per-tuple cost of
+  // the data path at one move per hop.
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+  Page(Page&&) = default;
+  Page& operator=(Page&&) = default;
+
   void Add(StreamElement e) { elems_.push_back(std::move(e)); }
 
   bool empty() const { return elems_.empty(); }

@@ -4,27 +4,6 @@
 
 namespace nstream {
 
-size_t Tuple::HashSubset(const std::vector<int>& indices) const {
-  size_t h = 0xcbf29ce484222325ULL;
-  for (int i : indices) {
-    h ^= values_[static_cast<size_t>(i)].Hash();
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-bool Tuple::EqualsSubset(const Tuple& other, const std::vector<int>& mine,
-                         const std::vector<int>& theirs) const {
-  if (mine.size() != theirs.size()) return false;
-  for (size_t k = 0; k < mine.size(); ++k) {
-    if (!(values_[static_cast<size_t>(mine[k])] ==
-          other.values_[static_cast<size_t>(theirs[k])])) {
-      return false;
-    }
-  }
-  return true;
-}
-
 std::string Tuple::ToString() const {
   std::vector<std::string> parts;
   parts.reserve(values_.size());

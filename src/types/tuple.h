@@ -29,6 +29,7 @@ class Tuple {
   const std::vector<Value>& values() const { return values_; }
 
   void Append(Value v) { values_.push_back(std::move(v)); }
+  void Reserve(size_t n) { values_.reserve(n); }
 
   /// Engine-assigned monotone id (per source); 0 when unset.
   int64_t id() const { return id_; }
@@ -42,12 +43,30 @@ class Tuple {
   bool operator==(const Tuple& o) const { return values_ == o.values_; }
   bool operator!=(const Tuple& o) const { return !(*this == o); }
 
-  /// Hash over a subset of attribute positions (join keys, group keys).
-  size_t HashSubset(const std::vector<int>& indices) const;
+  /// Hash over a subset of attribute positions (join keys, group
+  /// keys). Inline: runs once per probe/insert on the join hot path.
+  size_t HashSubset(const std::vector<int>& indices) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (int i : indices) {
+      h ^= values_[static_cast<size_t>(i)].Hash();
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
 
-  /// Equality restricted to a subset of attribute positions.
+  /// Equality restricted to a subset of attribute positions. Inline:
+  /// this is the collision check behind every hashed join probe.
   bool EqualsSubset(const Tuple& other, const std::vector<int>& mine,
-                    const std::vector<int>& theirs) const;
+                    const std::vector<int>& theirs) const {
+    if (mine.size() != theirs.size()) return false;
+    for (size_t k = 0; k < mine.size(); ++k) {
+      if (!(values_[static_cast<size_t>(mine[k])] ==
+            other.values_[static_cast<size_t>(theirs[k])])) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   /// "<v0, v1, ...>" rendering.
   std::string ToString() const;

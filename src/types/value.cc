@@ -55,11 +55,17 @@ Result<int64_t> Value::AsInt64() const {
   }
 }
 
-Result<int> Value::Compare(const Value& other) const {
+bool Value::TryCompare(const Value& other, int* out) const {
+  DCheckConsistent();
+  other.DCheckConsistent();
   // NULL sorts before everything; two NULLs are equal.
   if (is_null() || other.is_null()) {
-    if (is_null() && other.is_null()) return 0;
-    return is_null() ? -1 : 1;
+    if (is_null() && other.is_null()) {
+      *out = 0;
+    } else {
+      *out = is_null() ? -1 : 1;
+    }
+    return true;
   }
   if (is_numeric() && other.is_numeric()) {
     // Compare int64/timestamp pairs exactly; mix with double via
@@ -67,32 +73,50 @@ Result<int> Value::Compare(const Value& other) const {
     if (type_ != ValueType::kDouble && other.type_ != ValueType::kDouble) {
       int64_t a = std::get<int64_t>(rep_);
       int64_t b = std::get<int64_t>(other.rep_);
-      return a < b ? -1 : (a > b ? 1 : 0);
+      *out = a < b ? -1 : (a > b ? 1 : 0);
+      return true;
     }
-    double a = AsDouble().value();
-    double b = other.AsDouble().value();
-    return a < b ? -1 : (a > b ? 1 : 0);
+    double a = type_ == ValueType::kDouble
+                   ? std::get<double>(rep_)
+                   : static_cast<double>(std::get<int64_t>(rep_));
+    double b = other.type_ == ValueType::kDouble
+                   ? std::get<double>(other.rep_)
+                   : static_cast<double>(std::get<int64_t>(other.rep_));
+    *out = a < b ? -1 : (a > b ? 1 : 0);
+    return true;
   }
   if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
     int c = string_value().compare(other.string_value());
-    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    *out = c < 0 ? -1 : (c > 0 ? 1 : 0);
+    return true;
   }
   if (type_ == ValueType::kBool && other.type_ == ValueType::kBool) {
-    int a = bool_value();
-    int b = other.bool_value();
-    return a - b;
+    *out = static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
+    return true;
   }
+  return false;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  int c;
+  if (TryCompare(other, &c)) return c;
   return Status::InvalidArgument(
       StringPrintf("incomparable value types %s vs %s",
                    ValueTypeName(type_), ValueTypeName(other.type_)));
 }
 
-bool Value::operator==(const Value& other) const {
-  Result<int> c = Compare(other);
-  return c.ok() && c.value() == 0;
+bool Value::EqualsSlow(const Value& other) const {
+  int c;
+  return TryCompare(other, &c) && c == 0;
 }
 
-size_t Value::Hash() const {
+size_t Value::HashSlow() const {
+  DCheckConsistent();
+  // Numeric canonicalization rule, chosen to be ==-compatible with
+  // TryCompare's widening: magnitudes under 2^53 (where int64 and
+  // double agree exactly) hash in the int64 domain; everything else
+  // hashes via its double image, because that is the precision in
+  // which mixed int64/double equality is decided.
   switch (type_) {
     case ValueType::kNull:
       return 0x9ae16a3b2f90404fULL;
@@ -100,17 +124,23 @@ size_t Value::Hash() const {
       return std::get<bool>(rep_) ? 0x1234567 : 0x7654321;
     case ValueType::kInt64:
     case ValueType::kTimestamp: {
-      // Hash integers via their double image when exactly representable
-      // so 42 == 42.0 implies equal hashes.
       int64_t v = std::get<int64_t>(rep_);
-      double d = static_cast<double>(v);
-      if (static_cast<int64_t>(d) == v) {
-        return std::hash<double>{}(d);
+      if (v > -kDoubleExactBound && v < kDoubleExactBound) {
+        return std::hash<int64_t>{}(v);
       }
-      return std::hash<int64_t>{}(v);
+      return std::hash<double>{}(static_cast<double>(v));
     }
-    case ValueType::kDouble:
-      return std::hash<double>{}(std::get<double>(rep_));
+    case ValueType::kDouble: {
+      double d = std::get<double>(rep_);
+      if (d > -static_cast<double>(kDoubleExactBound) &&
+          d < static_cast<double>(kDoubleExactBound)) {
+        int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) == d) {
+          return std::hash<int64_t>{}(i);
+        }
+      }
+      return std::hash<double>{}(d);
+    }
     case ValueType::kString:
       return std::hash<std::string>{}(std::get<std::string>(rep_));
   }

@@ -6,7 +6,9 @@
 #ifndef NSTREAM_TYPES_VALUE_H_
 #define NSTREAM_TYPES_VALUE_H_
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <variant>
 
@@ -42,30 +44,35 @@ class Value {
     Value x;
     x.type_ = ValueType::kBool;
     x.rep_ = v;
+    x.DCheckConsistent();
     return x;
   }
   static Value Int64(int64_t v) {
     Value x;
     x.type_ = ValueType::kInt64;
     x.rep_ = v;
+    x.DCheckConsistent();
     return x;
   }
   static Value Double(double v) {
     Value x;
     x.type_ = ValueType::kDouble;
     x.rep_ = v;
+    x.DCheckConsistent();
     return x;
   }
   static Value String(std::string v) {
     Value x;
     x.type_ = ValueType::kString;
     x.rep_ = std::move(v);
+    x.DCheckConsistent();
     return x;
   }
   static Value Timestamp(TimeMs v) {
     Value x;
     x.type_ = ValueType::kTimestamp;
     x.rep_ = v;
+    x.DCheckConsistent();
     return x;
   }
 
@@ -96,19 +103,73 @@ class Value {
   /// error for incomparable pairs (e.g. string vs int64).
   Result<int> Compare(const Value& other) const;
 
+  /// Allocation-free comparison for hot paths (pattern matching, join
+  /// probes): writes -1/0/1 into `*out` and returns true, or returns
+  /// false for incomparable pairs. Same ordering as Compare.
+  bool TryCompare(const Value& other, int* out) const;
+
   /// Equality per the same ordering; incomparable pairs are unequal.
-  bool operator==(const Value& other) const;
+  /// Int64/timestamp pairs (the dominant join-key shape) are compared
+  /// inline; everything else takes the out-of-line path.
+  bool operator==(const Value& other) const {
+    if (rep_.index() == 2 && other.rep_.index() == 2) {
+      return std::get<int64_t>(rep_) == std::get<int64_t>(other.rep_);
+    }
+    return EqualsSlow(other);
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
 
   /// Hash compatible with operator== (numerically equal int64/double
-  /// values hash identically).
-  size_t Hash() const;
+  /// values hash identically, including the >2^53 region where mixed
+  /// int64/double equality is decided in double precision). The
+  /// common small-int64/timestamp case is inline for the join-key
+  /// path.
+  size_t Hash() const {
+    if (rep_.index() == 2) {
+      int64_t v = std::get<int64_t>(rep_);
+      if (v > -kDoubleExactBound && v < kDoubleExactBound) {
+        return std::hash<int64_t>{}(v);
+      }
+    }
+    return HashSlow();
+  }
 
   /// Debug/display rendering ("42", "3.500", "'abc'", "null",
   /// "t:120000").
   std::string ToString() const;
 
+  /// 2^53: int64 magnitudes below this are exactly representable as
+  /// double, so int64-domain and double-domain equality agree and the
+  /// hash can canonicalize on int64. At or above it, mixed
+  /// int64/double equality is decided in (lossy) double precision and
+  /// the hash must canonicalize on the double image instead.
+  static constexpr int64_t kDoubleExactBound = int64_t{1} << 53;
+
  private:
+  bool EqualsSlow(const Value& other) const;
+  size_t HashSlow() const;
+
+  /// The tag is kept alongside the variant because it carries more
+  /// information than the representation alone (int64 vs timestamp
+  /// share an int64_t rep). This checks the two never drift apart.
+  bool TagMatchesRep() const {
+    switch (type_) {
+      case ValueType::kNull:
+        return rep_.index() == 0;
+      case ValueType::kBool:
+        return rep_.index() == 1;
+      case ValueType::kInt64:
+      case ValueType::kTimestamp:
+        return rep_.index() == 2;
+      case ValueType::kDouble:
+        return rep_.index() == 3;
+      case ValueType::kString:
+        return rep_.index() == 4;
+    }
+    return false;
+  }
+  void DCheckConsistent() const { assert(TagMatchesRep()); }
+
   ValueType type_;
   std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
 };

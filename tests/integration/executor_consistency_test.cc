@@ -95,7 +95,11 @@ TEST(ThreadedFeedback, ImputationPlanExerciseControlChannel) {
   ImputationPlanConfig config;
   config.stream.num_tuples = 300;
   config.stream.inter_arrival_ms = 1;  // dense stream
-  config.impute_cost_ms = 2.0;         // real 2ms sleep per lookup
+  // Dirty tuples arrive every ~2ms; a 4ms lookup makes the impute
+  // branch fall behind by ~2ms per dirty tuple, so divergence crosses
+  // the 50ms tolerance deterministically (2ms would only match the
+  // arrival rate and leave the test at the mercy of sleep jitter).
+  config.impute_cost_ms = 4.0;
   config.tolerance_ms = 50;
   config.feedback_enabled = true;
 

@@ -196,9 +196,7 @@ TEST(JoinTest, ConservativeNoRetractionOnlyGuardsOutput) {
     void EmitTuple(int, Tuple) override {}
     void EmitPunct(int, Punctuation) override {}
     void EmitEos(int) override {}
-    void EmitFeedback(int, FeedbackPunctuation fb) override {
-      ++relays;
-    }
+    void EmitFeedback(int, FeedbackPunctuation) override { ++relays; }
     void EmitControl(int, ControlMessage) override {}
     TimeMs NowMs() const override { return 0; }
     void ChargeMs(double) override {}

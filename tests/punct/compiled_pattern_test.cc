@@ -1,0 +1,131 @@
+// CompiledPattern must be observationally identical to the interpreted
+// PunctPattern::Matches — same semantics for every op, operand type,
+// and value type, including NULLs and incomparable pairs.
+
+#include "punct/compiled_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "punct/punct_pattern.h"
+#include "types/tuple.h"
+
+namespace nstream {
+namespace {
+
+std::vector<AttrPattern> AllAttrPatterns() {
+  std::vector<AttrPattern> out;
+  out.push_back(AttrPattern::Any());
+  out.push_back(AttrPattern::IsNull());
+  out.push_back(AttrPattern::NotNull());
+  std::vector<Value> operands = {
+      Value::Int64(5),        Value::Int64(-3),
+      Value::Timestamp(5),    Value::Double(5.0),
+      Value::Double(4.5),     Value::String("m"),
+      Value::Bool(true),
+  };
+  for (const Value& v : operands) {
+    out.push_back(AttrPattern::Eq(v));
+    out.push_back(AttrPattern::Ne(v));
+    out.push_back(AttrPattern::Lt(v));
+    out.push_back(AttrPattern::Le(v));
+    out.push_back(AttrPattern::Gt(v));
+    out.push_back(AttrPattern::Ge(v));
+  }
+  out.push_back(AttrPattern::Range(Value::Int64(2), Value::Int64(8)));
+  out.push_back(
+      AttrPattern::Range(Value::Double(2.5), Value::Double(7.5)));
+  out.push_back(AttrPattern::Range(Value::Int64(2), Value::Double(7.5)));
+  out.push_back(
+      AttrPattern::Range(Value::Timestamp(0), Value::Timestamp(10)));
+  out.push_back(AttrPattern::Range(Value::String("b"), Value::String("x")));
+  // Mixed int/double range with an int64 bound above 2^53: must not be
+  // lowered to double (the interpreted matcher compares it exactly).
+  out.push_back(AttrPattern::Range(
+      Value::Int64((int64_t{1} << 62) + 1), Value::Double(1e30)));
+  return out;
+}
+
+std::vector<Value> AllValues() {
+  return {
+      Value::Null(),       Value::Bool(false),   Value::Bool(true),
+      Value::Int64(-3),    Value::Int64(0),      Value::Int64(5),
+      Value::Int64(8),     Value::Int64(100),    Value::Timestamp(5),
+      Value::Timestamp(11), Value::Double(-2.5), Value::Double(4.5),
+      Value::Double(5.0),  Value::Double(7.5),   Value::String(""),
+      Value::String("a"),  Value::String("m"),   Value::String("z"),
+      Value::Int64(int64_t{1} << 62),
+      Value::Int64((int64_t{1} << 62) + 1),
+      Value::Double(4611686018427387904.0),  // 2^62
+  };
+}
+
+TEST(CompiledPattern, MatchesAgreesWithInterpretedSweep) {
+  // Every (attr pattern, value) pair, tested through a 1-ary pattern.
+  for (const AttrPattern& ap : AllAttrPatterns()) {
+    PunctPattern p({ap});
+    CompiledPattern compiled(p);
+    for (const Value& v : AllValues()) {
+      Tuple t(std::vector<Value>{v});
+      EXPECT_EQ(compiled.Matches(t), p.Matches(t))
+          << "pattern " << p.ToString() << " value " << v.ToString();
+    }
+  }
+}
+
+TEST(CompiledPattern, MultiAttributeAndArity) {
+  PunctPattern p = PunctPattern::AllWildcard(3)
+                       .With(0, AttrPattern::Ne(Value::Int64(2)))
+                       .With(2, AttrPattern::Range(Value::Timestamp(10),
+                                                   Value::Timestamp(20)));
+  CompiledPattern compiled(p);
+  Tuple hit = TupleBuilder().I64(1).S("x").Ts(15).Build();
+  Tuple miss_first = TupleBuilder().I64(2).S("x").Ts(15).Build();
+  Tuple miss_last = TupleBuilder().I64(1).S("x").Ts(25).Build();
+  Tuple wrong_arity = TupleBuilder().I64(1).S("x").Build();
+  EXPECT_TRUE(compiled.Matches(hit));
+  EXPECT_FALSE(compiled.Matches(miss_first));
+  EXPECT_FALSE(compiled.Matches(miss_last));
+  EXPECT_FALSE(compiled.Matches(wrong_arity));
+  EXPECT_EQ(compiled.Matches(hit), p.Matches(hit));
+  EXPECT_EQ(compiled.Matches(wrong_arity), p.Matches(wrong_arity));
+}
+
+TEST(CompiledPattern, AlwaysTrueAndEmpty) {
+  CompiledPattern wildcard(PunctPattern::AllWildcard(2));
+  EXPECT_TRUE(wildcard.always_true());
+  EXPECT_TRUE(wildcard.Matches(TupleBuilder().I64(1).I64(2).Build()));
+  EXPECT_FALSE(wildcard.Matches(TupleBuilder().I64(1).Build()));
+
+  CompiledPattern empty;
+  EXPECT_TRUE(empty.always_true());
+  EXPECT_EQ(empty.arity(), 0);
+  EXPECT_TRUE(empty.Matches(Tuple()));
+}
+
+TEST(CompiledPattern, MixedNumericWidening) {
+  // Int operand vs double value and vice versa must widen exactly as
+  // Value::Compare does.
+  PunctPattern int_op = PunctPattern::AllWildcard(1).With(
+      0, AttrPattern::Gt(Value::Int64(5)));
+  CompiledPattern compiled(int_op);
+  Tuple just_above = Tuple(std::vector<Value>{Value::Double(5.5)});
+  Tuple at = Tuple(std::vector<Value>{Value::Double(5.0)});
+  EXPECT_TRUE(compiled.Matches(just_above));
+  EXPECT_FALSE(compiled.Matches(at));
+  EXPECT_EQ(compiled.Matches(just_above), int_op.Matches(just_above));
+  EXPECT_EQ(compiled.Matches(at), int_op.Matches(at));
+}
+
+TEST(CompiledPattern, KeepsPatternAccessible) {
+  PunctPattern p = PunctPattern::AllWildcard(2).With(
+      1, AttrPattern::Le(Value::Timestamp(99)));
+  CompiledPattern compiled(p);
+  EXPECT_EQ(compiled.pattern(), p);
+  EXPECT_EQ(compiled.arity(), 2);
+  EXPECT_FALSE(compiled.always_true());
+}
+
+}  // namespace
+}  // namespace nstream

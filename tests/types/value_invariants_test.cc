@@ -1,0 +1,100 @@
+// Value representation invariants introduced by the hot-path overhaul:
+// the tag/variant pair stays consistent, Hash is == -compatible with
+// int64 as the canonical numeric domain (no double-boxing), and
+// TryCompare agrees with Compare everywhere.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "types/value.h"
+
+namespace nstream {
+namespace {
+
+std::vector<Value> SampleValues() {
+  return {
+      Value::Null(),          Value::Bool(false),
+      Value::Bool(true),      Value::Int64(0),
+      Value::Int64(42),       Value::Int64(-7),
+      Value::Int64(INT64_MAX), Value::Timestamp(0),
+      Value::Timestamp(42),   Value::Double(0.0),
+      Value::Double(-0.0),    Value::Double(42.0),
+      Value::Double(0.5),     Value::Double(-7.0),
+      Value::Double(1e30),    Value::String(""),
+      Value::String("abc"),
+      // The >2^53 region, where mixed int64/double equality is decided
+      // in double precision and the hash must follow suit.
+      Value::Int64((int64_t{1} << 62) + 1),
+      Value::Int64(int64_t{1} << 62),
+      Value::Double(4611686018427387904.0),  // 2^62
+      Value::Int64((int64_t{1} << 53) + 1),
+      Value::Int64(int64_t{1} << 53),
+      Value::Double(9007199254740992.0),  // 2^53
+  };
+}
+
+TEST(ValueInvariants, TagSurvivesFactoriesAndCopies) {
+  for (const Value& v : SampleValues()) {
+    Value copy = v;
+    EXPECT_EQ(copy.type(), v.type());
+    EXPECT_TRUE(copy == v) << v.ToString();
+    // A moved-into value keeps the source's tag.
+    Value moved = std::move(copy);
+    EXPECT_EQ(moved.type(), v.type());
+  }
+}
+
+TEST(ValueInvariants, EqualityImpliesEqualHash) {
+  std::vector<Value> values = SampleValues();
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      if (a == b) {
+        EXPECT_EQ(a.Hash(), b.Hash())
+            << a.ToString() << " == " << b.ToString()
+            << " but hashes differ";
+      }
+    }
+  }
+}
+
+TEST(ValueInvariants, NumericHashCanonicalizesToInt64) {
+  // 42, t:42 and 42.0 are all == and must share one hash; the integer
+  // forms hash directly (no boxing through a double image).
+  size_t h = Value::Int64(42).Hash();
+  EXPECT_EQ(Value::Timestamp(42).Hash(), h);
+  EXPECT_EQ(Value::Double(42.0).Hash(), h);
+  EXPECT_EQ(h, std::hash<int64_t>{}(42));
+  // Non-integral doubles can never equal an int64 and keep their own
+  // hash domain.
+  EXPECT_EQ(Value::Double(0.5).Hash(), std::hash<double>{}(0.5));
+}
+
+TEST(ValueInvariants, HashFollowsWideningEqualityAbove2Pow53) {
+  // 2^62+1 == Double(2^62) under the widening comparison (both round
+  // to 2^62 in double), so their hashes must agree too.
+  Value big_int = Value::Int64((int64_t{1} << 62) + 1);
+  Value big_dbl = Value::Double(4611686018427387904.0);
+  ASSERT_TRUE(big_int == big_dbl);
+  EXPECT_EQ(big_int.Hash(), big_dbl.Hash());
+}
+
+TEST(ValueInvariants, TryCompareAgreesWithCompare) {
+  std::vector<Value> values = SampleValues();
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      Result<int> slow = a.Compare(b);
+      int c = 99;
+      bool ok = a.TryCompare(b, &c);
+      EXPECT_EQ(ok, slow.ok())
+          << a.ToString() << " vs " << b.ToString();
+      if (ok) {
+        EXPECT_EQ(c, slow.value())
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nstream
