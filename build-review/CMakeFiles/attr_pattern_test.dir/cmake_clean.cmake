@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_pattern_test.dir/tests/punct/attr_pattern_test.cc.o"
+  "CMakeFiles/attr_pattern_test.dir/tests/punct/attr_pattern_test.cc.o.d"
+  "attr_pattern_test"
+  "attr_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_feedback.dir/examples/auction_feedback.cpp.o"
+  "CMakeFiles/auction_feedback.dir/examples/auction_feedback.cpp.o.d"
+  "auction_feedback"
+  "auction_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_ops_test.dir/tests/ops/basic_ops_test.cc.o"
+  "CMakeFiles/basic_ops_test.dir/tests/ops/basic_ops_test.cc.o.d"
+  "basic_ops_test"
+  "basic_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

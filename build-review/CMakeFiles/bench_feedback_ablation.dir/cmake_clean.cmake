@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feedback_ablation.dir/bench/bench_feedback_ablation.cc.o"
+  "CMakeFiles/bench_feedback_ablation.dir/bench/bench_feedback_ablation.cc.o.d"
+  "bench_feedback_ablation"
+  "bench_feedback_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feedback_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

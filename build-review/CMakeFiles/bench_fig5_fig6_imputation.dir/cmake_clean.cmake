@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fig6_imputation.dir/bench/bench_fig5_fig6_imputation.cc.o"
+  "CMakeFiles/bench_fig5_fig6_imputation.dir/bench/bench_fig5_fig6_imputation.cc.o.d"
+  "bench_fig5_fig6_imputation"
+  "bench_fig5_fig6_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig6_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_speedmap.dir/bench/bench_fig7_speedmap.cc.o"
+  "CMakeFiles/bench_fig7_speedmap.dir/bench/bench_fig7_speedmap.cc.o.d"
+  "bench_fig7_speedmap"
+  "bench_fig7_speedmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_speedmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_punct_match.dir/bench/bench_punct_match.cc.o"
+  "CMakeFiles/bench_punct_match.dir/bench/bench_punct_match.cc.o.d"
+  "bench_punct_match"
+  "bench_punct_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_punct_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_count.dir/bench/bench_table1_count.cc.o"
+  "CMakeFiles/bench_table1_count.dir/bench/bench_table1_count.cc.o.d"
+  "bench_table1_count"
+  "bench_table1_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_join.dir/bench/bench_table2_join.cc.o"
+  "CMakeFiles/bench_table2_join.dir/bench/bench_table2_join.cc.o.d"
+  "bench_table2_join"
+  "bench_table2_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

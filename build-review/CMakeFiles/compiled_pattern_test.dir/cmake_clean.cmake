@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_pattern_test.dir/tests/punct/compiled_pattern_test.cc.o"
+  "CMakeFiles/compiled_pattern_test.dir/tests/punct/compiled_pattern_test.cc.o.d"
+  "compiled_pattern_test"
+  "compiled_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

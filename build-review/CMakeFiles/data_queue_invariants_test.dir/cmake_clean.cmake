@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_queue_invariants_test.dir/tests/stream/data_queue_invariants_test.cc.o"
+  "CMakeFiles/data_queue_invariants_test.dir/tests/stream/data_queue_invariants_test.cc.o.d"
+  "data_queue_invariants_test"
+  "data_queue_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_queue_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

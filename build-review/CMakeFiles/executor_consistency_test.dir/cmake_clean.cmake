@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_consistency_test.dir/tests/integration/executor_consistency_test.cc.o"
+  "CMakeFiles/executor_consistency_test.dir/tests/integration/executor_consistency_test.cc.o.d"
+  "executor_consistency_test"
+  "executor_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

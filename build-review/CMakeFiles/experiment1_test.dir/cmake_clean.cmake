@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment1_test.dir/tests/integration/experiment1_test.cc.o"
+  "CMakeFiles/experiment1_test.dir/tests/integration/experiment1_test.cc.o.d"
+  "experiment1_test"
+  "experiment1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment2_test.dir/tests/integration/experiment2_test.cc.o"
+  "CMakeFiles/experiment2_test.dir/tests/integration/experiment2_test.cc.o.d"
+  "experiment2_test"
+  "experiment2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

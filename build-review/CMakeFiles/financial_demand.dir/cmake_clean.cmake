@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_demand.dir/examples/financial_demand.cpp.o"
+  "CMakeFiles/financial_demand.dir/examples/financial_demand.cpp.o.d"
+  "financial_demand"
+  "financial_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imputation_pipeline.dir/examples/imputation_pipeline.cpp.o"
+  "CMakeFiles/imputation_pipeline.dir/examples/imputation_pipeline.cpp.o.d"
+  "imputation_pipeline"
+  "imputation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imputation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_hash_collision_test.dir/tests/ops/join_hash_collision_test.cc.o"
+  "CMakeFiles/join_hash_collision_test.dir/tests/ops/join_hash_collision_test.cc.o.d"
+  "join_hash_collision_test"
+  "join_hash_collision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_hash_collision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

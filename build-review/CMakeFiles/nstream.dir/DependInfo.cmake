@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "CMakeFiles/nstream.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/nstream.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/nstream.dir/src/common/status.cc.o" "gcc" "CMakeFiles/nstream.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/nstream.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/nstream.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/core/aggregate_feedback.cc" "CMakeFiles/nstream.dir/src/core/aggregate_feedback.cc.o" "gcc" "CMakeFiles/nstream.dir/src/core/aggregate_feedback.cc.o.d"
+  "/root/repo/src/core/characterization.cc" "CMakeFiles/nstream.dir/src/core/characterization.cc.o" "gcc" "CMakeFiles/nstream.dir/src/core/characterization.cc.o.d"
+  "/root/repo/src/core/correctness.cc" "CMakeFiles/nstream.dir/src/core/correctness.cc.o" "gcc" "CMakeFiles/nstream.dir/src/core/correctness.cc.o.d"
+  "/root/repo/src/core/guards.cc" "CMakeFiles/nstream.dir/src/core/guards.cc.o" "gcc" "CMakeFiles/nstream.dir/src/core/guards.cc.o.d"
+  "/root/repo/src/core/propagation.cc" "CMakeFiles/nstream.dir/src/core/propagation.cc.o" "gcc" "CMakeFiles/nstream.dir/src/core/propagation.cc.o.d"
+  "/root/repo/src/core/schema_map.cc" "CMakeFiles/nstream.dir/src/core/schema_map.cc.o" "gcc" "CMakeFiles/nstream.dir/src/core/schema_map.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "CMakeFiles/nstream.dir/src/exec/operator.cc.o" "gcc" "CMakeFiles/nstream.dir/src/exec/operator.cc.o.d"
+  "/root/repo/src/exec/query_plan.cc" "CMakeFiles/nstream.dir/src/exec/query_plan.cc.o" "gcc" "CMakeFiles/nstream.dir/src/exec/query_plan.cc.o.d"
+  "/root/repo/src/exec/runtime.cc" "CMakeFiles/nstream.dir/src/exec/runtime.cc.o" "gcc" "CMakeFiles/nstream.dir/src/exec/runtime.cc.o.d"
+  "/root/repo/src/exec/sim_executor.cc" "CMakeFiles/nstream.dir/src/exec/sim_executor.cc.o" "gcc" "CMakeFiles/nstream.dir/src/exec/sim_executor.cc.o.d"
+  "/root/repo/src/exec/sync_executor.cc" "CMakeFiles/nstream.dir/src/exec/sync_executor.cc.o" "gcc" "CMakeFiles/nstream.dir/src/exec/sync_executor.cc.o.d"
+  "/root/repo/src/exec/threaded_executor.cc" "CMakeFiles/nstream.dir/src/exec/threaded_executor.cc.o" "gcc" "CMakeFiles/nstream.dir/src/exec/threaded_executor.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "CMakeFiles/nstream.dir/src/metrics/report.cc.o" "gcc" "CMakeFiles/nstream.dir/src/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/timeliness.cc" "CMakeFiles/nstream.dir/src/metrics/timeliness.cc.o" "gcc" "CMakeFiles/nstream.dir/src/metrics/timeliness.cc.o.d"
+  "/root/repo/src/ops/symmetric_hash_join.cc" "CMakeFiles/nstream.dir/src/ops/symmetric_hash_join.cc.o" "gcc" "CMakeFiles/nstream.dir/src/ops/symmetric_hash_join.cc.o.d"
+  "/root/repo/src/ops/window.cc" "CMakeFiles/nstream.dir/src/ops/window.cc.o" "gcc" "CMakeFiles/nstream.dir/src/ops/window.cc.o.d"
+  "/root/repo/src/ops/window_aggregate.cc" "CMakeFiles/nstream.dir/src/ops/window_aggregate.cc.o" "gcc" "CMakeFiles/nstream.dir/src/ops/window_aggregate.cc.o.d"
+  "/root/repo/src/punct/attr_pattern.cc" "CMakeFiles/nstream.dir/src/punct/attr_pattern.cc.o" "gcc" "CMakeFiles/nstream.dir/src/punct/attr_pattern.cc.o.d"
+  "/root/repo/src/punct/compiled_pattern.cc" "CMakeFiles/nstream.dir/src/punct/compiled_pattern.cc.o" "gcc" "CMakeFiles/nstream.dir/src/punct/compiled_pattern.cc.o.d"
+  "/root/repo/src/punct/feedback.cc" "CMakeFiles/nstream.dir/src/punct/feedback.cc.o" "gcc" "CMakeFiles/nstream.dir/src/punct/feedback.cc.o.d"
+  "/root/repo/src/punct/pattern_parser.cc" "CMakeFiles/nstream.dir/src/punct/pattern_parser.cc.o" "gcc" "CMakeFiles/nstream.dir/src/punct/pattern_parser.cc.o.d"
+  "/root/repo/src/punct/punct_pattern.cc" "CMakeFiles/nstream.dir/src/punct/punct_pattern.cc.o" "gcc" "CMakeFiles/nstream.dir/src/punct/punct_pattern.cc.o.d"
+  "/root/repo/src/punct/scheme.cc" "CMakeFiles/nstream.dir/src/punct/scheme.cc.o" "gcc" "CMakeFiles/nstream.dir/src/punct/scheme.cc.o.d"
+  "/root/repo/src/stream/control_channel.cc" "CMakeFiles/nstream.dir/src/stream/control_channel.cc.o" "gcc" "CMakeFiles/nstream.dir/src/stream/control_channel.cc.o.d"
+  "/root/repo/src/stream/data_queue.cc" "CMakeFiles/nstream.dir/src/stream/data_queue.cc.o" "gcc" "CMakeFiles/nstream.dir/src/stream/data_queue.cc.o.d"
+  "/root/repo/src/types/schema.cc" "CMakeFiles/nstream.dir/src/types/schema.cc.o" "gcc" "CMakeFiles/nstream.dir/src/types/schema.cc.o.d"
+  "/root/repo/src/types/tuple.cc" "CMakeFiles/nstream.dir/src/types/tuple.cc.o" "gcc" "CMakeFiles/nstream.dir/src/types/tuple.cc.o.d"
+  "/root/repo/src/types/value.cc" "CMakeFiles/nstream.dir/src/types/value.cc.o" "gcc" "CMakeFiles/nstream.dir/src/types/value.cc.o.d"
+  "/root/repo/src/workload/archive.cc" "CMakeFiles/nstream.dir/src/workload/archive.cc.o" "gcc" "CMakeFiles/nstream.dir/src/workload/archive.cc.o.d"
+  "/root/repo/src/workload/auction.cc" "CMakeFiles/nstream.dir/src/workload/auction.cc.o" "gcc" "CMakeFiles/nstream.dir/src/workload/auction.cc.o.d"
+  "/root/repo/src/workload/imputation.cc" "CMakeFiles/nstream.dir/src/workload/imputation.cc.o" "gcc" "CMakeFiles/nstream.dir/src/workload/imputation.cc.o.d"
+  "/root/repo/src/workload/pipelines.cc" "CMakeFiles/nstream.dir/src/workload/pipelines.cc.o" "gcc" "CMakeFiles/nstream.dir/src/workload/pipelines.cc.o.d"
+  "/root/repo/src/workload/traffic.cc" "CMakeFiles/nstream.dir/src/workload/traffic.cc.o" "gcc" "CMakeFiles/nstream.dir/src/workload/traffic.cc.o.d"
+  "/root/repo/src/workload/viewer.cc" "CMakeFiles/nstream.dir/src/workload/viewer.cc.o" "gcc" "CMakeFiles/nstream.dir/src/workload/viewer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

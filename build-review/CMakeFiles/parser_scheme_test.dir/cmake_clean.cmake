@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_scheme_test.dir/tests/punct/parser_scheme_test.cc.o"
+  "CMakeFiles/parser_scheme_test.dir/tests/punct/parser_scheme_test.cc.o.d"
+  "parser_scheme_test"
+  "parser_scheme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/punct_pattern_test.dir/tests/punct/punct_pattern_test.cc.o"
+  "CMakeFiles/punct_pattern_test.dir/tests/punct/punct_pattern_test.cc.o.d"
+  "punct_pattern_test"
+  "punct_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/punct_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

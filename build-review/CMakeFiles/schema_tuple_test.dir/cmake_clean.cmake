@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_tuple_test.dir/tests/types/schema_tuple_test.cc.o"
+  "CMakeFiles/schema_tuple_test.dir/tests/types/schema_tuple_test.cc.o.d"
+  "schema_tuple_test"
+  "schema_tuple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedmap_join.dir/examples/speedmap_join.cpp.o"
+  "CMakeFiles/speedmap_join.dir/examples/speedmap_join.cpp.o.d"
+  "speedmap_join"
+  "speedmap_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedmap_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

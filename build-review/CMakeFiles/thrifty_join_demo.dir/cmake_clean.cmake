@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_join_demo.dir/examples/thrifty_join_demo.cpp.o"
+  "CMakeFiles/thrifty_join_demo.dir/examples/thrifty_join_demo.cpp.o.d"
+  "thrifty_join_demo"
+  "thrifty_join_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_join_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

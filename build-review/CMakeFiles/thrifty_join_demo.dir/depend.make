@@ -1,0 +1,2 @@
+# Empty dependencies file for thrifty_join_demo.
+# This may be replaced when dependencies are built.

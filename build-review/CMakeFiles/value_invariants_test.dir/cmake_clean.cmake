@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_invariants_test.dir/tests/types/value_invariants_test.cc.o"
+  "CMakeFiles/value_invariants_test.dir/tests/types/value_invariants_test.cc.o.d"
+  "value_invariants_test"
+  "value_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_aggregate_test.dir/tests/ops/window_aggregate_test.cc.o"
+  "CMakeFiles/window_aggregate_test.dir/tests/ops/window_aggregate_test.cc.o.d"
+  "window_aggregate_test"
+  "window_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
