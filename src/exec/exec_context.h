@@ -14,6 +14,7 @@
 #include "punct/feedback.h"
 #include "punct/punct_pattern.h"
 #include "stream/control_channel.h"
+#include "stream/page.h"
 #include "types/tuple.h"
 
 namespace nstream {
@@ -26,6 +27,21 @@ class ExecContext {
   virtual void EmitTuple(int out_port, Tuple t) = 0;
   virtual void EmitPunct(int out_port, Punctuation p) = 0;
   virtual void EmitEos(int out_port) = 0;
+  /// Emit a whole pre-assembled page of tuples in one call. Queue-backed
+  /// executors override this with DataQueue::PushPage (one lock per page
+  /// instead of one per tuple); the default decomposes into per-element
+  /// emissions, so operators may use it unconditionally. The page must
+  /// contain only tuples — punctuation/EOS keep their dedicated paths.
+  virtual void EmitPage(int out_port, Page&& page) {
+    for (StreamElement& e : page.mutable_elements()) {
+      EmitTuple(out_port, std::move(e.mutable_tuple()));
+    }
+  }
+  /// True when this executor moves data in pages and operators should
+  /// stage bursts of results for EmitPage rather than emitting tuple by
+  /// tuple. The SimExecutor returns false: it models per-element timing
+  /// and batched emission would distort its virtual-time dynamics.
+  virtual bool PagedEmissionPreferred() const { return false; }
 
   // ---- Upstream (against the data; out-of-band) ----
   /// Send feedback punctuation to the producer feeding input `in_port`.

@@ -131,6 +131,12 @@ class Operator {
     ++stats_.puncts_out;
     ctx_->EmitPunct(out_port, std::move(p));
   }
+  /// Emit a pre-assembled all-tuple page in one call (one queue lock per
+  /// page under queue-backed executors). See ExecContext::EmitPage.
+  void EmitPage(int out_port, Page&& page) {
+    stats_.tuples_out += page.size();
+    ctx_->EmitPage(out_port, std::move(page));
+  }
   void SendFeedback(int in_port, FeedbackPunctuation fb) {
     ++stats_.feedback_sent;
     fb.set_origin_op(id_);

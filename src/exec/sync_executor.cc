@@ -23,6 +23,15 @@ class SyncContext final : public ExecContext {
   void EmitEos(int out_port) override {
     rt_->output_conn(op_id_, out_port)->data->PushEos();
   }
+  void EmitPage(int out_port, Page&& page) override {
+    for (StreamElement& e : page.mutable_elements()) {
+      if (e.mutable_tuple().arrival_ms() < 0) {
+        e.mutable_tuple().set_arrival_ms(*now_);
+      }
+    }
+    rt_->output_conn(op_id_, out_port)->data->PushPage(std::move(page));
+  }
+  bool PagedEmissionPreferred() const override { return true; }
   void EmitFeedback(int in_port, FeedbackPunctuation fb) override {
     rt_->input_conn(op_id_, in_port)
         ->control->Push(ControlMessage::Feedback(std::move(fb)));

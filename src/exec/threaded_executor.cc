@@ -1,5 +1,6 @@
 #include "exec/threaded_executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -57,6 +58,15 @@ class ThreadedContext final : public ExecContext {
   void EmitEos(int out_port) override {
     rt_->output_conn(op_id_, out_port)->data->PushEos();
   }
+  void EmitPage(int out_port, Page&& page) override {
+    for (StreamElement& e : page.mutable_elements()) {
+      if (e.mutable_tuple().arrival_ms() < 0) {
+        e.mutable_tuple().set_arrival_ms(clock_->NowMs());
+      }
+    }
+    rt_->output_conn(op_id_, out_port)->data->PushPage(std::move(page));
+  }
+  bool PagedEmissionPreferred() const override { return true; }
   void EmitFeedback(int in_port, FeedbackPunctuation fb) override {
     rt_->input_conn(op_id_, in_port)
         ->control->Push(ControlMessage::Feedback(std::move(fb)));
@@ -182,15 +192,20 @@ Status ThreadedExecutor::Run(QueryPlan* plan) {
         continue;
       }
 
-      // 3. One page per input — a single batch call per page — then
-      // loop back to re-check control.
-      for (int p = 0; p < op->num_inputs(); ++p) {
-        DataQueue* q = rt->input_conn(id, p)->data.get();
-        std::optional<Page> page = q->TryPopPage();
-        if (!page) continue;
-        did_work = true;
-        NSTREAM_RETURN_NOT_OK(
-            op->ProcessPage(p, std::move(*page), nullptr));
+      // 3. Drain up to max_pages_per_wake pages per input — a single
+      // batch call per page — then loop back to re-check control.
+      const int budget = std::max(1, options_.max_pages_per_wake);
+      for (int round = 0; round < budget && !op->finished(); ++round) {
+        bool popped_any = false;
+        for (int p = 0; p < op->num_inputs(); ++p) {
+          DataQueue* q = rt->input_conn(id, p)->data.get();
+          std::optional<Page> page = q->TryPopPage();
+          if (!page) continue;
+          popped_any = did_work = true;
+          NSTREAM_RETURN_NOT_OK(
+              op->ProcessPage(p, std::move(*page), nullptr));
+        }
+        if (!popped_any) break;
       }
       if (op->finished()) break;  // all inputs hit EOS
       if (!did_work) wake->Wait();

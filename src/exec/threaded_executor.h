@@ -32,6 +32,13 @@ struct ThreadedExecutorOptions {
   // NextArrivalMs() * pace_scale wall milliseconds from start.
   bool pace_sources = false;
   double pace_scale = 1.0;
+  // Pages an operator may drain per input between control-channel
+  // re-checks. 1 reproduces the classic loop (tightest feedback
+  // latency); raising it amortizes wake/sleep churn for fan-in and
+  // fan-out operators (ShardMerge over many shard inputs, Exchange
+  // feeding many shard queues) at the cost of checking feedback less
+  // often. Control is always drained before the next data batch.
+  int max_pages_per_wake = 1;
 };
 
 class ThreadedExecutor {

@@ -1,8 +1,10 @@
 #include "ops/symmetric_hash_join.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "core/propagation.h"
+#include "ops/shard_routing.h"
 #include "punct/compiled_pattern.h"
 
 namespace nstream {
@@ -17,6 +19,16 @@ Status SymmetricHashJoin::InferSchemas() {
   right_arity_ = right.num_fields();
   if (options_.left_keys.size() != options_.right_keys.size()) {
     return Status::InvalidArgument(name() + ": key arity mismatch");
+  }
+  if (options_.shard_count < 1 || options_.shard_index < 0 ||
+      options_.shard_index >= options_.shard_count) {
+    return Status::InvalidArgument(
+        name() + ": shard_index must lie in [0, shard_count)");
+  }
+  if (options_.shard_count > 1 &&
+      (options_.left_keys.empty() || options_.right_keys.empty())) {
+    return Status::InvalidArgument(
+        name() + ": sharded execution requires equi-join keys");
   }
   if (options_.window_join &&
       (options_.left_ts < 0 || options_.right_ts < 0)) {
@@ -120,7 +132,33 @@ void SymmetricHashJoin::EmitJoined(Tuple out) {
     return;
   }
   ++joined_count_;
-  Emit(0, std::move(out));
+  if (!ctx()->PagedEmissionPreferred()) {
+    Emit(0, std::move(out));
+    return;
+  }
+  // Stage rather than emit: one queue lock per output page. Flushed at
+  // the end of every ProcessPage call (no result is ever stranded
+  // across scheduler wakes), before any punctuation emission, and at
+  // EOS. Callers driving ProcessTuple directly (unit harnesses) see
+  // results on their context only after one of those flush points.
+  out_staged_.Add(StreamElement::OfTuple(std::move(out)));
+  if (static_cast<int>(out_staged_.size()) >=
+      options_.output_page_size) {
+    FlushOutput();
+  }
+}
+
+void SymmetricHashJoin::FlushOutput() {
+  if (out_staged_.empty()) return;
+  EmitPage(0, std::move(out_staged_));
+  out_staged_ = Page();
+}
+
+Status SymmetricHashJoin::ProcessPage(int port, Page&& page,
+                                      TimeMs* tick) {
+  Status st = Operator::ProcessPage(port, std::move(page), tick);
+  FlushOutput();
+  return st;
 }
 
 Status SymmetricHashJoin::ProcessTuple(int port, const Tuple& tuple) {
@@ -128,6 +166,17 @@ Status SymmetricHashJoin::ProcessTuple(int port, const Tuple& tuple) {
     ++stats_.input_guard_drops;
     return Status::OK();
   }
+#ifndef NDEBUG
+  // Shard-routing tripwire: a mis-routed tuple would silently miss its
+  // join partner, so verify the Exchange's placement decision here.
+  if (options_.shard_count > 1) {
+    const std::vector<int>& route_keys =
+        port == 0 ? options_.left_keys : options_.right_keys;
+    assert(ShardOfRoutingHash(ShardRoutingHash(tuple, route_keys),
+                              options_.shard_count) ==
+           options_.shard_index);
+  }
+#endif
   int64_t wid = WidOf(tuple, port);
   if (options_.window_join && wid <= watermark_[port]) {
     // Straggler past its window's punctuation: nothing to join with.
@@ -356,6 +405,7 @@ Status SymmetricHashJoin::ProcessPunctuation(int port,
                        options_.window.WindowEnd(both) - 1)));
     Punctuation out_punct(out);
     output_guards_.ExpireCovered(out_punct);
+    FlushOutput();  // results for the closed windows go first
     EmitPunct(0, std::move(out_punct));
   }
   return Status::OK();
@@ -379,6 +429,7 @@ Status SymmetricHashJoin::OnAllInputsEos() {
   }
   tables_[0].clear();
   tables_[1].clear();
+  FlushOutput();  // final results precede the EOS markers
   return Operator::OnAllInputsEos();
 }
 

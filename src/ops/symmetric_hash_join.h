@@ -65,6 +65,25 @@ struct JoinOptions {
   bool impatient = false;
   int impatient_data_input = 0;
 
+  // Shard-parallel execution (set by MakePartitionedJoin): this
+  // instance owns partition `shard_index` of `shard_count`, fed by an
+  // Exchange that routes tuples by key-hash prefix. The join logic is
+  // unchanged — each shard's tables_[2] hold only its slice, with no
+  // locks shared between shards. Thrifty/gate feedback sent by a shard
+  // is a claim about its *slice* only; it stays sound because it
+  // travels to the Exchange, which exploits it as a per-output-port
+  // guard and only relays upstream once every shard has made an
+  // equivalent claim. In debug builds, tuples are verified to actually
+  // belong to this shard (a mis-routed tuple would silently miss its
+  // join partner).
+  int shard_index = 0;
+  int shard_count = 1;
+
+  // Joined results staged per output page under page-driven executors
+  // (one queue lock per page). Same knob family as
+  // DataQueueOptions::page_size and ExchangeOptions::stage_page_size.
+  int output_page_size = 256;
+
   // Test seam: replaces the (wid, key-subset) hash used for the join
   // tables and feedback dedup sets. Forcing a constant here makes every
   // key collide, which exercises the collision-checked subset-equality
@@ -89,6 +108,11 @@ class SymmetricHashJoin final : public Operator {
 
   Status InferSchemas() override;
   Status ProcessTuple(int port, const Tuple& tuple) override;
+  /// Default element walk plus an output flush: joined tuples are
+  /// staged into an output page (one queue lock per page, not per
+  /// result) and flushed when the input page is fully processed, when
+  /// punctuation is emitted (results never overtake it), and at EOS.
+  Status ProcessPage(int port, Page&& page, TimeMs* tick) override;
   Status ProcessPunctuation(int port, const Punctuation& punct) override;
   Status OnAllInputsEos() override;
   Status ProcessFeedback(int out_port,
@@ -137,6 +161,7 @@ class SymmetricHashJoin final : public Operator {
   Tuple JoinTuples(const Tuple& left, const Tuple& right) const;
   Tuple OuterTuple(const Tuple& left) const;
   void EmitJoined(Tuple out);
+  void FlushOutput();
   void PurgeWindowsThrough(int side, int64_t wid, bool emit_outer);
   void MaybeThrifty(int64_t through_wid);
   void MaybeImpatient(const Tuple& t, int port, int64_t wid,
@@ -153,6 +178,8 @@ class SymmetricHashJoin final : public Operator {
   Table tables_[2];
   GuardSet input_guards_[2];
   GuardSet output_guards_;
+  // Joined-result staging for page-granular emission (ProcessPage).
+  Page out_staged_;
 
   // Per-input window bookkeeping (window_join only).
   std::map<int64_t, uint64_t> window_counts_[2];

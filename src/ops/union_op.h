@@ -29,6 +29,18 @@ class UnionOp : public Operator {
         union_options_(options),
         watermarks_(static_cast<size_t>(num_inputs)) {}
 
+  /// Watermark-shaped pattern: exactly one constrained attribute with a
+  /// numeric ≤/< bound. The one predicate shared by MergeWatermark and
+  /// ShardMerge's punctuation router — they must agree, or watermarks
+  /// would fall into the hold-until-identical path and stall the merge.
+  static bool IsWatermarkPattern(const PunctPattern& p) {
+    std::vector<int> constrained = p.ConstrainedIndices();
+    if (constrained.size() != 1) return false;
+    const AttrPattern& ap = p.attr(constrained[0]);
+    return (ap.op() == PatternOp::kLe || ap.op() == PatternOp::kLt) &&
+           ap.operand().AsDouble().ok();
+  }
+
   Status InferSchemas() override {
     for (int i = 1; i < num_inputs(); ++i) {
       if (!input_schema(0)->Equals(*input_schema(i))) {
@@ -92,11 +104,9 @@ class UnionOp : public Operator {
   /// breaks correctness, only delays unblocking).
   void MergeWatermark(int port, const Punctuation& punct) {
     const PunctPattern& p = punct.pattern();
-    std::vector<int> constrained = p.ConstrainedIndices();
-    if (constrained.size() != 1) return;
-    int attr = constrained[0];
+    if (!IsWatermarkPattern(p)) return;
+    int attr = p.ConstrainedIndices()[0];
     const AttrPattern& ap = p.attr(attr);
-    if (ap.op() != PatternOp::kLe && ap.op() != PatternOp::kLt) return;
     Result<double> bound = ap.operand().AsDouble();
     if (!bound.ok()) return;
 

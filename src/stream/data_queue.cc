@@ -57,6 +57,38 @@ void DataQueue::PushEos() {
   NotifyConsumer();
 }
 
+void DataQueue::PushPage(Page&& page) {
+  if (page.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+#ifndef NDEBUG
+    for (const StreamElement& e : page.elements()) assert(e.is_tuple());
+#endif
+    // Preserve order: anything staged tuple-at-a-time goes first. Two
+    // separate capacity waits keep the max_pages bound exact even when
+    // the open page must be flushed ahead of us.
+    if (!open_page_.empty()) {
+      if (options_.max_pages > 0) {
+        not_full_.wait(lock, [&] {
+          return static_cast<int>(pages_.size()) < options_.max_pages;
+        });
+      }
+      FlushLocked(FlushReason::kExplicit);
+    }
+    if (options_.max_pages > 0) {
+      not_full_.wait(lock, [&] {
+        return static_cast<int>(pages_.size()) < options_.max_pages;
+      });
+    }
+    stats_.tuples_pushed += page.size();
+    ++stats_.pages_pushed_whole;
+    page.set_flush_reason(FlushReason::kExplicit);
+    pages_.push_back(std::move(page));
+    not_empty_.notify_one();
+  }
+  NotifyConsumer();
+}
+
 void DataQueue::Flush() {
   bool notify = false;
   {

@@ -37,11 +37,12 @@ struct DataQueueStats {
   uint64_t pages_flushed_punct = 0;
   uint64_t pages_flushed_eos = 0;
   uint64_t pages_flushed_explicit = 0;
+  uint64_t pages_pushed_whole = 0;  // pre-assembled pages via PushPage
   uint64_t pages_popped = 0;
 
   uint64_t pages_flushed_total() const {
     return pages_flushed_full + pages_flushed_punct + pages_flushed_eos +
-           pages_flushed_explicit;
+           pages_flushed_explicit + pages_pushed_whole;
   }
 };
 
@@ -55,6 +56,14 @@ class DataQueue {
   void PushPunctuation(Punctuation p);
   /// End-of-stream marker; flushes and marks the queue finished.
   void PushEos();
+  /// Enqueue a pre-assembled page of TUPLES under a single lock — the
+  /// page-granular fast path used by Exchange / ShardMerge, which
+  /// re-batch or forward whole pages instead of paying one lock per
+  /// tuple. The open per-tuple page (if any) is flushed first so
+  /// element order is preserved. The page must not contain punctuation
+  /// or EOS (those must go through PushPunctuation / PushEos so their
+  /// flush-and-notify semantics hold); empty pages are dropped.
+  void PushPage(Page&& page);
   /// Force the open page (if any) into the queue.
   void Flush();
 

@@ -153,5 +153,35 @@ TEST(DataQueueInvariants, StatsCountersAccurate) {
   EXPECT_TRUE(q.Drained());
 }
 
+TEST(DataQueueInvariants, PushPageFlushesOpenPageFirst) {
+  // The page-granular fast path (Exchange/ShardMerge) must never let a
+  // whole page overtake tuples staged element-wise before it.
+  DataQueue q(DataQueueOptions{128, 0});
+  q.PushTuple(T(1, 0));
+  q.PushTuple(T(2, 0));  // both sit in the open page (128 > 2)
+
+  Page whole;
+  whole.Add(StreamElement::OfTuple(T(3, 0)));
+  whole.Add(StreamElement::OfTuple(T(4, 0)));
+  q.PushPage(std::move(whole));
+  q.PushPunctuation(PunctLe(4));
+
+  std::vector<StreamElement> all = Drain(&q);
+  ASSERT_EQ(all.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(all[static_cast<size_t>(i)].is_tuple());
+    EXPECT_EQ(all[static_cast<size_t>(i)].tuple().value(0),
+              Value::Int64(i + 1));
+  }
+  EXPECT_TRUE(all[4].is_punct());
+
+  DataQueueStats s = q.stats();
+  EXPECT_EQ(s.tuples_pushed, 4u);
+  EXPECT_EQ(s.pages_pushed_whole, 1u);
+  // Empty pages are dropped, not enqueued.
+  q.PushPage(Page());
+  EXPECT_EQ(q.stats().pages_pushed_whole, 1u);
+}
+
 }  // namespace
 }  // namespace nstream
