@@ -5,8 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <unordered_map>
 
 #include "bench_json.h"
@@ -58,7 +60,8 @@ struct JoinRun {
   uint64_t guarded = 0;
 };
 
-JoinRun RunJoin(benchmark::State* state, int n, const char* feedback) {
+JoinRun RunJoin(benchmark::State* state, int n, const char* feedback,
+                bool batched_probe = true) {
   QueryPlan plan;
   auto* left = plan.AddOp(std::make_unique<VectorSource>(
       "A", LeftSchema(), SideStream(n, true, 50)));
@@ -67,6 +70,7 @@ JoinRun RunJoin(benchmark::State* state, int n, const char* feedback) {
   JoinOptions jopt;
   jopt.left_keys = {1, 2};   // (t, id)
   jopt.right_keys = {0, 1};  // (t, id)
+  jopt.page_batched_probe = batched_probe;
   auto* join =
       plan.AddOp(std::make_unique<SymmetricHashJoin>("join", jopt));
   auto injected = std::make_shared<bool>(false);
@@ -192,21 +196,50 @@ void RecordHotpathJson() {
     benchmark::DoNotOptimize(hits);
   });
 
-  // End-to-end Table 2 join throughput (tuples pushed per wall second).
+  // End-to-end Table 2 join throughput (tuples pushed per wall
+  // second), with the page-at-a-time probe A/B'd against the
+  // element-wise walk on the identical plan. table2_8192 keeps
+  // measuring the production default (batched). Methodology: two
+  // warm-up runs (allocator, code paths), then best-of-3 — this
+  // pipeline pushes ~192k result tuples through the allocator, and a
+  // single cold run on a shared box mixes allocator warm-up and
+  // scheduler hiccups into a number downstream PRs diff against.
+  //
+  // TRAJECTORY NOTE: through PR 2, table2_8192 was recorded from one
+  // cold run; the warm best-of-3 switch happened together with the
+  // batched probe, so the cross-PR delta on this key conflates the
+  // two. The clean same-methodology A/B is batched_probe_speedup
+  // (batched vs element_probe, both measured identically below).
   const int kJoinN = 1 << 13;
-  auto join_start = std::chrono::steady_clock::now();
-  JoinRun run = RunJoin(nullptr, kJoinN, nullptr);
-  double join_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - join_start)
-                       .count();
-  benchmark::DoNotOptimize(run.joined);
+  auto timed_run = [&](bool batched) {
+    auto start = std::chrono::steady_clock::now();
+    JoinRun run = RunJoin(nullptr, kJoinN, nullptr, batched);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    benchmark::DoNotOptimize(run.joined);
+    return 2.0 * kJoinN / (ms / 1000.0);
+  };
+  auto best_run = [&](bool batched) {
+    double best = 0;
+    for (int i = 0; i < 3; ++i) best = std::max(best, timed_run(batched));
+    return best;
+  };
+  timed_run(true);  // warm-up
+  timed_run(false);
+  double batched_tps = best_run(true);
+  double element_tps = best_run(false);
 
   benchjson::RecordAll({
       {"join.seed_stringkey_probes_per_sec", seed_probe},
       {"join.hashed_probes_per_sec", hashed_probe},
       {"join.hashed_probe_speedup", hashed_probe / seed_probe},
-      {"join.table2_8192_tuples_per_sec",
-       2.0 * kJoinN / (join_ms / 1000.0)},
+      {"join.table2_8192_tuples_per_sec", batched_tps},
+      {"join.batched_probe_tuples_per_sec", batched_tps},
+      {"join.element_probe_tuples_per_sec", element_tps},
+      {"join.batched_probe_speedup", batched_tps / element_tps},
+      {"join.online_cpus",
+       static_cast<double>(std::thread::hardware_concurrency())},
   });
 }
 

@@ -10,7 +10,7 @@ bool GuardSet::Add(const PunctPattern& pattern) {
   }
   // Drop existing guards the new one covers.
   std::vector<PunctPattern> kept;
-  std::vector<CompiledPattern> kept_compiled;
+  std::vector<std::shared_ptr<const CompiledPattern>> kept_compiled;
   kept.reserve(patterns_.size() + 1);
   kept_compiled.reserve(patterns_.size() + 1);
   for (size_t i = 0; i < patterns_.size(); ++i) {
@@ -20,7 +20,7 @@ bool GuardSet::Add(const PunctPattern& pattern) {
     }
   }
   kept.push_back(pattern);
-  kept_compiled.push_back(CompiledPattern(pattern));
+  kept_compiled.push_back(CompiledPatternCache::Global().Get(pattern));
   patterns_ = std::move(kept);
   compiled_ = std::move(kept_compiled);
   ++total_installed_;
@@ -28,8 +28,8 @@ bool GuardSet::Add(const PunctPattern& pattern) {
 }
 
 bool GuardSet::Blocks(const Tuple& t) const {
-  for (const CompiledPattern& p : compiled_) {
-    if (p.Matches(t)) {
+  for (const std::shared_ptr<const CompiledPattern>& p : compiled_) {
+    if (p->Matches(t)) {
       ++total_blocked_;
       return true;
     }
@@ -39,7 +39,7 @@ bool GuardSet::Blocks(const Tuple& t) const {
 
 int GuardSet::ExpireCovered(const Punctuation& punct) {
   std::vector<PunctPattern> kept;
-  std::vector<CompiledPattern> kept_compiled;
+  std::vector<std::shared_ptr<const CompiledPattern>> kept_compiled;
   kept.reserve(patterns_.size());
   kept_compiled.reserve(patterns_.size());
   int removed = 0;

@@ -12,6 +12,7 @@
 #define NSTREAM_CORE_GUARDS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,9 +60,11 @@ class GuardSet {
  private:
   // patterns_ and compiled_ are parallel: patterns_ drives the
   // subsumption logic (Add/ExpireCovered), compiled_ the per-tuple
-  // Blocks hot path.
+  // Blocks hot path. Compilations come from the global
+  // CompiledPatternCache, so the N guard sets a relayed feedback
+  // installs along its path share one compilation.
   std::vector<PunctPattern> patterns_;
-  std::vector<CompiledPattern> compiled_;
+  std::vector<std::shared_ptr<const CompiledPattern>> compiled_;
   uint64_t total_installed_ = 0;
   uint64_t total_expired_ = 0;
   mutable uint64_t total_blocked_ = 0;

@@ -1,5 +1,7 @@
 #include "exec/operator.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -48,22 +50,7 @@ Status Operator::Open(ExecContext* ctx) {
 }
 
 Status Operator::ProcessPage(int port, Page&& page, TimeMs* tick) {
-  for (StreamElement& e : page.mutable_elements()) {
-    if (tick) ++*tick;
-    switch (e.kind()) {
-      case ElementKind::kTuple:
-        ++stats_.tuples_in;
-        NSTREAM_RETURN_NOT_OK(ProcessTuple(port, e.tuple()));
-        break;
-      case ElementKind::kPunctuation:
-        NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, e.punct()));
-        break;
-      case ElementKind::kEndOfStream:
-        NSTREAM_RETURN_NOT_OK(ProcessEos(port));
-        break;
-    }
-  }
-  return Status::OK();
+  return WalkPageElements(this, &stats_, port, std::move(page), tick);
 }
 
 Status Operator::ProcessPunctuation(int port, const Punctuation& punct) {

@@ -165,6 +165,34 @@ class Operator {
   bool shutdown_requested_ = false;
 };
 
+/// The canonical page walk: route each element to ProcessTuple /
+/// ProcessPunctuation / ProcessEos, charging tuples_in and advancing
+/// the executor tick per element. `Operator::ProcessPage` calls it
+/// with dynamic dispatch; a `final` operator may call it on its own
+/// concrete type from a ProcessPage override to devirtualize and
+/// inline the per-element calls (CollectorSink does) — one walk, two
+/// dispatch flavors, no duplicated element handling.
+template <typename Op>
+Status WalkPageElements(Op* op, OperatorStats* stats, int port,
+                        Page&& page, TimeMs* tick) {
+  for (StreamElement& e : page.mutable_elements()) {
+    if (tick) ++*tick;
+    switch (e.kind()) {
+      case ElementKind::kTuple:
+        ++stats->tuples_in;
+        NSTREAM_RETURN_NOT_OK(op->ProcessTuple(port, e.tuple()));
+        break;
+      case ElementKind::kPunctuation:
+        NSTREAM_RETURN_NOT_OK(op->ProcessPunctuation(port, e.punct()));
+        break;
+      case ElementKind::kEndOfStream:
+        NSTREAM_RETURN_NOT_OK(op->ProcessEos(port));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
 /// A source operator generates the stream. `NextArrivalMs` exposes the
 /// (system-time) instant the next element becomes available, letting
 /// the SimExecutor schedule arrivals and the ThreadedExecutor pace them

@@ -3,7 +3,8 @@
 namespace nstream {
 
 Result<std::unique_ptr<PlanRuntime>> PlanRuntime::Create(
-    QueryPlan* plan, const DataQueueOptions& queue_options) {
+    QueryPlan* plan, const DataQueueOptions& queue_options,
+    EdgeTransportPolicy policy) {
   if (!plan->finalized()) {
     return Status::FailedPrecondition(
         "PlanRuntime requires a finalized plan");
@@ -19,8 +20,15 @@ Result<std::unique_ptr<PlanRuntime>> PlanRuntime::Create(
     rt->outputs_[i].resize(static_cast<size_t>(o->num_outputs()),
                            nullptr);
   }
+  int edge_index = 0;
   for (const PlanEdge& e : plan->edges()) {
-    auto conn = std::make_unique<Connection>(queue_options);
+    DataQueueOptions opts = queue_options;
+    if (policy == EdgeTransportPolicy::kSpscWhereEligible &&
+        plan->EdgeSpscEligible(edge_index)) {
+      opts.transport = DataQueueTransport::kSpscRing;
+    }
+    ++edge_index;
+    auto conn = std::make_unique<Connection>(opts);
     conn->producer_op = e.producer;
     conn->producer_port = e.producer_port;
     conn->consumer_op = e.consumer;

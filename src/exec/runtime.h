@@ -14,11 +14,26 @@
 
 namespace nstream {
 
+/// How PlanRuntime::Create picks each edge's DataQueue transport.
+enum class EdgeTransportPolicy : uint8_t {
+  // Every edge uses the mutex deque — any threading, unbounded queues
+  // allowed. The single-threaded executors use this.
+  kMutexDeque = 0,
+  // Edges the plan proves single-producer/single-consumer
+  // (QueryPlan::EdgeSpscEligible) get the lock-free SPSC ring; the
+  // rest keep the mutex deque. The thread-per-operator executor uses
+  // this: it pushes from exactly the producer's thread and pops from
+  // exactly the consumer's.
+  kSpscWhereEligible,
+};
+
 class PlanRuntime {
  public:
-  /// Build one Connection per plan edge.
+  /// Build one Connection per plan edge, tagging each edge's queue
+  /// transport per `policy`.
   static Result<std::unique_ptr<PlanRuntime>> Create(
-      QueryPlan* plan, const DataQueueOptions& queue_options);
+      QueryPlan* plan, const DataQueueOptions& queue_options,
+      EdgeTransportPolicy policy = EdgeTransportPolicy::kMutexDeque);
 
   QueryPlan* plan() { return plan_; }
 

@@ -117,8 +117,12 @@ Status ThreadedExecutor::Run(QueryPlan* plan) {
   if (!plan->finalized()) {
     NSTREAM_RETURN_NOT_OK(plan->Finalize());
   }
-  NSTREAM_ASSIGN_OR_RETURN(std::unique_ptr<PlanRuntime> rt,
-                           PlanRuntime::Create(plan, options_.queue));
+  NSTREAM_ASSIGN_OR_RETURN(
+      std::unique_ptr<PlanRuntime> rt,
+      PlanRuntime::Create(plan, options_.queue,
+                          options_.use_spsc_rings
+                              ? EdgeTransportPolicy::kSpscWhereEligible
+                              : EdgeTransportPolicy::kMutexDeque));
 
   const int n = plan->num_operators();
   WallClock clock;

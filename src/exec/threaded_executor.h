@@ -39,6 +39,11 @@ struct ThreadedExecutorOptions {
   // feeding many shard queues) at the cost of checking feedback less
   // often. Control is always drained before the next data batch.
   int max_pages_per_wake = 1;
+  // Use the lock-free SPSC ring transport on every edge the plan
+  // proves single-producer/single-consumer (all of them, under
+  // thread-per-operator). The mutex deque remains available for A/B
+  // measurement (bench_queue) and as a hedge while the ring is young.
+  bool use_spsc_rings = true;
 };
 
 class ThreadedExecutor {

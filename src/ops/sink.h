@@ -67,6 +67,14 @@ class CollectorSink final : public Operator {
     return Status::OK();
   }
 
+  /// Tight batch walk. The sink terminates every pipeline, so the
+  /// per-element virtual dispatch of the default page walk shows up
+  /// directly in end-to-end numbers; walking on the concrete final
+  /// type devirtualizes and inlines the per-element calls.
+  Status ProcessPage(int port, Page&& page, TimeMs* tick) override {
+    return WalkPageElements(this, &stats_, port, std::move(page), tick);
+  }
+
   Status ProcessPunctuation(int, const Punctuation&) override {
     ++stats_.puncts_in;
     return Status::OK();

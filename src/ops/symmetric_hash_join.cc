@@ -127,7 +127,9 @@ Tuple SymmetricHashJoin::OuterTuple(const Tuple& left) const {
 }
 
 void SymmetricHashJoin::EmitJoined(Tuple out) {
-  if (output_guards_.Blocks(out)) {
+  // Guard-empty fast path: the common (no-feedback) pipeline pays one
+  // branch here, not a call per result.
+  if (!output_guards_.empty() && output_guards_.Blocks(out)) {
     ++stats_.output_guard_drops;
     return;
   }
@@ -141,6 +143,10 @@ void SymmetricHashJoin::EmitJoined(Tuple out) {
   // across scheduler wakes), before any punctuation emission, and at
   // EOS. Callers driving ProcessTuple directly (unit harnesses) see
   // results on their context only after one of those flush points.
+  if (out_staged_.empty()) {
+    out_staged_.Reserve(
+        static_cast<size_t>(options_.output_page_size));
+  }
   out_staged_.Add(StreamElement::OfTuple(std::move(out)));
   if (static_cast<int>(out_staged_.size()) >=
       options_.output_page_size) {
@@ -156,9 +162,154 @@ void SymmetricHashJoin::FlushOutput() {
 
 Status SymmetricHashJoin::ProcessPage(int port, Page&& page,
                                       TimeMs* tick) {
-  Status st = Operator::ProcessPage(port, std::move(page), tick);
+  if (!options_.page_batched_probe) {
+    Status st = Operator::ProcessPage(port, std::move(page), tick);
+    FlushOutput();
+    return st;
+  }
+  // Batched walk: runs of consecutive tuples take the grouped probe;
+  // punctuation and EOS keep their element positions as run
+  // boundaries, so watermark/guard state never changes mid-run and no
+  // result ever overtakes a punctuation (FlushOutput inside
+  // ProcessPunctuation precedes the punctuation emission).
+  std::vector<StreamElement>& elems = page.mutable_elements();
+  size_t i = 0;
+  while (i < elems.size()) {
+    if (elems[i].is_tuple()) {
+      size_t j = i + 1;
+      while (j < elems.size() && elems[j].is_tuple()) ++j;
+      NSTREAM_RETURN_NOT_OK(ProcessTupleRun(port, elems, i, j, tick));
+      i = j;
+    } else {
+      if (tick) ++*tick;
+      if (elems[i].is_punct()) {
+        NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, elems[i].punct()));
+      } else {
+        NSTREAM_RETURN_NOT_OK(ProcessEos(port));
+      }
+      ++i;
+    }
+  }
   FlushOutput();
-  return st;
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::ProcessTupleRun(
+    int port, std::vector<StreamElement>& elems, size_t begin,
+    size_t end, TimeMs* tick) {
+  const std::vector<int>& my_keys =
+      port == 0 ? options_.left_keys : options_.right_keys;
+  const std::vector<int>& other_keys =
+      port == 0 ? options_.right_keys : options_.left_keys;
+  const int other = 1 - port;
+
+  // Pass 1: per-tuple admission (guards, stragglers, gate) and key
+  // derivation — everything ProcessTuple does before touching a table.
+  std::vector<RunItem>& run = run_scratch_;
+  run.clear();
+  for (size_t e = begin; e < end; ++e) {
+    if (tick) ++*tick;
+    ++stats_.tuples_in;
+    const Tuple& tuple = elems[e].tuple();
+    if (input_guards_[static_cast<size_t>(port)].Blocks(tuple)) {
+      ++stats_.input_guard_drops;
+      continue;
+    }
+#ifndef NDEBUG
+    // Shard-routing tripwire: a mis-routed tuple would silently miss
+    // its join partner, so verify the Exchange's placement decision.
+    if (options_.shard_count > 1) {
+      assert(ShardOfRoutingHash(
+                 ShardRoutingHash(tuple, my_keys),
+                 options_.shard_count) == options_.shard_index);
+    }
+#endif
+    int64_t wid = WidOf(tuple, port);
+    if (options_.window_join && wid <= watermark_[port]) {
+      // Straggler past its window's punctuation: nothing to join with.
+      // The watermark cannot advance mid-run (only punctuation moves
+      // it, and punctuation bounds the run), so this decision is
+      // identical to the element-wise walk's.
+      continue;
+    }
+    RunItem item;
+    item.elem = static_cast<uint32_t>(e);
+    item.wid = wid;
+    item.key = KeyHash(tuple, port, wid);
+    if (port == 0 && options_.left_gate && !options_.left_gate(tuple)) {
+      item.gated = true;
+      if (options_.gate_feedback_horizon > 0 && options_.window_join) {
+        SendGateFeedback(tuple, wid, item.key);
+      }
+    }
+    run.push_back(item);
+  }
+  if (run.empty()) return Status::OK();
+
+  // Pass 2: group by key hash. The element-index tiebreak keeps the
+  // order within a key stable, so per-key output order matches the
+  // element-wise walk; only the interleaving across keys differs.
+  std::sort(run.begin(), run.end(),
+            [](const RunItem& a, const RunItem& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.elem < b.elem;
+            });
+
+  // Pass 3: per key group, one probe lookup and one insert lookup.
+  // Same-port tuples never join each other (tables are per input), so
+  // deferring the inserts to the end of the group cannot change the
+  // result set.
+  size_t g = 0;
+  while (g < run.size()) {
+    size_t h = g + 1;
+    while (h < run.size() && run[h].key == run[g].key) ++h;
+    const uint64_t key = run[g].key;
+
+    auto it = tables_[other].find(key);
+    if (it != tables_[other].end()) {
+      for (size_t m = g; m < h; ++m) {
+        if (run[m].gated) continue;  // a gated left tuple never probes
+        const Tuple& tuple = elems[run[m].elem].tuple();
+        for (Entry& ent : it->second) {
+          if (port == 1 && ent.gated) continue;  // right probe skips gated
+          if (ent.wid != run[m].wid ||
+              !tuple.EqualsSubset(ent.tuple, my_keys, other_keys)) {
+            continue;  // hash collision: not actually the same key
+          }
+          ent.matched = true;
+          run[m].matched = true;
+          if (port == 0) {
+            EmitJoined(JoinTuples(tuple, ent.tuple));
+          } else {
+            EmitJoined(JoinTuples(ent.tuple, tuple));
+          }
+        }
+      }
+    }
+
+    std::vector<Entry>& own = tables_[port][key];
+    for (size_t m = g; m < h; ++m) {
+      Tuple& tuple = elems[run[m].elem].mutable_tuple();
+      if (options_.window_join) {
+        ++window_counts_[port][run[m].wid];
+        if (run[m].wid < min_seen_wid_[port]) {
+          min_seen_wid_[port] = run[m].wid;
+        }
+        if (options_.impatient &&
+            port == options_.impatient_data_input) {
+          MaybeImpatient(tuple, port, run[m].wid, key);
+        }
+      }
+      Entry entry;
+      entry.tuple = std::move(tuple);  // page is ours: move, don't copy
+      entry.wid = run[m].wid;
+      entry.gated = run[m].gated;
+      entry.matched = run[m].matched;
+      own.push_back(std::move(entry));
+    }
+    g = h;
+  }
+  return Status::OK();
 }
 
 Status SymmetricHashJoin::ProcessTuple(int port, const Tuple& tuple) {
@@ -447,9 +598,12 @@ Status SymmetricHashJoin::HandleAssumed(const FeedbackPunctuation& fb) {
     if (!derived.ok()) continue;
     exploited = true;
     // Table 2 local exploit: purge matching entries from this side's
-    // hash table and guard the input. Compile the derived pattern once
-    // for the sweep.
-    CompiledPattern compiled(derived.value());
+    // hash table and guard the input. The compilation is shared via
+    // the global cache — sharded plans derive the identical pattern in
+    // every shard, and upstream hops purge with it again.
+    std::shared_ptr<const CompiledPattern> compiled_ptr =
+        CompiledPatternCache::Global().Get(derived.value());
+    const CompiledPattern& compiled = *compiled_ptr;
     Table& table = tables_[input];
     for (auto it = table.begin(); it != table.end();) {
       std::vector<Entry>& entries = it->second;

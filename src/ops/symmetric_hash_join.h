@@ -84,6 +84,17 @@ struct JoinOptions {
   // DataQueueOptions::page_size and ExchangeOptions::stage_page_size.
   int output_page_size = 256;
 
+  // Page-at-a-time probe: ProcessPage groups each run of tuples by
+  // key hash (one small sort pass) so each distinct key touches the
+  // hash tables once on the probe side and once on the insert side,
+  // and tuples MOVE from the page into the table instead of copying.
+  // Within a key, element order is preserved; across keys the output
+  // interleaving may differ from the element-wise walk (the result
+  // multiset is identical — join_batched_probe_test enforces it).
+  // Off = per-element walk, the SimExecutor's path and the A/B
+  // baseline for tests and benches.
+  bool page_batched_probe = true;
+
   // Test seam: replaces the (wid, key-subset) hash used for the join
   // tables and feedback dedup sets. Forcing a constant here makes every
   // key collide, which exercises the collision-checked subset-equality
@@ -108,10 +119,15 @@ class SymmetricHashJoin final : public Operator {
 
   Status InferSchemas() override;
   Status ProcessTuple(int port, const Tuple& tuple) override;
-  /// Default element walk plus an output flush: joined tuples are
+  /// Page-at-a-time path: runs of tuples (between punctuation/EOS
+  /// boundaries) are probed grouped by key hash — one table lookup per
+  /// distinct key per side instead of per tuple — and inserted in
+  /// batches, moving each tuple out of the page. Joined results are
   /// staged into an output page (one queue lock per page, not per
   /// result) and flushed when the input page is fully processed, when
   /// punctuation is emitted (results never overtake it), and at EOS.
+  /// With options_.page_batched_probe false this degrades to the
+  /// default element walk plus the output flush.
   Status ProcessPage(int port, Page&& page, TimeMs* tick) override;
   Status ProcessPunctuation(int port, const Punctuation& punct) override;
   Status OnAllInputsEos() override;
@@ -156,8 +172,22 @@ class SymmetricHashJoin final : public Operator {
   // is verified with wid + EqualsSubset before it joins).
   using Table = std::unordered_map<uint64_t, std::vector<Entry>>;
 
+  // One prepared tuple of a batched-probe run (ProcessPage).
+  struct RunItem {
+    uint32_t elem = 0;  // index into the page's element vector
+    int64_t wid = 0;
+    uint64_t key = 0;
+    bool gated = false;
+    bool matched = false;
+  };
+
   uint64_t KeyHash(const Tuple& t, int port, int64_t wid) const;
   int64_t WidOf(const Tuple& t, int port) const;
+  /// Batched equivalent of ProcessTuple over elems[begin, end) (all
+  /// tuples). Must stay semantically aligned with ProcessTuple — the
+  /// randomized equivalence test compares the two paths directly.
+  Status ProcessTupleRun(int port, std::vector<StreamElement>& elems,
+                         size_t begin, size_t end, TimeMs* tick);
   Tuple JoinTuples(const Tuple& left, const Tuple& right) const;
   Tuple OuterTuple(const Tuple& left) const;
   void EmitJoined(Tuple out);
@@ -180,6 +210,9 @@ class SymmetricHashJoin final : public Operator {
   GuardSet output_guards_;
   // Joined-result staging for page-granular emission (ProcessPage).
   Page out_staged_;
+  // Scratch for the batched probe's sort-by-key pass (reused across
+  // pages to keep the hot path allocation-free once warm).
+  std::vector<RunItem> run_scratch_;
 
   // Per-input window bookkeeping (window_join only).
   std::map<int64_t, uint64_t> window_counts_[2];

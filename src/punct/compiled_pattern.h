@@ -10,6 +10,9 @@
 #ifndef NSTREAM_PUNCT_COMPILED_PATTERN_H_
 #define NSTREAM_PUNCT_COMPILED_PATTERN_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "punct/punct_pattern.h"
@@ -109,6 +112,58 @@ class CompiledPattern {
 
   PunctPattern pattern_;
   std::vector<Check> checks_;
+};
+
+/// Structural hash of a PunctPattern, compatible with its operator==
+/// (equal patterns hash equally). Used as the cache probe key.
+uint64_t HashPunctPattern(const PunctPattern& p);
+
+/// CompiledPatternCache: pattern-identity-keyed cache of compilations.
+///
+/// A feedback punctuation relayed through a deep plan is exploited at
+/// every hop, and every exploit site compiles its pattern: the queue
+/// purge/promote sweeps, the join's table sweep, and each GuardSet
+/// install. Hops whose schema maps are identities (Select / Project /
+/// Impute / PACE chains, Exchange→shard fan-out where every shard
+/// receives the same derived pattern) all see the *same* pattern, so a
+/// small cache keyed by pattern identity collapses those N compiles
+/// into one. Entries are shared_ptr so an evicted compilation stays
+/// alive for whoever still holds it (e.g. a long-lived guard).
+///
+/// Thread-safe (mutex): lookups happen on the control/feedback path —
+/// per relay hop, never per tuple — so a lock is fine there, and the
+/// shared compilation is immutable afterwards.
+class CompiledPatternCache {
+ public:
+  explicit CompiledPatternCache(size_t capacity = 64);
+
+  /// The process-wide instance the engine's exploit sites share.
+  static CompiledPatternCache& Global();
+
+  /// Return the cached compilation of `p`, compiling on miss. Identity
+  /// is structural: hash probe + PunctPattern::operator== confirm.
+  std::shared_ptr<const CompiledPattern> Get(const PunctPattern& p);
+
+  // Hit/miss counters (tests assert relay hops stop recompiling).
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+  /// Drop all entries and zero the counters (test isolation).
+  void Clear();
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint64_t last_used = 0;
+    std::shared_ptr<const CompiledPattern> compiled;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<Slot> slots_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
 };
 
 }  // namespace nstream

@@ -9,9 +9,75 @@ namespace nstream {
 
 DataQueue::DataQueue(DataQueueOptions options) : options_(options) {
   if (options_.page_size <= 0) options_.page_size = 1;
+  open_page_.Reserve(static_cast<size_t>(options_.page_size) + 1);
+  if (spsc()) {
+    int cap = options_.max_pages > 0 ? options_.max_pages
+                                     : options_.spsc_default_capacity;
+    if (cap <= 0) cap = 2;
+    ring_ = std::make_unique<SpscRing<Page>>(static_cast<size_t>(cap));
+  }
 }
 
+void DataQueue::CountFlush(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kPageFull:
+      Inc(stats_.pages_flushed_full);
+      break;
+    case FlushReason::kPunctuation:
+      Inc(stats_.pages_flushed_punct);
+      break;
+    case FlushReason::kEndOfStream:
+      Inc(stats_.pages_flushed_eos);
+      break;
+    case FlushReason::kExplicit:
+      Inc(stats_.pages_flushed_explicit);
+      break;
+  }
+}
+
+// ---- SPSC producer side ----
+
+void DataQueue::PushRing(Page&& page) {
+  while (!ring_->TryPush(std::move(page))) {
+    // Ring full: backpressure. The consumer pops lock-free and only
+    // signals when it knows a producer is parked, so park with a short
+    // timed re-check — the same timed-wait idiom as the executors'
+    // wake objects; a missed notify costs bounded latency, never
+    // correctness.
+    std::unique_lock<std::mutex> lock(mu_);
+    producer_waiting_.store(true, std::memory_order_relaxed);
+    not_full_.wait_for(lock, std::chrono::milliseconds(1));
+    producer_waiting_.store(false, std::memory_order_relaxed);
+  }
+  NotifyConsumer();
+  if (consumer_waiting_.load(std::memory_order_relaxed)) {
+    not_empty_.notify_one();
+  }
+}
+
+void DataQueue::FlushToRing(FlushReason reason) {
+  if (open_page_.empty()) return;
+  open_page_.set_flush_reason(reason);
+  CountFlush(reason);
+  PushRing(std::move(open_page_));
+  open_page_ = Page();
+  open_page_.Reserve(static_cast<size_t>(options_.page_size) + 1);
+}
+
+// ---- Producer API ----
+
 void DataQueue::PushTuple(Tuple t) {
+  if (spsc()) {
+    // Producer-thread-local: no lock, no atomic RMW. The ring hop (and
+    // its notify) is paid once per page, not per tuple.
+    open_page_.Add(StreamElement::OfTuple(std::move(t)));
+    stats_.tuples_pushed.store(++spsc_tuples_pushed_,
+                               std::memory_order_relaxed);
+    if (static_cast<int>(open_page_.size()) >= options_.page_size) {
+      FlushToRing(FlushReason::kPageFull);
+    }
+    return;
+  }
   bool notify = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -21,7 +87,7 @@ void DataQueue::PushTuple(Tuple t) {
       });
     }
     open_page_.Add(StreamElement::OfTuple(std::move(t)));
-    ++stats_.tuples_pushed;
+    Inc(stats_.tuples_pushed);
     if (static_cast<int>(open_page_.size()) >= options_.page_size) {
       FlushLocked(FlushReason::kPageFull);
       notify = true;
@@ -31,6 +97,14 @@ void DataQueue::PushTuple(Tuple t) {
 }
 
 void DataQueue::PushPunctuation(Punctuation p) {
+  if (spsc()) {
+    open_page_.Add(StreamElement::OfPunct(std::move(p)));
+    Inc(stats_.puncts_pushed);  // rare: one per punctuation, not per tuple
+    // Punctuation flushes the page: a slow stream must not strand
+    // progress information behind an unfilled page (§5).
+    FlushToRing(FlushReason::kPunctuation);
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (options_.max_pages > 0) {
@@ -39,31 +113,55 @@ void DataQueue::PushPunctuation(Punctuation p) {
       });
     }
     open_page_.Add(StreamElement::OfPunct(std::move(p)));
-    ++stats_.puncts_pushed;
-    // Punctuation flushes the page: a slow stream must not strand
-    // progress information behind an unfilled page (§5).
+    Inc(stats_.puncts_pushed);
     FlushLocked(FlushReason::kPunctuation);
   }
   NotifyConsumer();
 }
 
 void DataQueue::PushEos() {
+  if (spsc()) {
+    open_page_.Add(StreamElement::Eos());
+    FlushToRing(FlushReason::kEndOfStream);
+    // Set after the final page is published: a consumer that observes
+    // eos_pushed_ (acquire) therefore also observes that page.
+    eos_pushed_.store(true, std::memory_order_release);
+    NotifyConsumer();
+    if (consumer_waiting_.load(std::memory_order_relaxed)) {
+      not_empty_.notify_one();
+    }
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     open_page_.Add(StreamElement::Eos());
     FlushLocked(FlushReason::kEndOfStream);
-    eos_pushed_ = true;
+    eos_pushed_.store(true, std::memory_order_release);
   }
   NotifyConsumer();
 }
 
 void DataQueue::PushPage(Page&& page) {
   if (page.empty()) return;
+#ifndef NDEBUG
+  for (const StreamElement& e : page.elements()) assert(e.is_tuple());
+#endif
+  if (spsc()) {
+    // Preserve order: anything staged tuple-at-a-time goes first (the
+    // empty check stays inline — page-granular producers rarely have
+    // an open per-tuple page).
+    if (!open_page_.empty()) FlushToRing(FlushReason::kExplicit);
+    spsc_tuples_pushed_ += page.size();
+    stats_.tuples_pushed.store(spsc_tuples_pushed_,
+                               std::memory_order_relaxed);
+    stats_.pages_pushed_whole.store(++spsc_pages_whole_,
+                                    std::memory_order_relaxed);
+    page.set_flush_reason(FlushReason::kExplicit);
+    PushRing(std::move(page));
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
-#ifndef NDEBUG
-    for (const StreamElement& e : page.elements()) assert(e.is_tuple());
-#endif
     // Preserve order: anything staged tuple-at-a-time goes first. Two
     // separate capacity waits keep the max_pages bound exact even when
     // the open page must be flushed ahead of us.
@@ -80,8 +178,8 @@ void DataQueue::PushPage(Page&& page) {
         return static_cast<int>(pages_.size()) < options_.max_pages;
       });
     }
-    stats_.tuples_pushed += page.size();
-    ++stats_.pages_pushed_whole;
+    Inc(stats_.tuples_pushed, page.size());
+    Inc(stats_.pages_pushed_whole);
     page.set_flush_reason(FlushReason::kExplicit);
     pages_.push_back(std::move(page));
     not_empty_.notify_one();
@@ -90,6 +188,10 @@ void DataQueue::PushPage(Page&& page) {
 }
 
 void DataQueue::Flush() {
+  if (spsc()) {
+    FlushToRing(FlushReason::kExplicit);
+    return;
+  }
   bool notify = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -104,33 +206,50 @@ void DataQueue::Flush() {
 void DataQueue::FlushLocked(FlushReason reason) {
   if (open_page_.empty()) return;
   open_page_.set_flush_reason(reason);
-  switch (reason) {
-    case FlushReason::kPageFull:
-      ++stats_.pages_flushed_full;
-      break;
-    case FlushReason::kPunctuation:
-      ++stats_.pages_flushed_punct;
-      break;
-    case FlushReason::kEndOfStream:
-      ++stats_.pages_flushed_eos;
-      break;
-    case FlushReason::kExplicit:
-      ++stats_.pages_flushed_explicit;
-      break;
-  }
+  CountFlush(reason);
   pages_.push_back(std::move(open_page_));
   open_page_ = Page();
+  open_page_.Reserve(static_cast<size_t>(options_.page_size) + 1);
   not_empty_.notify_one();
 }
 
+// ---- Consumer API ----
+
+std::optional<Page> DataQueue::TryPopSpsc() {
+  // Pages parked by purge/promote surgery are older than anything in
+  // the ring and must leave first. side_count_ keeps the no-surgery
+  // fast path lock-free.
+  if (side_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!side_pages_.empty()) {
+      Page out = std::move(side_pages_.front());
+      side_pages_.pop_front();
+      side_count_.store(side_pages_.size(), std::memory_order_release);
+      stats_.pages_popped.store(++spsc_pages_popped_,
+                                std::memory_order_relaxed);
+      return out;
+    }
+  }
+  std::optional<Page> out = ring_->TryPop();
+  if (out.has_value()) {
+    stats_.pages_popped.store(++spsc_pages_popped_,
+                              std::memory_order_relaxed);
+    if (producer_waiting_.load(std::memory_order_relaxed)) {
+      not_full_.notify_one();
+    }
+  }
+  return out;
+}
+
 std::optional<Page> DataQueue::TryPopPage() {
+  if (spsc()) return TryPopSpsc();
   std::optional<Page> out;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (pages_.empty()) return std::nullopt;
     out = std::move(pages_.front());
     pages_.pop_front();
-    ++stats_.pages_popped;
+    Inc(stats_.pages_popped);
     not_full_.notify_one();
   }
   return out;
@@ -138,25 +257,57 @@ std::optional<Page> DataQueue::TryPopPage() {
 
 std::optional<Page> DataQueue::PopPageBlocking(
     const std::function<bool()>& cancel) {
+  if (spsc()) {
+    while (true) {
+      if (std::optional<Page> out = TryPopSpsc()) return out;
+      if (cancel && cancel()) return std::nullopt;
+      if (eos_pushed_.load(std::memory_order_acquire)) {
+        // The EOS flag is set after the final page's push, so one more
+        // poll is guaranteed to see everything ever published.
+        if (std::optional<Page> out = TryPopSpsc()) return out;
+        return std::nullopt;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      consumer_waiting_.store(true, std::memory_order_relaxed);
+      not_empty_.wait_for(lock, std::chrono::milliseconds(5));
+      consumer_waiting_.store(false, std::memory_order_relaxed);
+    }
+  }
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     if (!pages_.empty()) {
       Page out = std::move(pages_.front());
       pages_.pop_front();
-      ++stats_.pages_popped;
+      Inc(stats_.pages_popped);
       not_full_.notify_one();
       return out;
     }
-    if (eos_pushed_ || (cancel && cancel())) return std::nullopt;
+    if (eos_pushed_.load(std::memory_order_relaxed) ||
+        (cancel && cancel())) {
+      return std::nullopt;
+    }
     not_empty_.wait_for(lock, std::chrono::milliseconds(5));
   }
 }
 
+// ---- Feedback-exploit surgery ----
+
+void DataQueue::DrainRingToSideLocked() {
+  while (std::optional<Page> p = ring_->TryPop()) {
+    side_pages_.push_back(std::move(*p));
+  }
+  if (producer_waiting_.load(std::memory_order_relaxed)) {
+    not_full_.notify_one();
+  }
+}
+
 int DataQueue::PurgeMatching(const PunctPattern& pattern) {
-  // Compile once, then a single in-place erase-remove pass per page —
-  // no per-element re-interpretation, no rebuilt element vectors.
-  CompiledPattern compiled(pattern);
-  std::lock_guard<std::mutex> lock(mu_);
+  // Compile once (shared across relay hops exploiting the same
+  // pattern), then a single in-place erase-remove pass per page — no
+  // per-element re-interpretation, no rebuilt element vectors.
+  std::shared_ptr<const CompiledPattern> compiled_ptr =
+      CompiledPatternCache::Global().Get(pattern);
+  const CompiledPattern& compiled = *compiled_ptr;
   int removed = 0;
   auto purge_page = [&](Page* page) {
     std::vector<StreamElement>& elems = page->mutable_elements();
@@ -167,18 +318,35 @@ int DataQueue::PurgeMatching(const PunctPattern& pattern) {
     removed += static_cast<int>(elems.end() - it);
     elems.erase(it, elems.end());
   };
+  auto drop_empty = [](std::deque<Page>* pages) {
+    pages->erase(std::remove_if(pages->begin(), pages->end(),
+                                [](const Page& p) { return p.empty(); }),
+                 pages->end());
+  };
+  if (spsc()) {
+    // Consumer-side slow path: pull every published page out of the
+    // ring into the staging deque (order preserved; pops serve the
+    // deque first) and purge there. The producer's open page stays
+    // untouched — see the header contract.
+    std::lock_guard<std::mutex> lock(mu_);
+    DrainRingToSideLocked();
+    for (Page& p : side_pages_) purge_page(&p);
+    drop_empty(&side_pages_);
+    side_count_.store(side_pages_.size(), std::memory_order_release);
+    return removed;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   for (Page& p : pages_) purge_page(&p);
   purge_page(&open_page_);
   // Drop pages emptied by the purge so consumers don't spin on them.
-  pages_.erase(std::remove_if(pages_.begin(), pages_.end(),
-                              [](const Page& p) { return p.empty(); }),
-               pages_.end());
+  drop_empty(&pages_);
   return removed;
 }
 
 int DataQueue::PromoteMatching(const PunctPattern& pattern) {
-  CompiledPattern compiled(pattern);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const CompiledPattern> compiled_ptr =
+      CompiledPatternCache::Global().Get(pattern);
+  const CompiledPattern& compiled = *compiled_ptr;
   int moved = 0;
   // A punctuation flushes its page, so it can only be a page's last
   // element; partitioning within a page therefore never moves a tuple
@@ -195,37 +363,72 @@ int DataQueue::PromoteMatching(const PunctPattern& pattern) {
       moved += static_cast<int>(mid - elems.begin());
     }
   };
+  if (spsc()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    DrainRingToSideLocked();
+    for (Page& p : side_pages_) promote_page(&p);
+    side_count_.store(side_pages_.size(), std::memory_order_release);
+    return moved;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   for (Page& p : pages_) promote_page(&p);
   return moved;
 }
 
+// ---- Introspection ----
+
 bool DataQueue::Drained() const {
+  if (spsc()) {
+    // eos_pushed_ is set after the final flush, so observing it means
+    // the open page is empty and everything is in the ring/side deque.
+    return eos_pushed_.load(std::memory_order_acquire) &&
+           side_count_.load(std::memory_order_acquire) == 0 &&
+           ring_->ApproxEmpty();
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  return eos_pushed_ && pages_.empty() && open_page_.empty();
+  return eos_pushed_.load(std::memory_order_relaxed) && pages_.empty() &&
+         open_page_.empty();
 }
 
 bool DataQueue::HasPage() const {
+  if (spsc()) {
+    return side_count_.load(std::memory_order_acquire) > 0 ||
+           !ring_->ApproxEmpty();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   return !pages_.empty();
 }
 
 DataQueueStats DataQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  DataQueueStats out;
+  out.tuples_pushed = stats_.tuples_pushed.load(std::memory_order_relaxed);
+  out.puncts_pushed = stats_.puncts_pushed.load(std::memory_order_relaxed);
+  out.pages_flushed_full =
+      stats_.pages_flushed_full.load(std::memory_order_relaxed);
+  out.pages_flushed_punct =
+      stats_.pages_flushed_punct.load(std::memory_order_relaxed);
+  out.pages_flushed_eos =
+      stats_.pages_flushed_eos.load(std::memory_order_relaxed);
+  out.pages_flushed_explicit =
+      stats_.pages_flushed_explicit.load(std::memory_order_relaxed);
+  out.pages_pushed_whole =
+      stats_.pages_pushed_whole.load(std::memory_order_relaxed);
+  out.pages_popped = stats_.pages_popped.load(std::memory_order_relaxed);
+  return out;
 }
 
 void DataQueue::SetConsumerNotifier(std::function<void()> fn) {
   std::lock_guard<std::mutex> lock(mu_);
-  consumer_notifier_ = std::move(fn);
+  notifier_storage_.push_back(
+      std::make_unique<std::function<void()>>(std::move(fn)));
+  consumer_notifier_.store(notifier_storage_.back().get(),
+                           std::memory_order_release);
 }
 
 void DataQueue::NotifyConsumer() {
-  std::function<void()> fn;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    fn = consumer_notifier_;
-  }
-  if (fn) fn();
+  const std::function<void()>* fn =
+      consumer_notifier_.load(std::memory_order_acquire);
+  if (fn != nullptr && *fn) (*fn)();
 }
 
 }  // namespace nstream

@@ -1,22 +1,58 @@
 // DataQueue: the downstream (with-the-data) half of an inter-operator
 // connection (Fig. 3). Producer-side page assembly with
-// punctuation-triggered flush; consumer-side page pops. Thread-safe so
-// the same queue serves the single-threaded executors and the
-// thread-per-operator executor.
+// punctuation-triggered flush; consumer-side page pops.
+//
+// The queue is a façade over two interchangeable transports:
+//
+//   * kMutexDeque — the original mutex + condvar deque. Safe for any
+//     number of pushing/popping threads and for unbounded queues; the
+//     single-threaded executors and any DataQueue constructed outside
+//     a finalized plan use it.
+//   * kSpscRing — a bounded lock-free single-producer/single-consumer
+//     ring of pages (stream/spsc_ring.h). Plan edges are tagged SPSC
+//     at wiring time (PlanRuntime::Create) when they have exactly one
+//     producer port and one consumer port, which under the
+//     thread-per-operator executor means exactly one pushing and one
+//     popping thread. Pushes and pops then cost one atomic
+//     release-store each; the mutex survives only on slow paths
+//     (backpressure waits, purge/promote surgery, notifier install).
+//
+// SPSC thread contract: all producer-side calls (PushTuple/
+// PushPunctuation/PushEos/PushPage/Flush) from one thread; all
+// consumer-side calls (TryPopPage/PopPageBlocking/PurgeMatching/
+// PromoteMatching) from one thread. Drained/HasPage/stats are safe
+// from any thread. Feedback-exploit surgery is consumer-side because
+// exploiters purge/promote their own *input* queues, so the executors
+// satisfy the contract by construction.
+//
+// Punctuation/EOS ordering is transport-independent: pages enter the
+// queue in push order and leave in pop order on both transports, and a
+// punctuation still flushes its page immediately, so a punctuation is
+// only ever a page's last element either way.
 
 #ifndef NSTREAM_STREAM_DATA_QUEUE_H_
 #define NSTREAM_STREAM_DATA_QUEUE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "stream/page.h"
+#include "stream/spsc_ring.h"
 
 namespace nstream {
+
+/// Which structure moves pages from producer to consumer.
+enum class DataQueueTransport : uint8_t {
+  kMutexDeque = 0,  // lock-based, any threading, unbounded allowed
+  kSpscRing,        // lock-free, exactly 1 producer + 1 consumer thread
+};
 
 /// Tuning knobs for one queue.
 struct DataQueueOptions {
@@ -26,7 +62,12 @@ struct DataQueueOptions {
   int page_size = 128;
   // Maximum queued pages before the producer blocks (threaded executor
   // backpressure). <= 0 means unbounded (single-threaded executors).
+  // The SPSC ring rounds this bound up to a power of two.
   int max_pages = 0;
+  DataQueueTransport transport = DataQueueTransport::kMutexDeque;
+  // Ring capacity (pages) used when transport is kSpscRing and
+  // max_pages <= 0 — a ring is inherently bounded.
+  int spsc_default_capacity = 64;
 };
 
 /// Monotonic counters exposed for tests and benches.
@@ -50,19 +91,22 @@ class DataQueue {
  public:
   explicit DataQueue(DataQueueOptions options = {});
 
+  DataQueueTransport transport() const { return options_.transport; }
+
   // ---- Producer side ----
   void PushTuple(Tuple t);
   /// Punctuation is appended and the page is flushed immediately.
   void PushPunctuation(Punctuation p);
   /// End-of-stream marker; flushes and marks the queue finished.
   void PushEos();
-  /// Enqueue a pre-assembled page of TUPLES under a single lock — the
-  /// page-granular fast path used by Exchange / ShardMerge, which
-  /// re-batch or forward whole pages instead of paying one lock per
-  /// tuple. The open per-tuple page (if any) is flushed first so
-  /// element order is preserved. The page must not contain punctuation
-  /// or EOS (those must go through PushPunctuation / PushEos so their
-  /// flush-and-notify semantics hold); empty pages are dropped.
+  /// Enqueue a pre-assembled page of TUPLES — the page-granular fast
+  /// path used by Exchange / ShardMerge / the join's result stream,
+  /// which re-batch or forward whole pages instead of paying one queue
+  /// transition per tuple. The open per-tuple page (if any) is flushed
+  /// first so element order is preserved. The page must not contain
+  /// punctuation or EOS (those must go through PushPunctuation /
+  /// PushEos so their flush-and-notify semantics hold); empty pages are
+  /// dropped.
   void PushPage(Page&& page);
   /// Force the open page (if any) into the queue.
   void Flush();
@@ -70,14 +114,23 @@ class DataQueue {
   // ---- Consumer side ----
   /// Non-blocking pop; nullopt when no complete page is queued.
   std::optional<Page> TryPopPage();
-  /// Blocking pop for the threaded executor; returns nullopt only when
-  /// the queue is finished (EOS seen) and drained, or `cancel` flips.
+  /// Blocking pop; returns nullopt only when the queue is finished
+  /// (EOS seen) and drained, or `cancel` flips.
   std::optional<Page> PopPageBlocking(const std::function<bool()>& cancel);
 
   /// Remove queued (not yet popped) tuples matching `pattern`.
   /// Punctuations and element order are untouched, so punctuation
   /// semantics are preserved. Returns the number of tuples removed.
   /// Used by assumed-feedback exploiters purging pending input.
+  ///
+  /// On an SPSC edge this is the consumer-side slow path: published
+  /// pages are drained out of the ring into a consumer-side staging
+  /// deque (served before the ring by subsequent pops, preserving
+  /// order) and purged there. The producer's open page cannot be
+  /// touched from the consumer thread, so tuples not yet published
+  /// are not purged — they arrive and are handled by the exploiter's
+  /// guards instead, which keeps feedback-exploit semantics sound
+  /// (purging is an optimization, never required for correctness).
   int PurgeMatching(const PunctPattern& pattern);
 
   /// Within each queued page, stably move tuples matching `pattern`
@@ -85,6 +138,7 @@ class DataQueue {
   /// punctuation can only be a page's last element, so reordering
   /// within a page never moves a tuple across a punctuation. Used by
   /// desired-feedback exploiters. Returns the number of tuples moved.
+  /// Same consumer-side slow path as PurgeMatching on SPSC edges.
   int PromoteMatching(const PunctPattern& pattern);
 
   /// True once EOS has been pushed and every page consumed.
@@ -93,24 +147,84 @@ class DataQueue {
   bool HasPage() const;
 
   /// Called (outside the lock) whenever a page becomes available;
-  /// the threaded executor uses it to wake the consumer thread.
+  /// the threaded executor uses it to wake the consumer thread. Pages
+  /// pushed before the notifier is installed are simply waiting in the
+  /// queue — install-then-poll sees them without any notification.
   void SetConsumerNotifier(std::function<void()> fn);
 
   DataQueueStats stats() const;
 
  private:
-  void FlushLocked(FlushReason reason);  // requires mu_ held
+  // Internal counters. Each is written either under mu_ (deque
+  // transport) or by exactly one thread (SPSC transport), so a relaxed
+  // load+store increment — a plain add, no lock prefix — is exact;
+  // atomics make the cross-thread stats() snapshot race-free.
+  struct AtomicStats {
+    std::atomic<uint64_t> tuples_pushed{0};
+    std::atomic<uint64_t> puncts_pushed{0};
+    std::atomic<uint64_t> pages_flushed_full{0};
+    std::atomic<uint64_t> pages_flushed_punct{0};
+    std::atomic<uint64_t> pages_flushed_eos{0};
+    std::atomic<uint64_t> pages_flushed_explicit{0};
+    std::atomic<uint64_t> pages_pushed_whole{0};
+    std::atomic<uint64_t> pages_popped{0};
+  };
+  static void Inc(std::atomic<uint64_t>& c, uint64_t by = 1) {
+    c.store(c.load(std::memory_order_relaxed) + by,
+            std::memory_order_relaxed);
+  }
+
+  bool spsc() const {
+    return options_.transport == DataQueueTransport::kSpscRing;
+  }
+  void FlushLocked(FlushReason reason);  // deque transport; mu_ held
+  void CountFlush(FlushReason reason);
+  // SPSC producer side: seal the open page / push a ready page into
+  // the ring, blocking (timed re-check) while the ring is full.
+  void FlushToRing(FlushReason reason);
+  void PushRing(Page&& page);
+  // SPSC consumer side: move every published page into side_pages_ so
+  // purge/promote can operate under mu_. Requires mu_ held; must be
+  // called from the consumer thread.
+  void DrainRingToSideLocked();
+  std::optional<Page> TryPopSpsc();
   void NotifyConsumer();
 
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   DataQueueOptions options_;
+  // Producer-side page under assembly. Deque transport: guarded by
+  // mu_. SPSC transport: producer-thread-local, never locked.
   Page open_page_;
+  // Deque transport storage.
   std::deque<Page> pages_;
-  bool eos_pushed_ = false;
-  DataQueueStats stats_;
-  std::function<void()> consumer_notifier_;
+  // SPSC transport storage: the lock-free ring, plus the consumer-side
+  // staging deque (guarded by mu_) that purge/promote surgery drains
+  // published pages into. side_count_ lets pops skip the lock when no
+  // surgery has happened (the overwhelmingly common case).
+  std::unique_ptr<SpscRing<Page>> ring_;
+  std::deque<Page> side_pages_;
+  std::atomic<size_t> side_count_{0};
+  std::atomic<bool> producer_waiting_{false};
+  std::atomic<bool> consumer_waiting_{false};
+  std::atomic<bool> eos_pushed_{false};
+  AtomicStats stats_;
+  // SPSC single-writer mirrors of the hottest counters: each side
+  // keeps the running value in a plain field it alone owns and
+  // publishes with one relaxed store, instead of paying an atomic
+  // load+store per element/page. Unused by the deque transport
+  // (multi-writer, so it increments the atomics under mu_).
+  uint64_t spsc_tuples_pushed_ = 0;   // producer-owned
+  uint64_t spsc_pages_whole_ = 0;     // producer-owned
+  uint64_t spsc_pages_popped_ = 0;    // consumer-owned
+  // The notifier is installed (rarely — once per run by the threaded
+  // executor) under mu_ but read lock-free on every push: the current
+  // function lives behind an atomic pointer, and superseded functions
+  // are parked in notifier_storage_ until destruction so a concurrent
+  // caller can never see a freed function.
+  std::atomic<const std::function<void()>*> consumer_notifier_{nullptr};
+  std::vector<std::unique_ptr<std::function<void()>>> notifier_storage_;
 };
 
 }  // namespace nstream

@@ -35,6 +35,9 @@ class Page {
   Page& operator=(Page&&) = default;
 
   void Add(StreamElement e) { elems_.push_back(std::move(e)); }
+  /// Pre-size the element vector (producers reserve page_size up
+  /// front so filling a page never reallocates mid-stream).
+  void Reserve(size_t n) { elems_.reserve(n); }
 
   bool empty() const { return elems_.empty(); }
   size_t size() const { return elems_.size(); }

@@ -127,5 +127,84 @@ TEST(CompiledPattern, KeepsPatternAccessible) {
   EXPECT_FALSE(compiled.always_true());
 }
 
+// ---- CompiledPatternCache ----
+
+PunctPattern WmPattern(int64_t bound) {
+  return PunctPattern::AllWildcard(3).With(
+      1, AttrPattern::Le(Value::Timestamp(bound)));
+}
+
+TEST(CompiledPatternCache, HashIsValueCompatible) {
+  PunctPattern a = WmPattern(50);
+  PunctPattern b = WmPattern(50);  // equal, distinct objects
+  PunctPattern c = WmPattern(51);
+  EXPECT_EQ(HashPunctPattern(a), HashPunctPattern(b));
+  EXPECT_NE(HashPunctPattern(a), HashPunctPattern(c));
+  // Constrained position matters, not just the operand.
+  PunctPattern d = PunctPattern::AllWildcard(3).With(
+      2, AttrPattern::Le(Value::Timestamp(50)));
+  EXPECT_NE(HashPunctPattern(a), HashPunctPattern(d));
+}
+
+TEST(CompiledPatternCache, EqualPatternsShareOneCompilation) {
+  CompiledPatternCache cache(8);
+  auto c1 = cache.Get(WmPattern(10));
+  auto c2 = cache.Get(WmPattern(10));  // different object, same value
+  EXPECT_EQ(c1.get(), c2.get());  // identical compilation shared
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto c3 = cache.Get(WmPattern(11));
+  EXPECT_NE(c1.get(), c3.get());
+  EXPECT_EQ(cache.misses(), 2u);
+  // The cached compilation matches exactly like a fresh one.
+  Tuple t = TupleBuilder().I64(0).Ts(10).I64(0).Build();
+  EXPECT_TRUE(c1->Matches(t));
+  EXPECT_FALSE(CompiledPattern(WmPattern(9)).Matches(t));
+}
+
+TEST(CompiledPatternCache, EvictionKeepsHandedOutCompilationsAlive) {
+  CompiledPatternCache cache(2);
+  auto c1 = cache.Get(WmPattern(1));
+  auto c2 = cache.Get(WmPattern(2));
+  // Touch 1 so 2 is the LRU victim when 3 arrives.
+  (void)cache.Get(WmPattern(1));
+  auto c3 = cache.Get(WmPattern(3));
+  EXPECT_EQ(cache.size(), 2u);
+  // Evicted entry's shared_ptr still works for its holder.
+  Tuple t = TupleBuilder().I64(0).Ts(2).I64(0).Build();
+  EXPECT_TRUE(c2->Matches(t));
+  // Re-requesting the evicted pattern recompiles (a miss, not a hit).
+  uint64_t misses_before = cache.misses();
+  (void)cache.Get(WmPattern(2));
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(CompiledPatternCache, ClearResetsEntriesAndCounters) {
+  CompiledPatternCache cache(4);
+  (void)cache.Get(WmPattern(1));
+  (void)cache.Get(WmPattern(1));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(CompiledPatternCache, GlobalInstanceCollapsesRepeatExploits) {
+  // The engine's exploit sites (queue purge/promote, join table
+  // sweeps, guard installs) all route through Global(): a pattern
+  // exploited at N relay hops compiles once.
+  CompiledPatternCache& g = CompiledPatternCache::Global();
+  PunctPattern p = PunctPattern::AllWildcard(4).With(
+      3, AttrPattern::Ge(Value::Int64(123456789)));
+  (void)g.Get(p);  // may hit or miss depending on prior tests
+  uint64_t hits_before = g.hits();
+  auto a = g.Get(p);
+  auto b = g.Get(p);
+  EXPECT_EQ(g.hits(), hits_before + 2);
+  EXPECT_EQ(a.get(), b.get());
+}
+
 }  // namespace
 }  // namespace nstream
