@@ -19,6 +19,7 @@
 #include "bench_json.h"
 #include "stream/data_queue.h"
 #include "types/tuple.h"
+#include "types/tuple_arena.h"
 
 namespace nstream {
 namespace {
@@ -328,6 +329,48 @@ void RecordHotpathJson() {
   double page_spsc128 = page_only(kSpsc);
   double mutex_2t = pushpop2t(kMutex, 128);
   double spsc_2t = pushpop2t(kSpsc, 128);
+  // The unbounded SPSC chain — the transport SyncExecutor edges now
+  // ride instead of the mutex deque.
+  const DataQueueTransport kChain = DataQueueTransport::kSpscChain;
+  double page_chain128 = page_only(kChain);
+  double tuple_chain128 = tuple_only(kChain);
+
+  // Arena A/B: construct-transfer-consume per tuple. The producer
+  // builds each 3-value tuple (two numerics + a short string) in the
+  // queue's open-page arena — or in owned heap storage with arenas
+  // globally disabled — and the consumer drops whole pages (wholesale
+  // arena free vs per-tuple destruction). This is the page-owned
+  // memory model's per-tuple cost, isolated from any operator logic.
+  auto build_cycle = [&](bool arenas_on) {
+    ScopedTupleArenasEnabled scoped(arenas_on);
+    DataQueueOptions opts;
+    opts.page_size = 128;
+    opts.transport = kChain;
+    opts.assume_single_thread = true;
+    const int reps = 16;
+    return best_of9([&] {
+      return MeasurePerSec(
+          static_cast<double>(kBatch) * reps, 150.0, [&] {
+            DataQueue q(opts);
+            for (int r = 0; r < reps; ++r) {
+              for (int i = 0; i < kBatch; ++i) {
+                TupleArena* arena = q.OpenPageArena();
+                Tuple t(arena, 3);
+                t.Append(Value::Int64(i));
+                t.Append(Value::Double(static_cast<double>(i)));
+                t.Append(Value::StringIn(arena, "seg-42"));
+                q.PushTuple(std::move(t));
+              }
+              q.Flush();
+              size_t popped = 0;
+              while (auto page = q.TryPopPage()) popped += page->size();
+              benchmark::DoNotOptimize(popped);
+            }
+          });
+    });
+  };
+  double arena_build = build_cycle(true);
+  double noarena_build = build_cycle(false);
 
   benchjson::RecordAll({
       {"queue.pushpop_page1_tuples_per_sec", mutex1},
@@ -349,6 +392,15 @@ void RecordHotpathJson() {
       {"queue.spsc_pushpop_2thread_page128_tuples_per_sec", spsc_2t},
       {"queue.spsc_2thread_speedup_page128", spsc_2t / mutex_2t},
       {"queue.purge_16k_tuples_per_sec", purge},
+      // Growable SPSC chain (SyncExecutor's unbounded edges).
+      {"queue.chain_pushpop_page128_tuples_per_sec", page_chain128},
+      {"queue.chain_speedup_page128", page_chain128 / page_mutex128},
+      {"queue.chain_tuple_transfer_page128_tuples_per_sec",
+       tuple_chain128},
+      // Arena-backed tuple memory: build + transfer + consume.
+      {"queue.arena_build_transfer_tuples_per_sec", arena_build},
+      {"queue.noarena_build_transfer_tuples_per_sec", noarena_build},
+      {"queue.arena_build_speedup", arena_build / noarena_build},
       {"queue.online_cpus",
        static_cast<double>(std::thread::hardware_concurrency())},
   });

@@ -6,8 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <thread>
 #include <unordered_map>
 
@@ -21,9 +24,17 @@
 #include "ops/symmetric_hash_join.h"
 #include "ops/vector_source.h"
 #include "punct/pattern_parser.h"
+#include "types/tuple_arena.h"
 
 namespace nstream {
 namespace {
+
+// Heap-allocation counting hook: this binary replaces global
+// operator new/delete with counting shims (definitions after main's
+// namespace), so BENCH_hotpath.json can record allocations per output
+// tuple — the arena model's primary claim — rather than inferring
+// them from timings.
+std::atomic<uint64_t> g_alloc_count{0};
 
 SchemaPtr LeftSchema() {
   return Schema::Make({{"a", ValueType::kInt64},
@@ -211,6 +222,11 @@ void RecordHotpathJson() {
   // two. The clean same-methodology A/B is batched_probe_speedup
   // (batched vs element_probe, both measured identically below).
   const int kJoinN = 1 << 13;
+  // The production default flipped to the element walk when the arena
+  // memory model landed (see JoinOptions::page_batched_probe); the
+  // headline and arena rows measure whatever the default is, while
+  // the batched/element A/B keeps both paths honest.
+  const bool kDefaultBatched = JoinOptions{}.page_batched_probe;
   auto timed_run = [&](bool batched) {
     auto start = std::chrono::steady_clock::now();
     JoinRun run = RunJoin(nullptr, kJoinN, nullptr, batched);
@@ -229,15 +245,51 @@ void RecordHotpathJson() {
   timed_run(false);
   double batched_tps = best_run(true);
   double element_tps = best_run(false);
+  double default_tps = kDefaultBatched ? batched_tps : element_tps;
+  // Arena A/B on the identical plan (production probe config): page
+  // arenas globally disabled puts every result tuple (and join-table
+  // entry) back on the owned per-tuple allocation path.
+  double noarena_tps;
+  {
+    ScopedTupleArenasEnabled off(false);
+    timed_run(kDefaultBatched);  // warm this configuration too
+    noarena_tps = best_run(kDefaultBatched);
+  }
+
+  // Allocations per output tuple, via the operator-new counting hook.
+  // One warm run first so allocator pools and code paths are hot;
+  // then a counted run. The count covers the whole pipeline (plan
+  // build, sources, queues), so the per-output quotient slightly
+  // OVERSTATES the result-tuple cost — fine for an upper bound.
+  auto allocs_per_output = [&](bool arenas_on) {
+    ScopedTupleArenasEnabled scoped(arenas_on);
+    RunJoin(nullptr, kJoinN, nullptr, kDefaultBatched);  // warm
+    uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    JoinRun run = RunJoin(nullptr, kJoinN, nullptr, kDefaultBatched);
+    uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - before;
+    return static_cast<double>(allocs) /
+           static_cast<double>(run.joined == 0 ? 1 : run.joined);
+  };
+  double arena_allocs = allocs_per_output(true);
+  double noarena_allocs = allocs_per_output(false);
 
   benchjson::RecordAll({
       {"join.seed_stringkey_probes_per_sec", seed_probe},
       {"join.hashed_probes_per_sec", hashed_probe},
       {"join.hashed_probe_speedup", hashed_probe / seed_probe},
-      {"join.table2_8192_tuples_per_sec", batched_tps},
+      {"join.table2_8192_tuples_per_sec", default_tps},
       {"join.batched_probe_tuples_per_sec", batched_tps},
       {"join.element_probe_tuples_per_sec", element_tps},
       {"join.batched_probe_speedup", batched_tps / element_tps},
+      // Arena-backed tuple memory: e2e throughput and allocation
+      // count A/B on the production (batched, paged) configuration.
+      {"join.arena_tuples_per_sec", default_tps},
+      {"join.noarena_tuples_per_sec", noarena_tps},
+      {"join.arena_e2e_speedup", default_tps / noarena_tps},
+      {"join.arena_allocs_per_output", arena_allocs},
+      {"join.noarena_allocs_per_output", noarena_allocs},
+      {"join.arena_alloc_reduction", noarena_allocs / arena_allocs},
       {"join.online_cpus",
        static_cast<double>(std::thread::hardware_concurrency())},
   });
@@ -245,6 +297,24 @@ void RecordHotpathJson() {
 
 }  // namespace
 }  // namespace nstream
+
+// Global allocation-counting shims (see g_alloc_count above). Sized
+// deletes forward to free; counting uses relaxed atomics so the hook
+// costs one uncontended add per allocation.
+void* operator new(std::size_t n) {
+  nstream::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  nstream::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 int main(int argc, char** argv) {
   using namespace nstream;

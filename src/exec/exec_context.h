@@ -42,6 +42,19 @@ class ExecContext {
   /// tuple. The SimExecutor returns false: it models per-element timing
   /// and batched emission would distort its virtual-time dynamics.
   virtual bool PagedEmissionPreferred() const { return false; }
+  /// Arena backing the open output page of `out_port`, so per-tuple
+  /// emitters can build results in place (zero heap allocations per
+  /// tuple; payloads are freed wholesale when the consumer drops the
+  /// page). Null whenever the executor, transport, or global arena
+  /// switch cannot provide one — callers must treat null as "build an
+  /// owned tuple" (Tuple's arena constructor and Value::StringIn both
+  /// accept null for exactly this). A tuple built from the returned
+  /// arena must be passed to EmitTuple on the SAME port before any
+  /// other emission on that port.
+  virtual TupleArena* OpenPageArena(int out_port) {
+    (void)out_port;
+    return nullptr;
+  }
 
   // ---- Upstream (against the data; out-of-band) ----
   /// Send feedback punctuation to the producer feeding input `in_port`.

@@ -26,6 +26,9 @@ Result<std::unique_ptr<PlanRuntime>> PlanRuntime::Create(
     if (policy == EdgeTransportPolicy::kSpscWhereEligible &&
         plan->EdgeSpscEligible(edge_index)) {
       opts.transport = DataQueueTransport::kSpscRing;
+    } else if (policy == EdgeTransportPolicy::kSpscChainSingleThread) {
+      opts.transport = DataQueueTransport::kSpscChain;
+      opts.assume_single_thread = true;
     }
     ++edge_index;
     auto conn = std::make_unique<Connection>(opts);

@@ -25,6 +25,13 @@ enum class EdgeTransportPolicy : uint8_t {
   // this: it pushes from exactly the producer's thread and pops from
   // exactly the consumer's.
   kSpscWhereEligible,
+  // Every edge uses the unbounded lock-free SPSC chain
+  // (stream/spsc_chain.h). Only sound when ALL pushes and pops happen
+  // on one thread (then every edge is trivially SPSC regardless of
+  // plan shape); the single-threaded executors use this and also set
+  // DataQueueOptions::assume_single_thread for deque-equivalent
+  // purge/promote surgery.
+  kSpscChainSingleThread,
 };
 
 class PlanRuntime {

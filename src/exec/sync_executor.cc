@@ -32,6 +32,9 @@ class SyncContext final : public ExecContext {
     rt_->output_conn(op_id_, out_port)->data->PushPage(std::move(page));
   }
   bool PagedEmissionPreferred() const override { return true; }
+  TupleArena* OpenPageArena(int out_port) override {
+    return rt_->output_conn(op_id_, out_port)->data->OpenPageArena();
+  }
   void EmitFeedback(int in_port, FeedbackPunctuation fb) override {
     rt_->input_conn(op_id_, in_port)
         ->control->Push(ControlMessage::Feedback(std::move(fb)));
@@ -62,8 +65,18 @@ Status SyncExecutor::Run(QueryPlan* plan) {
   if (!plan->finalized()) {
     NSTREAM_RETURN_NOT_OK(plan->Finalize());
   }
-  NSTREAM_ASSIGN_OR_RETURN(std::unique_ptr<PlanRuntime> rt,
-                           PlanRuntime::Create(plan, options_.queue));
+  DataQueueOptions queue_options = options_.queue;
+  EdgeTransportPolicy policy = EdgeTransportPolicy::kMutexDeque;
+  if (options_.use_growable_rings &&
+      queue_options.transport == DataQueueTransport::kMutexDeque) {
+    // Everything runs on this one thread, so every edge is trivially
+    // SPSC and the unbounded chain replaces the mutex deque. A caller
+    // who pinned an explicit transport in options_.queue keeps it.
+    policy = EdgeTransportPolicy::kSpscChainSingleThread;
+  }
+  NSTREAM_ASSIGN_OR_RETURN(
+      std::unique_ptr<PlanRuntime> rt,
+      PlanRuntime::Create(plan, queue_options, policy));
 
   const int n = plan->num_operators();
   std::vector<std::unique_ptr<SyncContext>> contexts;

@@ -67,6 +67,12 @@ class ThreadedContext final : public ExecContext {
     rt_->output_conn(op_id_, out_port)->data->PushPage(std::move(page));
   }
   bool PagedEmissionPreferred() const override { return true; }
+  TupleArena* OpenPageArena(int out_port) override {
+    // Safe from the operator's own thread only — exactly the thread
+    // that ever calls EmitTuple on this context. The queue declines
+    // (null) on transports whose open page is not producer-local.
+    return rt_->output_conn(op_id_, out_port)->data->OpenPageArena();
+  }
   void EmitFeedback(int in_port, FeedbackPunctuation fb) override {
     rt_->input_conn(op_id_, in_port)
         ->control->Push(ControlMessage::Feedback(std::move(fb)));

@@ -80,7 +80,10 @@ Status Exchange::ProcessTuple(int, const Tuple& tuple) {
 
 void Exchange::StageTuple(int shard, Tuple t) {
   Page& page = staged_[static_cast<size_t>(shard)];
-  page.Add(StreamElement::OfTuple(std::move(t)));
+  // A staging page outlives the input page it partitions, so a tuple
+  // still backed by the input page's arena is re-homed (bump-copied)
+  // into the staging page's own arena; owned tuples keep the free move.
+  page.AddTuple(std::move(t));
   if (static_cast<int>(page.size()) >= options_.stage_page_size) {
     EmitPage(shard, std::move(page));
     page = Page();

@@ -43,27 +43,52 @@ class Project final : public Operator {
       ++stats_.input_guard_drops;
       return Status::OK();
     }
-    Tuple out;
-    for (int i : keep_) out.Append(tuple.value(i));
-    out.set_id(tuple.id());
-    out.set_arrival_ms(tuple.arrival_ms());
+    // Build the projection in the open output page's arena when the
+    // executor exposes one (null on the Sim path / foreign contexts —
+    // the owned fallback): per-tuple emission then still allocates
+    // nothing on the heap.
+    Tuple out = Projected(tuple, ctx()->OpenPageArena(0));
     Emit(0, std::move(out));
     return Status::OK();
   }
 
   Status ProcessPage(int port, Page&& page, TimeMs* tick) override {
     // Stateless projection: batch loop, one virtual call per page.
+    if (!ctx()->PagedEmissionPreferred()) {
+      return WalkPageElements(this, &stats_, port, std::move(page),
+                              tick);
+    }
+    // Paged path: projected tuples bump-allocate from the staged
+    // output page's arena (zero heap traffic per result) and make the
+    // queue hop as one page. The staged page flushes before any
+    // punctuation/EOS so results never overtake progress claims.
+    Page out;
+    out.Reserve(page.size());
     for (StreamElement& e : page.mutable_elements()) {
       if (tick) ++*tick;
       if (e.is_tuple()) {
         ++stats_.tuples_in;
-        NSTREAM_RETURN_NOT_OK(ProcessTuple(port, e.tuple()));
-      } else if (e.is_punct()) {
-        NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, e.punct()));
+        const Tuple& tuple = e.tuple();
+        if (input_guards_.Blocks(tuple)) {
+          ++stats_.input_guard_drops;
+          continue;
+        }
+        Tuple pt = Projected(tuple, out.arena());
+        ++stats_.tuples_out;
+        out.Add(StreamElement::OfTuple(std::move(pt)));
       } else {
-        NSTREAM_RETURN_NOT_OK(ProcessEos(port));
+        if (!out.empty()) {
+          ctx()->EmitPage(0, std::move(out));
+          out = Page();
+        }
+        if (e.is_punct()) {
+          NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, e.punct()));
+        } else {
+          NSTREAM_RETURN_NOT_OK(ProcessEos(port));
+        }
       }
     }
+    if (!out.empty()) ctx()->EmitPage(0, std::move(out));
     return Status::OK();
   }
 
@@ -131,6 +156,14 @@ class Project final : public Operator {
   const GuardSet& input_guards() const { return input_guards_; }
 
  private:
+  Tuple Projected(const Tuple& tuple, TupleArena* arena) const {
+    Tuple out(arena, keep_.size());
+    for (int i : keep_) out.Append(tuple.value(i));
+    out.set_id(tuple.id());
+    out.set_arrival_ms(tuple.arrival_ms());
+    return out;
+  }
+
   std::vector<int> keep_;
   ProjectOptions options_;
   SchemaMap map_{1, 0};

@@ -105,20 +105,34 @@ uint64_t SymmetricHashJoin::KeyHash(const Tuple& t, int port,
   return MixWidHash(static_cast<uint64_t>(t.HashSubset(keys)), wid);
 }
 
-Tuple SymmetricHashJoin::JoinTuples(const Tuple& left,
-                                    const Tuple& right) const {
-  Tuple out;
-  out.Reserve(left.values().size() + right_nonkey_.size());
-  for (const Value& v : left.values()) out.Append(v);
+Status SymmetricHashJoin::Open(ExecContext* ctx) {
+  NSTREAM_RETURN_NOT_OK(Operator::Open(ctx));
+  paged_emission_ = this->ctx()->PagedEmissionPreferred();
+  return Status::OK();
+}
+
+TupleArena* SymmetricHashJoin::OutArena() {
+  // Results staged for paged emission build straight into the staging
+  // page's arena — zero heap allocations per result tuple. Per-element
+  // emitters (the SimExecutor path) get owned tuples via the nullptr
+  // fallback.
+  if (!paged_emission_) return nullptr;
+  return out_staged_.arena();
+}
+
+Tuple SymmetricHashJoin::JoinTuples(const Tuple& left, const Tuple& right,
+                                    TupleArena* arena) const {
+  Tuple out(arena, static_cast<size_t>(left.size()) + right_nonkey_.size());
+  for (int i = 0; i < left.size(); ++i) out.Append(left.value(i));
   for (int i : right_nonkey_) out.Append(right.value(i));
   out.set_id(left.id());
   return out;
 }
 
-Tuple SymmetricHashJoin::OuterTuple(const Tuple& left) const {
-  Tuple out;
-  out.Reserve(left.values().size() + right_nonkey_.size());
-  for (const Value& v : left.values()) out.Append(v);
+Tuple SymmetricHashJoin::OuterTuple(const Tuple& left,
+                                    TupleArena* arena) const {
+  Tuple out(arena, static_cast<size_t>(left.size()) + right_nonkey_.size());
+  for (int i = 0; i < left.size(); ++i) out.Append(left.value(i));
   for (size_t i = 0; i < right_nonkey_.size(); ++i) {
     out.Append(Value::Null());
   }
@@ -134,7 +148,7 @@ void SymmetricHashJoin::EmitJoined(Tuple out) {
     return;
   }
   ++joined_count_;
-  if (!ctx()->PagedEmissionPreferred()) {
+  if (!paged_emission_) {
     Emit(0, std::move(out));
     return;
   }
@@ -155,7 +169,16 @@ void SymmetricHashJoin::EmitJoined(Tuple out) {
 }
 
 void SymmetricHashJoin::FlushOutput() {
-  if (out_staged_.empty()) return;
+  if (out_staged_.empty()) {
+    // Guard-blocked results were built in the staging arena before
+    // the Blocks() check dropped them (the guard matches the OUTPUT
+    // tuple, so it cannot run before construction). If every result
+    // since the last flush was blocked, the page is empty but the
+    // arena holds their dead payloads — reset so a long-lived guard
+    // cannot grow it without bound (chunks return to the pool).
+    if (out_staged_.arena_if_created() != nullptr) out_staged_ = Page();
+    return;
+  }
   EmitPage(0, std::move(out_staged_));
   out_staged_ = Page();
 }
@@ -279,9 +302,9 @@ Status SymmetricHashJoin::ProcessTupleRun(
           ent.matched = true;
           run[m].matched = true;
           if (port == 0) {
-            EmitJoined(JoinTuples(tuple, ent.tuple));
+            EmitJoined(JoinTuples(tuple, ent.tuple, OutArena()));
           } else {
-            EmitJoined(JoinTuples(ent.tuple, tuple));
+            EmitJoined(JoinTuples(ent.tuple, tuple, OutArena()));
           }
         }
       }
@@ -302,6 +325,10 @@ Status SymmetricHashJoin::ProcessTupleRun(
       }
       Entry entry;
       entry.tuple = std::move(tuple);  // page is ours: move, don't copy
+      // Table entries outlive the input page: promote arena-backed
+      // tuples into table-owned (heap) storage. Owned tuples (the
+      // source-fed common case) keep the zero-copy move.
+      entry.tuple.Promote();
       entry.wid = run[m].wid;
       entry.gated = run[m].gated;
       entry.matched = run[m].matched;
@@ -365,9 +392,9 @@ Status SymmetricHashJoin::ProcessTuple(int port, const Tuple& tuple) {
       e.matched = true;
       matched_now = true;
       if (port == 0) {
-        EmitJoined(JoinTuples(tuple, e.tuple));
+        EmitJoined(JoinTuples(tuple, e.tuple, OutArena()));
       } else {
-        EmitJoined(JoinTuples(e.tuple, tuple));
+        EmitJoined(JoinTuples(e.tuple, tuple, OutArena()));
       }
     }
   }
@@ -449,7 +476,7 @@ void SymmetricHashJoin::PurgeWindowsThrough(int side, int64_t wid,
         continue;
       }
       if (emit_outer && !e.matched) {
-        Tuple out = OuterTuple(e.tuple);
+        Tuple out = OuterTuple(e.tuple, OutArena());
         EmitJoined(std::move(out));
       }
       ++stats_.state_purged;
@@ -576,7 +603,9 @@ Status SymmetricHashJoin::OnAllInputsEos() {
                 if (a->wid != b->wid) return a->wid < b->wid;
                 return a->tuple.id() < b->tuple.id();
               });
-    for (const Entry* e : unmatched) EmitJoined(OuterTuple(e->tuple));
+    for (const Entry* e : unmatched) {
+      EmitJoined(OuterTuple(e->tuple, OutArena()));
+    }
   }
   tables_[0].clear();
   tables_[1].clear();

@@ -91,9 +91,17 @@ struct JoinOptions {
   // Within a key, element order is preserved; across keys the output
   // interleaving may differ from the element-wise walk (the result
   // multiset is identical — join_batched_probe_test enforces it).
-  // Off = per-element walk, the SimExecutor's path and the A/B
-  // baseline for tests and benches.
-  bool page_batched_probe = true;
+  //
+  // Default OFF since the arena memory model landed: grouping paid
+  // for itself when every result tuple cost a malloc, but with
+  // results bump-allocated from the staging page's arena the element
+  // walk measures ~1.3-1.5x faster across key-cardinality regimes on
+  // the Table 2 pipeline (the sort + staging + scattered element
+  // access now outweigh the saved hash lookups — bench_table2_join's
+  // batched_probe/element_probe rows carry the A/B). The grouped path
+  // stays available and equivalence-tested; an adjacency-based
+  // (sort-free) grouping is the candidate to win it back.
+  bool page_batched_probe = false;
 
   // Test seam: replaces the (wid, key-subset) hash used for the join
   // tables and feedback dedup sets. Forcing a constant here makes every
@@ -118,6 +126,7 @@ class SymmetricHashJoin final : public Operator {
   SymmetricHashJoin(std::string name, JoinOptions options);
 
   Status InferSchemas() override;
+  Status Open(ExecContext* ctx) override;
   Status ProcessTuple(int port, const Tuple& tuple) override;
   /// Page-at-a-time path: runs of tuples (between punctuation/EOS
   /// boundaries) are probed grouped by key hash — one table lookup per
@@ -188,8 +197,12 @@ class SymmetricHashJoin final : public Operator {
   /// randomized equivalence test compares the two paths directly.
   Status ProcessTupleRun(int port, std::vector<StreamElement>& elems,
                          size_t begin, size_t end, TimeMs* tick);
-  Tuple JoinTuples(const Tuple& left, const Tuple& right) const;
-  Tuple OuterTuple(const Tuple& left) const;
+  /// Arena for result construction: the staging page's arena when
+  /// results are paged, null (owned fallback) otherwise.
+  TupleArena* OutArena();
+  Tuple JoinTuples(const Tuple& left, const Tuple& right,
+                   TupleArena* arena) const;
+  Tuple OuterTuple(const Tuple& left, TupleArena* arena) const;
   void EmitJoined(Tuple out);
   void FlushOutput();
   void PurgeWindowsThrough(int side, int64_t wid, bool emit_outer);
@@ -204,6 +217,11 @@ class SymmetricHashJoin final : public Operator {
   int left_arity_ = 0;
   int right_arity_ = 0;
   std::vector<int> right_nonkey_;  // right attrs appended to output
+
+  // Cached ExecContext::PagedEmissionPreferred() — a per-context
+  // constant, looked up once in Open instead of twice (OutArena +
+  // EmitJoined) per emitted result.
+  bool paged_emission_ = false;
 
   Table tables_[2];
   GuardSet input_guards_[2];

@@ -55,7 +55,10 @@ struct WindowAggregate::Partial {
 WindowAggregate::WindowAggregate(std::string name,
                                  WindowAggregateOptions options)
     : Operator(std::move(name), 1, 1),
-      options_(std::move(options)),
+      options_([&] {
+        if (options.output_page_size <= 0) options.output_page_size = 1;
+        return std::move(options);
+      }()),
       num_groups_(static_cast<int>(options_.group_attrs.size())),
       agg_out_idx_(1 + num_groups_),
       state_(std::make_unique<
@@ -64,6 +67,12 @@ WindowAggregate::WindowAggregate(std::string name,
           std::make_unique<std::unordered_set<Key, KeyHash, KeyEq>>()) {}
 
 WindowAggregate::~WindowAggregate() = default;
+
+Status WindowAggregate::Open(ExecContext* ctx) {
+  NSTREAM_RETURN_NOT_OK(Operator::Open(ctx));
+  paged_emission_ = this->ctx()->PagedEmissionPreferred();
+  return Status::OK();
+}
 
 AggMonotonicity WindowAggregate::monotonicity() const {
   switch (options_.kind) {
@@ -110,9 +119,9 @@ Status WindowAggregate::InferSchemas() {
   return Status::OK();
 }
 
-Tuple WindowAggregate::MakeOutput(const Key& key,
-                                  const Partial& p) const {
-  Tuple t;
+Tuple WindowAggregate::MakeOutput(const Key& key, const Partial& p,
+                                  TupleArena* arena) const {
+  Tuple t(arena, 1 + key.groups.size() + 1);
   t.Append(Value::Timestamp(options_.window.WindowEnd(key.wid)));
   for (const Value& g : key.groups) t.Append(g);
   switch (options_.kind) {
@@ -166,23 +175,91 @@ Tuple WindowAggregate::MakeProbe(const Key& key) const {
   return t;
 }
 
+void WindowAggregate::ApplyPartial(Partial& p, double v) {
+  ++p.count;
+  p.sum += v;
+  if (v > p.max || p.count == 1) p.max = v;
+  if (v < p.min || p.count == 1) p.min = v;
+}
+
+uint64_t WindowAggregate::HashKeyOf(int64_t wid, const Tuple& t) const {
+  // Mirrors KeyHash over the Key this (tuple, window) would build:
+  // equal keys hash equally, which is all the run grouping needs
+  // (group membership is verified value-by-value via SameKey).
+  size_t h = std::hash<int64_t>{}(wid);
+  for (int g : options_.group_attrs) {
+    h ^= t.value(g).Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool WindowAggregate::SameKey(const Key& key, int64_t wid,
+                              const Tuple& t) const {
+  if (key.wid != wid) return false;
+  for (int gi = 0; gi < num_groups_; ++gi) {
+    if (!(key.groups[static_cast<size_t>(gi)] ==
+          t.value(options_.group_attrs[static_cast<size_t>(gi)]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status WindowAggregate::UpdateState(const Tuple& tuple, int64_t wid,
+                                    double v) {
+  Key key;
+  key.wid = wid;
+  key.groups.reserve(static_cast<size_t>(num_groups_));
+  for (int g : options_.group_attrs) key.groups.push_back(tuple.value(g));
+
+  if (!tombstones_->empty() && tombstones_->count(key) > 0) {
+    ++stats_.input_guard_drops;
+    ++updates_skipped_;
+    return Status::OK();
+  }
+  if (options_.charge_ms_per_update > 0) {
+    ctx()->ChargeMs(options_.charge_ms_per_update);
+  }
+  for (int w = 0; w < options_.work_iters_per_update; ++w) {
+    work_checksum_ =
+        work_checksum_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  auto [it, inserted] = state_->try_emplace(std::move(key));
+  ApplyPartial(it->second, v);
+  ++updates_applied_;
+
+  // Monotone purge check (the MAX ¬[*,≥50] behaviour): if an active
+  // feedback pattern now provably covers this entry's final result,
+  // drop the state and tombstone the key so late tuples cannot
+  // recreate it with a wrong partial (§3.5's value-40 pitfall).
+  if (!purge_partial_patterns_.empty()) {
+    Tuple out = MakeOutput(it->first, it->second);
+    for (const PunctPattern& pat : purge_partial_patterns_) {
+      if (pat.Matches(out)) {
+        tombstones_->insert(it->first);
+        state_->erase(it);
+        ++stats_.state_purged;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status WindowAggregate::ProcessTuple(int, const Tuple& tuple) {
   Result<int64_t> ts = tuple.value(options_.ts_attr).AsInt64();
   if (!ts.ok()) return Status::OK();  // untimestamped: contribute nothing
 
   // The aggregated value (ignored for COUNT(*)).
   double v = 0;
-  bool has_value = options_.agg_attr < 0;
   if (options_.agg_attr >= 0) {
     Result<double> rv = tuple.value(options_.agg_attr).AsDouble();
     if (rv.ok()) {
       v = rv.value();
-      has_value = true;
     } else if (options_.kind != AggKind::kCount) {
       return Status::OK();  // NULL value: no contribution (SQL-style)
     }
   }
-  (void)has_value;
 
   for (int64_t wid : options_.window.WindowsOf(ts.value())) {
     if (wid <= closed_through_) continue;  // window already closed
@@ -194,57 +271,194 @@ Status WindowAggregate::ProcessTuple(int, const Tuple& tuple) {
       ++updates_skipped_;
       continue;
     }
-    Key key;
-    key.wid = wid;
-    key.groups.reserve(static_cast<size_t>(num_groups_));
-    for (int g : options_.group_attrs) key.groups.push_back(tuple.value(g));
+    NSTREAM_RETURN_NOT_OK(UpdateState(tuple, wid, v));
+  }
+  return Status::OK();
+}
 
-    if (!tombstones_->empty() && tombstones_->count(key) > 0) {
-      ++stats_.input_guard_drops;
-      ++updates_skipped_;
-      continue;
+Status WindowAggregate::ProcessPage(int port, Page&& page, TimeMs* tick) {
+  if (!options_.page_batched_input) {
+    Status st = Operator::ProcessPage(port, std::move(page), tick);
+    FlushOutput();
+    return st;
+  }
+  // Batched walk, same shape as the join's: runs of tuples between
+  // punctuation/EOS boundaries take the grouped update; the
+  // boundaries keep guard/tombstone/closed-window state fixed within
+  // a run, so per-run decisions match the element-wise walk's.
+  std::vector<StreamElement>& elems = page.mutable_elements();
+  size_t i = 0;
+  while (i < elems.size()) {
+    if (elems[i].is_tuple()) {
+      size_t j = i + 1;
+      while (j < elems.size() && elems[j].is_tuple()) ++j;
+      NSTREAM_RETURN_NOT_OK(ProcessTupleRun(elems, i, j, tick));
+      i = j;
+    } else {
+      if (tick) ++*tick;
+      if (elems[i].is_punct()) {
+        NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, elems[i].punct()));
+      } else {
+        NSTREAM_RETURN_NOT_OK(ProcessEos(port));
+      }
+      ++i;
     }
-    if (options_.charge_ms_per_update > 0) {
-      ctx()->ChargeMs(options_.charge_ms_per_update);
-    }
-    for (int w = 0; w < options_.work_iters_per_update; ++w) {
-      work_checksum_ =
-          work_checksum_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    }
-    auto [it, inserted] = state_->try_emplace(std::move(key));
-    Partial& p = it->second;
-    ++p.count;
-    p.sum += v;
-    if (v > p.max || p.count == 1) p.max = v;
-    if (v < p.min || p.count == 1) p.min = v;
-    ++updates_applied_;
+  }
+  FlushOutput();
+  return Status::OK();
+}
 
-    // Monotone purge check (the MAX ¬[*,≥50] behaviour): if an active
-    // feedback pattern now provably covers this entry's final result,
-    // drop the state and tombstone the key so late tuples cannot
-    // recreate it with a wrong partial (§3.5's value-40 pitfall).
-    if (!purge_partial_patterns_.empty()) {
-      Tuple out = MakeOutput(it->first, it->second);
-      for (const PunctPattern& pat : purge_partial_patterns_) {
-        if (pat.Matches(out)) {
-          tombstones_->insert(it->first);
-          state_->erase(it);
-          ++stats_.state_purged;
-          break;
-        }
+Status WindowAggregate::ProcessTupleRun(std::vector<StreamElement>& elems,
+                                        size_t begin, size_t end,
+                                        TimeMs* tick) {
+  // Purge-on-partial feedback performs per-update state surgery
+  // (erase + tombstone) that the grouped path cannot replicate
+  // without per-item re-checks; fall back to the element walk while
+  // any such pattern is active (rare: only after monotone assumed
+  // feedback, and expired by the next covering punctuation).
+  if (!purge_partial_patterns_.empty()) {
+    for (size_t e = begin; e < end; ++e) {
+      if (tick) ++*tick;
+      ++stats_.tuples_in;
+      NSTREAM_RETURN_NOT_OK(ProcessTuple(0, elems[e].tuple()));
+    }
+    return Status::OK();
+  }
+
+  // Pass 1: per-(tuple, window) admission — timestamp, value, closed
+  // window, group guard — exactly ProcessTuple's checks and counter
+  // increments, plus one group-hash computation.
+  std::vector<RunItem>& run = run_scratch_;
+  run.clear();
+  for (size_t e = begin; e < end; ++e) {
+    if (tick) ++*tick;
+    ++stats_.tuples_in;
+    const Tuple& tuple = elems[e].tuple();
+    Result<int64_t> ts = tuple.value(options_.ts_attr).AsInt64();
+    if (!ts.ok()) continue;
+    double v = 0;
+    if (options_.agg_attr >= 0) {
+      Result<double> rv = tuple.value(options_.agg_attr).AsDouble();
+      if (rv.ok()) {
+        v = rv.value();
+      } else if (options_.kind != AggKind::kCount) {
+        continue;
       }
     }
+    for (int64_t wid : options_.window.WindowsOf(ts.value())) {
+      if (wid <= closed_through_) continue;
+      if (!group_guards_.empty() && GroupGuardBlocks(wid, tuple)) {
+        ++stats_.input_guard_drops;
+        ++updates_skipped_;
+        continue;
+      }
+      RunItem item;
+      item.elem = static_cast<uint32_t>(e);
+      item.wid = wid;
+      item.hash = HashKeyOf(wid, tuple);
+      item.v = v;
+      run.push_back(item);
+    }
+  }
+  if (run.empty()) return Status::OK();
+
+  // Pass 2: group by hash. The element-index tiebreak keeps items of
+  // one group in element order, so floating-point partial sums
+  // accumulate in exactly the element-wise walk's order.
+  std::sort(run.begin(), run.end(),
+            [](const RunItem& a, const RunItem& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              if (a.elem != b.elem) return a.elem < b.elem;
+              return a.wid < b.wid;
+            });
+
+  // Pass 3: per group, build the Key once and probe the state map
+  // once. Items whose actual key differs (hash collision) take the
+  // keyed single-update path; everything else applies straight to the
+  // group's partial.
+  size_t g = 0;
+  while (g < run.size()) {
+    size_t h = g + 1;
+    while (h < run.size() && run[h].hash == run[g].hash) ++h;
+
+    const Tuple& t0 = elems[run[g].elem].tuple();
+    Key key;
+    key.wid = run[g].wid;
+    key.groups.reserve(static_cast<size_t>(num_groups_));
+    for (int ga : options_.group_attrs) {
+      key.groups.push_back(t0.value(ga));
+    }
+    const bool tombstoned =
+        !tombstones_->empty() && tombstones_->count(key) > 0;
+    // Pointers, not iterators: a collision item's UpdateState may
+    // insert and rehash the map, which invalidates iterators but
+    // never element references.
+    Partial* partial = nullptr;
+    const Key* group_key = &key;
+    for (size_t m = g; m < h; ++m) {
+      const Tuple& tuple = elems[run[m].elem].tuple();
+      if (m > g && !SameKey(*group_key, run[m].wid, tuple)) {
+        NSTREAM_RETURN_NOT_OK(UpdateState(tuple, run[m].wid, run[m].v));
+        continue;
+      }
+      if (tombstoned) {
+        ++stats_.input_guard_drops;
+        ++updates_skipped_;
+        continue;
+      }
+      if (options_.charge_ms_per_update > 0) {
+        ctx()->ChargeMs(options_.charge_ms_per_update);
+      }
+      for (int w = 0; w < options_.work_iters_per_update; ++w) {
+        work_checksum_ = work_checksum_ * 6364136223846793005ULL +
+                         1442695040888963407ULL;
+      }
+      if (partial == nullptr) {
+        auto res = state_->try_emplace(std::move(key));
+        partial = &res.first->second;
+        group_key = &res.first->first;
+      }
+      ApplyPartial(*partial, run[m].v);
+      ++updates_applied_;
+    }
+    g = h;
   }
   return Status::OK();
 }
 
 void WindowAggregate::EmitResult(const Key& key, const Partial& p) {
-  Tuple out = MakeOutput(key, p);
+  const bool paged = paged_emission_;
+  // Staged results build straight into the staging page's arena (zero
+  // heap allocations per result); the SimExecutor path keeps owned
+  // per-element emission.
+  Tuple out = MakeOutput(key, p, paged ? out_staged_.arena() : nullptr);
   if (output_guards_.Blocks(out)) {
     ++stats_.output_guard_drops;
     return;
   }
-  Emit(0, std::move(out));
+  if (!paged) {
+    Emit(0, std::move(out));
+    return;
+  }
+  if (out_staged_.empty()) {
+    out_staged_.Reserve(static_cast<size_t>(options_.output_page_size));
+  }
+  out_staged_.Add(StreamElement::OfTuple(std::move(out)));
+  if (static_cast<int>(out_staged_.size()) >= options_.output_page_size) {
+    FlushOutput();
+  }
+}
+
+void WindowAggregate::FlushOutput() {
+  if (out_staged_.empty()) {
+    // Same dead-payload reset as the join's FlushOutput: results
+    // built in the staging arena but dropped by an output guard must
+    // not accumulate across flush points.
+    if (out_staged_.arena_if_created() != nullptr) out_staged_ = Page();
+    return;
+  }
+  EmitPage(0, std::move(out_staged_));
+  out_staged_ = Page();
 }
 
 void WindowAggregate::CloseThrough(int64_t last_closable) {
@@ -295,6 +509,7 @@ void WindowAggregate::CloseThrough(int64_t last_closable) {
     if (!punct.Covers(pat)) kept.push_back(std::move(pat));
   }
   purge_partial_patterns_ = std::move(kept);
+  FlushOutput();  // results for the closed windows precede the claim
   EmitPunct(0, std::move(punct));
 }
 

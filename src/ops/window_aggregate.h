@@ -55,6 +55,16 @@ struct WindowAggregateOptions {
   // calibrates the per-update cost to the reference engine's
   // constant factors (see EXPERIMENTS.md). 0 = raw C++ hash update.
   int work_iters_per_update = 0;
+  // Page-at-a-time input (the join's run-bounded grouping reused):
+  // runs of tuples between punctuation/EOS boundaries are grouped by
+  // (window, group-key) hash — the key vector is built and the state
+  // map probed once per distinct group per run instead of per tuple.
+  // Off = the per-element walk, the A/B baseline for tests.
+  bool page_batched_input = true;
+  // Results staged per output page under page-driven executors; the
+  // staging page's arena backs the result tuples (zero heap
+  // allocations per result). Same knob family as JoinOptions.
+  int output_page_size = 256;
 };
 
 class WindowAggregate final : public Operator {
@@ -63,7 +73,17 @@ class WindowAggregate final : public Operator {
   ~WindowAggregate() override;
 
   Status InferSchemas() override;
+  Status Open(ExecContext* ctx) override;
   Status ProcessTuple(int port, const Tuple& tuple) override;
+  /// Page-at-a-time path: tuple runs bounded by punctuation/EOS are
+  /// admitted (ts/value/guard checks) in one pass, grouped by
+  /// (window, group) hash with a stabilized sort, and applied with
+  /// one state-map probe per distinct group. Falls back to the
+  /// element walk while purge-on-partial feedback patterns are active
+  /// (those perform per-update state surgery) or when
+  /// options_.page_batched_input is false. Semantically aligned with
+  /// ProcessTuple — the randomized equivalence test compares the two.
+  Status ProcessPage(int port, Page&& page, TimeMs* tick) override;
   Status ProcessPunctuation(int port, const Punctuation& punct) override;
   Status OnAllInputsEos() override;
   Status ProcessFeedback(int out_port,
@@ -85,14 +105,39 @@ class WindowAggregate final : public Operator {
   struct KeyHash;
   struct KeyEq;
   struct Partial;
+  // One admitted (tuple, window) pair of a batched input run.
+  struct RunItem {
+    uint32_t elem = 0;  // index into the page's element vector
+    int64_t wid = 0;
+    uint64_t hash = 0;  // (wid, group values) hash; verified on apply
+    double v = 0;       // extracted aggregation input
+  };
 
-  // Build the output tuple for a state entry (agg from the partial).
-  Tuple MakeOutput(const Key& key, const Partial& partial) const;
+  // Build the output tuple for a state entry (agg from the partial),
+  // bump-allocated from `arena` when staging paged output (null =
+  // owned fallback, used by feedback matching and per-element paths).
+  Tuple MakeOutput(const Key& key, const Partial& partial,
+                   TupleArena* arena = nullptr) const;
   // Key-only probe tuple (agg position NULL) for group-guard checks.
   Tuple MakeProbe(const Key& key) const;
   // Allocation-free input-guard check against the raw tuple values.
   bool GroupGuardBlocks(int64_t wid, const Tuple& tuple) const;
   void EmitResult(const Key& key, const Partial& partial);
+  // Batched equivalent of ProcessTuple over elems[begin, end).
+  Status ProcessTupleRun(std::vector<StreamElement>& elems, size_t begin,
+                         size_t end, TimeMs* tick);
+  // The keyed state transition for one (tuple, window): tombstone
+  // check, cost charge, partial update, purge-on-partial re-check.
+  // Shared verbatim by ProcessTuple and the batched path's
+  // hash-collision fallback.
+  Status UpdateState(const Tuple& tuple, int64_t wid, double v);
+  void ApplyPartial(Partial& p, double v);
+  // Group hash of (wid, tuple's group attrs); agrees with KeyHash on
+  // the Key the same pair would build (equal keys ⇒ equal hash).
+  uint64_t HashKeyOf(int64_t wid, const Tuple& t) const;
+  bool SameKey(const Key& key, int64_t wid, const Tuple& t) const;
+  // Flush staged output results ahead of punctuation/EOS.
+  void FlushOutput();
   // Close every window with id <= last_closable; emit + purge.
   void CloseThrough(int64_t last_closable);
   Status HandleAssumed(const PunctPattern& f);
@@ -103,6 +148,9 @@ class WindowAggregate final : public Operator {
   std::optional<PunctPattern> MapToInput(const PunctPattern& f) const;
 
   WindowAggregateOptions options_;
+  // Cached ExecContext::PagedEmissionPreferred() (per-context
+  // constant; one virtual call in Open, not one per result).
+  bool paged_emission_ = false;
   int num_groups_ = 0;  // == options_.group_attrs.size()
   int agg_out_idx_ = 0;
 
@@ -120,6 +168,12 @@ class WindowAggregate final : public Operator {
   // Patterns from implication-valid assumed feedback; partials are
   // re-checked against these on every update (the MAX ¬[*,≥50] case).
   std::vector<PunctPattern> purge_partial_patterns_;
+
+  // Result staging for page-granular emission (see output_page_size).
+  Page out_staged_;
+  // Scratch for the batched input's sort-by-hash pass (reused across
+  // pages so the steady-state hot path does not allocate).
+  std::vector<RunItem> run_scratch_;
 
   int64_t closed_through_ = INT64_MIN;
   uint64_t work_checksum_ = 0;

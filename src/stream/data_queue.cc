@@ -15,7 +15,20 @@ DataQueue::DataQueue(DataQueueOptions options) : options_(options) {
                                      : options_.spsc_default_capacity;
     if (cap <= 0) cap = 2;
     ring_ = std::make_unique<SpscRing<Page>>(static_cast<size_t>(cap));
+  } else if (chain()) {
+    int seg = options_.chain_segment_pages;
+    if (seg <= 0) seg = 2;
+    chain_ = std::make_unique<SpscChain<Page>>(static_cast<size_t>(seg));
   }
+}
+
+TupleArena* DataQueue::OpenPageArena() {
+  // Lock-free transports keep the open page producer-local, so its
+  // arena is safe to hand to the (producer-side) caller. On the mutex
+  // deque the open page is shared under mu_ with consumer-side
+  // surgery, so only a single-threaded queue may expose it.
+  if (!lockfree() && !options_.assume_single_thread) return nullptr;
+  return open_page_.arena();
 }
 
 void DataQueue::CountFlush(FlushReason reason) {
@@ -35,9 +48,18 @@ void DataQueue::CountFlush(FlushReason reason) {
   }
 }
 
-// ---- SPSC producer side ----
+// ---- Lock-free (ring/chain) producer side ----
 
 void DataQueue::PushRing(Page&& page) {
+  if (chain_ != nullptr) {
+    // The chain is unbounded: no backpressure, no wait.
+    chain_->Push(std::move(page));
+    NotifyConsumer();
+    if (consumer_waiting_.load(std::memory_order_relaxed)) {
+      not_empty_.notify_one();
+    }
+    return;
+  }
   while (!ring_->TryPush(std::move(page))) {
     // Ring full: backpressure. The consumer pops lock-free and only
     // signals when it knows a producer is parked, so park with a short
@@ -67,10 +89,13 @@ void DataQueue::FlushToRing(FlushReason reason) {
 // ---- Producer API ----
 
 void DataQueue::PushTuple(Tuple t) {
-  if (spsc()) {
+  if (lockfree()) {
     // Producer-thread-local: no lock, no atomic RMW. The ring hop (and
-    // its notify) is paid once per page, not per tuple.
-    open_page_.Add(StreamElement::OfTuple(std::move(t)));
+    // its notify) is paid once per page, not per tuple. AddTuple
+    // re-homes a tuple still backed by another page's arena (a filter
+    // forwarding upstream-arena tuples element-wise) into this open
+    // page's arena — a bump-copy, never a heap allocation.
+    open_page_.AddTuple(std::move(t));
     stats_.tuples_pushed.store(++spsc_tuples_pushed_,
                                std::memory_order_relaxed);
     if (static_cast<int>(open_page_.size()) >= options_.page_size) {
@@ -86,7 +111,7 @@ void DataQueue::PushTuple(Tuple t) {
         return static_cast<int>(pages_.size()) < options_.max_pages;
       });
     }
-    open_page_.Add(StreamElement::OfTuple(std::move(t)));
+    open_page_.AddTuple(std::move(t));
     Inc(stats_.tuples_pushed);
     if (static_cast<int>(open_page_.size()) >= options_.page_size) {
       FlushLocked(FlushReason::kPageFull);
@@ -97,7 +122,7 @@ void DataQueue::PushTuple(Tuple t) {
 }
 
 void DataQueue::PushPunctuation(Punctuation p) {
-  if (spsc()) {
+  if (lockfree()) {
     open_page_.Add(StreamElement::OfPunct(std::move(p)));
     Inc(stats_.puncts_pushed);  // rare: one per punctuation, not per tuple
     // Punctuation flushes the page: a slow stream must not strand
@@ -120,7 +145,7 @@ void DataQueue::PushPunctuation(Punctuation p) {
 }
 
 void DataQueue::PushEos() {
-  if (spsc()) {
+  if (lockfree()) {
     open_page_.Add(StreamElement::Eos());
     FlushToRing(FlushReason::kEndOfStream);
     // Set after the final page is published: a consumer that observes
@@ -144,9 +169,16 @@ void DataQueue::PushEos() {
 void DataQueue::PushPage(Page&& page) {
   if (page.empty()) return;
 #ifndef NDEBUG
-  for (const StreamElement& e : page.elements()) assert(e.is_tuple());
+  for (const StreamElement& e : page.elements()) {
+    assert(e.is_tuple());
+    // Arena ownership invariant: every arena-backed tuple in the page
+    // references the page's own arena (and holds nothing the
+    // wholesale arena free would leak). A violation means some
+    // operator moved a tuple between pages without Rehome/Promote.
+    assert(page.ElementArenaInvariantHolds(e));
+  }
 #endif
-  if (spsc()) {
+  if (lockfree()) {
     // Preserve order: anything staged tuple-at-a-time goes first (the
     // empty check stays inline — page-granular producers rarely have
     // an open per-tuple page).
@@ -188,7 +220,7 @@ void DataQueue::PushPage(Page&& page) {
 }
 
 void DataQueue::Flush() {
-  if (spsc()) {
+  if (lockfree()) {
     FlushToRing(FlushReason::kExplicit);
     return;
   }
@@ -230,7 +262,8 @@ std::optional<Page> DataQueue::TryPopSpsc() {
       return out;
     }
   }
-  std::optional<Page> out = ring_->TryPop();
+  std::optional<Page> out =
+      chain_ != nullptr ? chain_->TryPop() : ring_->TryPop();
   if (out.has_value()) {
     stats_.pages_popped.store(++spsc_pages_popped_,
                               std::memory_order_relaxed);
@@ -242,7 +275,7 @@ std::optional<Page> DataQueue::TryPopSpsc() {
 }
 
 std::optional<Page> DataQueue::TryPopPage() {
-  if (spsc()) return TryPopSpsc();
+  if (lockfree()) return TryPopSpsc();
   std::optional<Page> out;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -257,7 +290,7 @@ std::optional<Page> DataQueue::TryPopPage() {
 
 std::optional<Page> DataQueue::PopPageBlocking(
     const std::function<bool()>& cancel) {
-  if (spsc()) {
+  if (lockfree()) {
     while (true) {
       if (std::optional<Page> out = TryPopSpsc()) return out;
       if (cancel && cancel()) return std::nullopt;
@@ -293,6 +326,12 @@ std::optional<Page> DataQueue::PopPageBlocking(
 // ---- Feedback-exploit surgery ----
 
 void DataQueue::DrainRingToSideLocked() {
+  if (chain_ != nullptr) {
+    while (std::optional<Page> p = chain_->TryPop()) {
+      side_pages_.push_back(std::move(*p));
+    }
+    return;
+  }
   while (std::optional<Page> p = ring_->TryPop()) {
     side_pages_.push_back(std::move(*p));
   }
@@ -323,15 +362,18 @@ int DataQueue::PurgeMatching(const PunctPattern& pattern) {
                                 [](const Page& p) { return p.empty(); }),
                  pages->end());
   };
-  if (spsc()) {
+  if (lockfree()) {
     // Consumer-side slow path: pull every published page out of the
-    // ring into the staging deque (order preserved; pops serve the
-    // deque first) and purge there. The producer's open page stays
-    // untouched — see the header contract.
+    // ring/chain into the staging deque (order preserved; pops serve
+    // the deque first) and purge there. The producer's open page stays
+    // untouched — see the header contract — unless the queue is
+    // single-threaded, where touching it is safe and keeps the purge
+    // semantics identical to the deque's.
     std::lock_guard<std::mutex> lock(mu_);
     DrainRingToSideLocked();
     for (Page& p : side_pages_) purge_page(&p);
     drop_empty(&side_pages_);
+    if (options_.assume_single_thread) purge_page(&open_page_);
     side_count_.store(side_pages_.size(), std::memory_order_release);
     return removed;
   }
@@ -363,10 +405,11 @@ int DataQueue::PromoteMatching(const PunctPattern& pattern) {
       moved += static_cast<int>(mid - elems.begin());
     }
   };
-  if (spsc()) {
+  if (lockfree()) {
     std::lock_guard<std::mutex> lock(mu_);
     DrainRingToSideLocked();
     for (Page& p : side_pages_) promote_page(&p);
+    if (options_.assume_single_thread) promote_page(&open_page_);
     side_count_.store(side_pages_.size(), std::memory_order_release);
     return moved;
   }
@@ -378,12 +421,14 @@ int DataQueue::PromoteMatching(const PunctPattern& pattern) {
 // ---- Introspection ----
 
 bool DataQueue::Drained() const {
-  if (spsc()) {
+  if (lockfree()) {
     // eos_pushed_ is set after the final flush, so observing it means
-    // the open page is empty and everything is in the ring/side deque.
+    // the open page is empty and everything is in the ring/chain or
+    // the side deque.
     return eos_pushed_.load(std::memory_order_acquire) &&
            side_count_.load(std::memory_order_acquire) == 0 &&
-           ring_->ApproxEmpty();
+           (chain_ != nullptr ? chain_->ApproxEmpty()
+                              : ring_->ApproxEmpty());
   }
   std::lock_guard<std::mutex> lock(mu_);
   return eos_pushed_.load(std::memory_order_relaxed) && pages_.empty() &&
@@ -391,9 +436,10 @@ bool DataQueue::Drained() const {
 }
 
 bool DataQueue::HasPage() const {
-  if (spsc()) {
+  if (lockfree()) {
     return side_count_.load(std::memory_order_acquire) > 0 ||
-           !ring_->ApproxEmpty();
+           !(chain_ != nullptr ? chain_->ApproxEmpty()
+                               : ring_->ApproxEmpty());
   }
   std::lock_guard<std::mutex> lock(mu_);
   return !pages_.empty();

@@ -2,12 +2,11 @@
 // connection (Fig. 3). Producer-side page assembly with
 // punctuation-triggered flush; consumer-side page pops.
 //
-// The queue is a façade over two interchangeable transports:
+// The queue is a façade over three interchangeable transports:
 //
 //   * kMutexDeque — the original mutex + condvar deque. Safe for any
-//     number of pushing/popping threads and for unbounded queues; the
-//     single-threaded executors and any DataQueue constructed outside
-//     a finalized plan use it.
+//     number of pushing/popping threads and for unbounded queues; any
+//     DataQueue constructed outside a finalized plan uses it.
 //   * kSpscRing — a bounded lock-free single-producer/single-consumer
 //     ring of pages (stream/spsc_ring.h). Plan edges are tagged SPSC
 //     at wiring time (PlanRuntime::Create) when they have exactly one
@@ -16,6 +15,14 @@
 //     popping thread. Pushes and pops then cost one atomic
 //     release-store each; the mutex survives only on slow paths
 //     (backpressure waits, purge/promote surgery, notifier install).
+//   * kSpscChain — an UNBOUNDED lock-free SPSC chain of ring segments
+//     (stream/spsc_chain.h). Same thread contract as the ring but
+//     pushes never block, which is what the deterministic
+//     single-threaded executors need (their round-robin scheduler
+//     must not park on backpressure). SyncExecutor tags every edge
+//     with it (one thread trivially satisfies SPSC) and additionally
+//     sets assume_single_thread so feedback surgery may reach into
+//     the producer-side open page exactly as the deque did.
 //
 // SPSC thread contract: all producer-side calls (PushTuple/
 // PushPunctuation/PushEos/PushPage/Flush) from one thread; all
@@ -44,6 +51,7 @@
 #include <vector>
 
 #include "stream/page.h"
+#include "stream/spsc_chain.h"
 #include "stream/spsc_ring.h"
 
 namespace nstream {
@@ -52,6 +60,7 @@ namespace nstream {
 enum class DataQueueTransport : uint8_t {
   kMutexDeque = 0,  // lock-based, any threading, unbounded allowed
   kSpscRing,        // lock-free, exactly 1 producer + 1 consumer thread
+  kSpscChain,       // lock-free, SPSC threads, unbounded (ring chain)
 };
 
 /// Tuning knobs for one queue.
@@ -68,6 +77,14 @@ struct DataQueueOptions {
   // Ring capacity (pages) used when transport is kSpscRing and
   // max_pages <= 0 — a ring is inherently bounded.
   int spsc_default_capacity = 64;
+  // Segment capacity (pages) for the kSpscChain transport, which
+  // ignores max_pages (the chain is unbounded by design).
+  int chain_segment_pages = 16;
+  // Producer and consumer are the same thread (single-threaded
+  // executors). Lets OpenPageArena hand out the open page's arena on
+  // any transport and lets purge/promote surgery reach the open page
+  // on the chain transport, deque-style.
+  bool assume_single_thread = false;
 };
 
 /// Monotonic counters exposed for tests and benches.
@@ -110,6 +127,14 @@ class DataQueue {
   void PushPage(Page&& page);
   /// Force the open page (if any) into the queue.
   void Flush();
+  /// Arena of the producer-side open page, for building emitted tuples
+  /// in place (zero per-tuple heap traffic) — or null when the
+  /// transport cannot expose it safely (mutex deque under real
+  /// threads: consumer-side surgery may touch the open page under the
+  /// lock) or page arenas are globally disabled. Producer-side call;
+  /// the returned arena is valid until this side's next flush, so
+  /// tuples built from it must be pushed before any other queue call.
+  TupleArena* OpenPageArena();
 
   // ---- Consumer side ----
   /// Non-blocking pop; nullopt when no complete page is queued.
@@ -177,15 +202,21 @@ class DataQueue {
   bool spsc() const {
     return options_.transport == DataQueueTransport::kSpscRing;
   }
+  bool chain() const {
+    return options_.transport == DataQueueTransport::kSpscChain;
+  }
+  /// Transports with a producer-local open page and lock-free hops.
+  bool lockfree() const { return spsc() || chain(); }
   void FlushLocked(FlushReason reason);  // deque transport; mu_ held
   void CountFlush(FlushReason reason);
-  // SPSC producer side: seal the open page / push a ready page into
-  // the ring, blocking (timed re-check) while the ring is full.
+  // Lock-free producer side: seal the open page / push a ready page
+  // into the ring or chain; the bounded ring blocks (timed re-check)
+  // while full, the chain never blocks.
   void FlushToRing(FlushReason reason);
   void PushRing(Page&& page);
-  // SPSC consumer side: move every published page into side_pages_ so
-  // purge/promote can operate under mu_. Requires mu_ held; must be
-  // called from the consumer thread.
+  // Lock-free consumer side: move every published page into
+  // side_pages_ so purge/promote can operate under mu_. Requires mu_
+  // held; must be called from the consumer thread.
   void DrainRingToSideLocked();
   std::optional<Page> TryPopSpsc();
   void NotifyConsumer();
@@ -199,11 +230,13 @@ class DataQueue {
   Page open_page_;
   // Deque transport storage.
   std::deque<Page> pages_;
-  // SPSC transport storage: the lock-free ring, plus the consumer-side
-  // staging deque (guarded by mu_) that purge/promote surgery drains
-  // published pages into. side_count_ lets pops skip the lock when no
-  // surgery has happened (the overwhelmingly common case).
+  // Lock-free transport storage (exactly one of ring_/chain_ per the
+  // transport tag), plus the consumer-side staging deque (guarded by
+  // mu_) that purge/promote surgery drains published pages into.
+  // side_count_ lets pops skip the lock when no surgery has happened
+  // (the overwhelmingly common case).
   std::unique_ptr<SpscRing<Page>> ring_;
+  std::unique_ptr<SpscChain<Page>> chain_;
   std::deque<Page> side_pages_;
   std::atomic<size_t> side_count_{0};
   std::atomic<bool> producer_waiting_{false};

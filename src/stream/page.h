@@ -4,13 +4,25 @@
 // when a punctuation is written to it (so slow streams don't strand
 // punctuation behind a partially-filled page) — §5, "Inter-Operator
 // Communication".
+//
+// A page is also the unit of tuple-memory ownership: it lazily owns a
+// TupleArena from which result tuples bump-allocate their value spans
+// and string bytes. The arena travels with the page through every
+// queue hop (Page is move-only) and is freed wholesale when the page
+// is destroyed — zero per-tuple frees on the consumption side.
+// Invariant: every arena-backed tuple stored in a page references
+// that page's own arena (AddTuple re-homes foreign-arena tuples);
+// owned-mode tuples may live in any page.
 
 #ifndef NSTREAM_STREAM_PAGE_H_
 #define NSTREAM_STREAM_PAGE_H_
 
+#include <cassert>
+#include <memory>
 #include <vector>
 
 #include "stream/element.h"
+#include "types/tuple_arena.h"
 
 namespace nstream {
 
@@ -28,16 +40,46 @@ class Page {
 
   // Move-only: a page's elements travel producer → queue → consumer by
   // transfer of ownership, never by copy. Keeps the per-tuple cost of
-  // the data path at one move per hop.
+  // the data path at one move per hop, and gives the arena exactly one
+  // owner at all times.
   Page(const Page&) = delete;
   Page& operator=(const Page&) = delete;
   Page(Page&&) = default;
   Page& operator=(Page&&) = default;
 
-  void Add(StreamElement e) { elems_.push_back(std::move(e)); }
+  void Add(StreamElement e) {
+    assert(ElementArenaInvariantHolds(e));
+    elems_.push_back(std::move(e));
+  }
+  /// Add a tuple, re-homing it into this page's arena if it is backed
+  /// by a different one (promoting to owned storage when arenas are
+  /// disabled). Owned tuples are moved in untouched. This is the one
+  /// safe way to migrate a tuple between pages without a deep copy.
+  void AddTuple(Tuple t) {
+    if (t.arena_backed() && t.arena() != arena_.get()) {
+      t.Rehome(arena());
+    }
+    elems_.push_back(StreamElement::OfTuple(std::move(t)));
+  }
   /// Pre-size the element vector (producers reserve page_size up
   /// front so filling a page never reallocates mid-stream).
   void Reserve(size_t n) { elems_.reserve(n); }
+
+  /// This page's tuple arena, lazily created — or null when page
+  /// arenas are globally disabled (TupleArenas), in which case every
+  /// arena-taking API falls back to owned allocation. Result tuples
+  /// built for this page should pass this to Tuple's arena
+  /// constructor / Value::StringIn.
+  TupleArena* arena() {
+    if (arena_ == nullptr) {
+      if (!TupleArenas::enabled()) return nullptr;
+      arena_ = std::make_unique<TupleArena>();
+    }
+    return arena_.get();
+  }
+  /// The arena if one was ever created (no lazy creation); may be
+  /// null. Consumers use this for introspection/asserts only.
+  const TupleArena* arena_if_created() const { return arena_.get(); }
 
   bool empty() const { return elems_.empty(); }
   size_t size() const { return elems_.size(); }
@@ -47,7 +89,17 @@ class Page {
   FlushReason flush_reason() const { return flush_reason_; }
   void set_flush_reason(FlushReason r) { flush_reason_ = r; }
 
+  /// Debug check of the page/arena ownership invariant for one
+  /// element (tuples only; punctuation carries no tuple memory).
+  bool ElementArenaInvariantHolds(const StreamElement& e) const {
+    return !e.is_tuple() || e.tuple().ArenaInvariantHolds(arena_.get());
+  }
+
  private:
+  // Declared before elems_ so elements (whose tuples reference the
+  // arena) are destroyed first; arena-mode tuple destructors are
+  // no-ops, but the order keeps even pathological cases sound.
+  std::unique_ptr<TupleArena> arena_;
   std::vector<StreamElement> elems_;
   FlushReason flush_reason_ = FlushReason::kExplicit;
 };

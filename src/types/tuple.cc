@@ -6,8 +6,8 @@ namespace nstream {
 
 std::string Tuple::ToString() const {
   std::vector<std::string> parts;
-  parts.reserve(values_.size());
-  for (const Value& v : values_) parts.push_back(v.ToString());
+  parts.reserve(static_cast<size_t>(size()));
+  for (int i = 0; i < size(); ++i) parts.push_back(value(i).ToString());
   return "<" + Join(parts, ", ") + ">";
 }
 

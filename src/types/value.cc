@@ -86,7 +86,7 @@ bool Value::TryCompare(const Value& other, int* out) const {
     return true;
   }
   if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
-    int c = string_value().compare(other.string_value());
+    int c = string_view().compare(other.string_view());
     *out = c < 0 ? -1 : (c > 0 ? 1 : 0);
     return true;
   }
@@ -142,7 +142,8 @@ size_t Value::HashSlow() const {
       return std::hash<double>{}(d);
     }
     case ValueType::kString:
-      return std::hash<std::string>{}(std::get<std::string>(rep_));
+      // Owned and borrowed strings with equal bytes must hash alike.
+      return std::hash<std::string_view>{}(string_view());
   }
   return 0;
 }
@@ -158,7 +159,7 @@ std::string Value::ToString() const {
     case ValueType::kDouble:
       return FormatDouble(std::get<double>(rep_));
     case ValueType::kString:
-      return "'" + std::get<std::string>(rep_) + "'";
+      return "'" + std::string(string_view()) + "'";
     case ValueType::kTimestamp:
       return "t:" + std::to_string(std::get<int64_t>(rep_));
   }

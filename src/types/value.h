@@ -2,6 +2,16 @@
 // relational tuples over a small scalar vocabulary (ids, timestamps,
 // speeds, locations); Value covers exactly that vocabulary plus NULL,
 // which Experiment 1's dirty sensor readings require.
+//
+// Strings come in two representations behind the same kString type
+// tag: an OWNED std::string, and a BORROWED (pointer, length) view of
+// bytes that live in a TupleArena (page-owned tuple memory). Borrowed
+// strings are what make arena-backed tuples trivially destructible —
+// the page frees their bytes wholesale. Copying a Value always
+// promotes a borrowed string to an owned one, so a Value that escapes
+// its page through a plain copy can never dangle; only moves preserve
+// the borrow, and those stay on arena-aware paths (Tuple append,
+// rehome, promote).
 
 #ifndef NSTREAM_TYPES_VALUE_H_
 #define NSTREAM_TYPES_VALUE_H_
@@ -10,10 +20,12 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "types/tuple_arena.h"
 
 namespace nstream {
 
@@ -38,6 +50,30 @@ const char* ValueTypeName(ValueType t);
 class Value {
  public:
   Value() : type_(ValueType::kNull) {}
+
+  // Copies deep-copy: a borrowed string is promoted to an owned one,
+  // so copied values are always safe to outlive their source arena.
+  // Moves preserve the representation (and therefore the borrow).
+  // The copy constructor initializes rep_ in the member-init list —
+  // construction, not default-construct-then-assign, which would pay
+  // a second variant dispatch on every copied value (the join's
+  // result-construction path copies four values per output tuple).
+  Value(const Value& o) : type_(o.type_), rep_(CopyRep(o.rep_)) {}
+  Value& operator=(const Value& o) {
+    if (this != &o) {
+      type_ = o.type_;
+      if (o.rep_.index() == kBorrowedIndex) {
+        const StringRef& r = std::get<StringRef>(o.rep_);
+        rep_.emplace<std::string>(r.data, r.len);
+      } else {
+        rep_ = o.rep_;
+      }
+    }
+    return *this;
+  }
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+  ~Value() = default;
 
   static Value Null() { return Value(); }
   static Value Bool(bool v) {
@@ -68,6 +104,21 @@ class Value {
     x.DCheckConsistent();
     return x;
   }
+  /// Borrow externally-owned bytes (a TupleArena's, in practice). The
+  /// caller guarantees the bytes outlive every move of this value.
+  static Value BorrowedString(std::string_view s) {
+    Value x;
+    x.type_ = ValueType::kString;
+    x.rep_ = StringRef{s.data(), s.size()};
+    x.DCheckConsistent();
+    return x;
+  }
+  /// String whose bytes live in `arena` (borrowed, freed with the
+  /// arena's page); owned when `arena` is null — the fallback path.
+  static Value StringIn(TupleArena* arena, std::string_view s) {
+    if (arena == nullptr) return String(std::string(s));
+    return BorrowedString(arena->CopyString(s));
+  }
   static Value Timestamp(TimeMs v) {
     Value x;
     x.type_ = ValueType::kTimestamp;
@@ -82,12 +133,32 @@ class Value {
     return type_ == ValueType::kInt64 || type_ == ValueType::kDouble ||
            type_ == ValueType::kTimestamp;
   }
+  /// True for a kString value whose bytes are borrowed (arena-backed).
+  bool is_borrowed_string() const {
+    return rep_.index() == kBorrowedIndex;
+  }
+  /// True when destroying this value releases no resources — the
+  /// invariant every arena-resident value must satisfy (the arena is
+  /// freed wholesale, destructors never run).
+  bool is_trivially_destructible_rep() const {
+    return rep_.index() != kOwnedStringIndex;
+  }
 
   // Accessors assume the type matches (checked in debug builds).
   bool bool_value() const { return std::get<bool>(rep_); }
   int64_t int64_value() const { return std::get<int64_t>(rep_); }
   double double_value() const { return std::get<double>(rep_); }
+  /// Owned-string accessor; asserts the representation is owned. Use
+  /// string_view() on paths that may see arena-backed values.
   const std::string& string_value() const {
+    return std::get<std::string>(rep_);
+  }
+  /// View of the string bytes, owned or borrowed.
+  std::string_view string_view() const {
+    if (rep_.index() == kBorrowedIndex) {
+      const StringRef& r = std::get<StringRef>(rep_);
+      return std::string_view(r.data, r.len);
+    }
     return std::get<std::string>(rep_);
   }
   TimeMs timestamp_value() const { return std::get<int64_t>(rep_); }
@@ -121,9 +192,9 @@ class Value {
 
   /// Hash compatible with operator== (numerically equal int64/double
   /// values hash identically, including the >2^53 region where mixed
-  /// int64/double equality is decided in double precision). The
-  /// common small-int64/timestamp case is inline for the join-key
-  /// path.
+  /// int64/double equality is decided in double precision; owned and
+  /// borrowed strings with equal bytes hash identically). The common
+  /// small-int64/timestamp case is inline for the join-key path.
   size_t Hash() const {
     if (rep_.index() == 2) {
       int64_t v = std::get<int64_t>(rep_);
@@ -146,12 +217,31 @@ class Value {
   static constexpr int64_t kDoubleExactBound = int64_t{1} << 53;
 
  private:
+  /// Non-owning view of string bytes living in a TupleArena.
+  struct StringRef {
+    const char* data;
+    size_t len;
+  };
+  static constexpr size_t kOwnedStringIndex = 4;
+  static constexpr size_t kBorrowedIndex = 5;
+
+  using Rep = std::variant<std::monostate, bool, int64_t, double,
+                           std::string, StringRef>;
+  static Rep CopyRep(const Rep& r) {
+    if (r.index() == kBorrowedIndex) {
+      const StringRef& s = std::get<StringRef>(r);
+      return Rep(std::in_place_type<std::string>, s.data, s.len);
+    }
+    return r;
+  }
+
   bool EqualsSlow(const Value& other) const;
   size_t HashSlow() const;
 
   /// The tag is kept alongside the variant because it carries more
   /// information than the representation alone (int64 vs timestamp
-  /// share an int64_t rep). This checks the two never drift apart.
+  /// share an int64_t rep; owned vs borrowed strings share kString).
+  /// This checks the two never drift apart.
   bool TagMatchesRep() const {
     switch (type_) {
       case ValueType::kNull:
@@ -164,14 +254,15 @@ class Value {
       case ValueType::kDouble:
         return rep_.index() == 3;
       case ValueType::kString:
-        return rep_.index() == 4;
+        return rep_.index() == kOwnedStringIndex ||
+               rep_.index() == kBorrowedIndex;
     }
     return false;
   }
   void DCheckConsistent() const { assert(TagMatchesRep()); }
 
   ValueType type_;
-  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+  Rep rep_;
 };
 
 }  // namespace nstream

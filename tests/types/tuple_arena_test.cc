@@ -1,0 +1,267 @@
+// TupleArena / arena-backed Tuple/Value invariants: bump allocation,
+// borrowed-string semantics (copy promotes, equality/hash agree with
+// owned strings), ownership-mode transitions (Append conversion,
+// Promote, Rehome), and the page-level ownership invariant behind the
+// wholesale arena free.
+
+#include "types/tuple_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/page.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace nstream {
+namespace {
+
+TEST(TupleArenaTest, BumpAllocationAlignmentAndGrowth) {
+  TupleArena arena;
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  // Exceed the first chunk: a new chunk appears; old pointers stay
+  // valid (chunks are never reallocated).
+  std::memset(a, 0xAB, 3);
+  for (int i = 0; i < 64; ++i) arena.Allocate(1024, 8);
+  EXPECT_GE(arena.chunk_count(), 2u);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[0], 0xAB);
+  EXPECT_GE(arena.bytes_used(), 64u * 1024u);
+}
+
+TEST(TupleArenaTest, OversizedAllocationGetsDedicatedChunk) {
+  TupleArena arena;
+  void* big = arena.Allocate(2 * TupleArena::kChunkBytes, 8);
+  EXPECT_NE(big, nullptr);
+  // Small allocations continue to work afterwards.
+  void* small = arena.Allocate(16, 8);
+  EXPECT_NE(small, nullptr);
+}
+
+TEST(TupleArenaTest, CopyStringBorrowsArenaBytes) {
+  TupleArena arena;
+  std::string src = "hello arena";
+  std::string_view sv = arena.CopyString(src);
+  src[0] = 'X';  // the arena copy is independent of the source
+  EXPECT_EQ(sv, "hello arena");
+  EXPECT_EQ(arena.CopyString("").size(), 0u);
+}
+
+TEST(BorrowedValueTest, EqualityHashAndCompareAgreeWithOwned) {
+  TupleArena arena;
+  Value owned = Value::String("stream");
+  Value borrowed = Value::StringIn(&arena, "stream");
+  EXPECT_TRUE(borrowed.is_borrowed_string());
+  EXPECT_FALSE(owned.is_borrowed_string());
+  EXPECT_EQ(owned.type(), ValueType::kString);
+  EXPECT_EQ(borrowed.type(), ValueType::kString);
+  EXPECT_TRUE(owned == borrowed);
+  EXPECT_TRUE(borrowed == owned);
+  EXPECT_EQ(owned.Hash(), borrowed.Hash());
+  int c = 99;
+  ASSERT_TRUE(borrowed.TryCompare(Value::String("stream!"), &c));
+  EXPECT_LT(c, 0);
+  EXPECT_EQ(borrowed.ToString(), owned.ToString());
+  EXPECT_EQ(borrowed.string_view(), owned.string_view());
+}
+
+TEST(BorrowedValueTest, CopyPromotesMovePreserves) {
+  TupleArena arena;
+  Value borrowed = Value::StringIn(&arena, "escape-safe");
+  Value copy = borrowed;  // deep copy: owned
+  EXPECT_FALSE(copy.is_borrowed_string());
+  EXPECT_TRUE(copy == borrowed);
+  Value assigned;
+  assigned = borrowed;
+  EXPECT_FALSE(assigned.is_borrowed_string());
+  Value moved = std::move(borrowed);  // move: still borrowing
+  EXPECT_TRUE(moved.is_borrowed_string());
+  EXPECT_EQ(moved.string_view(), "escape-safe");
+}
+
+TEST(BorrowedValueTest, StringInNullArenaFallsBackToOwned) {
+  Value v = Value::StringIn(nullptr, "fallback");
+  EXPECT_FALSE(v.is_borrowed_string());
+  EXPECT_EQ(v.string_value(), "fallback");
+  EXPECT_TRUE(v.is_trivially_destructible_rep() == false);
+}
+
+TEST(ArenaTupleTest, AppendKeepsArenaValuesTriviallyDestructible) {
+  TupleArena arena;
+  Tuple t(&arena, 3);
+  ASSERT_TRUE(t.arena_backed());
+  t.Append(Value::Int64(7));
+  t.Append(Value::String("an owning string"));  // re-homed into arena
+  t.Append(Value::Timestamp(42));
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_TRUE(t.value(1).is_borrowed_string());
+  EXPECT_EQ(t.value(1).string_view(), "an owning string");
+  EXPECT_TRUE(t.ArenaInvariantHolds(&arena));
+}
+
+TEST(ArenaTupleTest, GrowthPastReservedCapacityStaysInArena) {
+  TupleArena arena;
+  Tuple t(&arena, 2);
+  for (int i = 0; i < 40; ++i) t.Append(Value::Int64(i));
+  EXPECT_EQ(t.size(), 40);
+  EXPECT_TRUE(t.arena_backed());
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(t.value(i).int64_value(), i);
+}
+
+TEST(ArenaTupleTest, CopyIsOwnedAndOutlivesArena) {
+  Tuple copy;
+  {
+    TupleArena arena;
+    Tuple t(&arena, 2);
+    t.Append(Value::String("must survive"));
+    t.Append(Value::Int64(5));
+    t.set_id(17);
+    copy = t;  // deep copy promotes the borrowed string
+  }  // arena gone
+  EXPECT_FALSE(copy.arena_backed());
+  EXPECT_FALSE(copy.value(0).is_borrowed_string());
+  EXPECT_EQ(copy.value(0).string_view(), "must survive");
+  EXPECT_EQ(copy.id(), 17);
+  EXPECT_TRUE(copy.ArenaInvariantHolds(nullptr));
+}
+
+TEST(ArenaTupleTest, PromoteDetachesFromArena) {
+  Tuple t;
+  {
+    TupleArena arena;
+    Tuple in(&arena, 2);
+    in.Append(Value::String("promoted"));
+    in.Append(Value::Double(2.5));
+    in.set_arrival_ms(123);
+    t = std::move(in);       // move keeps the arena backing
+    ASSERT_TRUE(t.arena_backed());
+    t.Promote();             // the join-table insert path
+    EXPECT_FALSE(t.arena_backed());
+  }
+  EXPECT_EQ(t.value(0).string_view(), "promoted");
+  EXPECT_EQ(t.value(1).double_value(), 2.5);
+  EXPECT_EQ(t.arrival_ms(), 123);
+  t.Promote();  // idempotent on owned tuples
+  EXPECT_EQ(t.size(), 2);
+}
+
+TEST(ArenaTupleTest, RehomeMovesPayloadBetweenArenas) {
+  TupleArena dst;
+  Tuple t;
+  {
+    TupleArena src;
+    Tuple in(&src, 2);
+    in.Append(Value::String("migrant"));
+    in.Append(Value::Int64(9));
+    in.Rehome(&dst);  // the page-to-page staging path
+    EXPECT_EQ(in.arena(), &dst);
+    t = std::move(in);
+  }  // src arena gone; payload lives in dst now
+  EXPECT_EQ(t.value(0).string_view(), "migrant");
+  EXPECT_EQ(t.value(1).int64_value(), 9);
+  EXPECT_TRUE(t.ArenaInvariantHolds(&dst));
+
+  // Rehome to null promotes.
+  t.Rehome(nullptr);
+  EXPECT_FALSE(t.arena_backed());
+  EXPECT_EQ(t.value(0).string_view(), "migrant");
+}
+
+TEST(ArenaTupleTest, HashAndSubsetEqualityAgreeAcrossModes) {
+  TupleArena arena;
+  Tuple a(&arena, 2);
+  a.Append(Value::String("key"));
+  a.Append(Value::Int64(3));
+  Tuple b = TupleBuilder().S("key").I64(3).Build();
+  std::vector<int> idx = {0, 1};
+  EXPECT_EQ(a.HashSubset(idx), b.HashSubset(idx));
+  EXPECT_TRUE(a.EqualsSubset(b, idx, idx));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ArenaTupleTest, SameArenaBorrowAppendsWithoutRecopy) {
+  TupleArena arena;
+  // The documented construction pattern: StringIn copies the bytes
+  // into the arena once; Append must recognise the same-arena borrow
+  // and not copy them a second time.
+  Value v = Value::StringIn(&arena, "a-string-long-enough-to-matter");
+  Tuple t(&arena, 2);
+  size_t before = arena.bytes_used();
+  t.Append(std::move(v));
+  EXPECT_EQ(arena.bytes_used(), before);
+  EXPECT_TRUE(t.value(0).is_borrowed_string());
+
+  // A FOREIGN borrow must still be re-copied (its arena may die
+  // first).
+  TupleArena other;
+  Value foreign = Value::StringIn(&other, "foreign-arena-bytes");
+  before = arena.bytes_used();
+  t.Append(std::move(foreign));
+  EXPECT_GT(arena.bytes_used(), before);
+  EXPECT_TRUE(arena.Owns(t.value(1).string_view().data()));
+}
+
+TEST(ArenaTupleTest, OwnedAppendPromotesBorrowedValues) {
+  TupleArena arena;
+  Value borrowed = Value::StringIn(&arena, "loose");
+  Tuple t;  // owned mode
+  t.Append(std::move(borrowed));
+  EXPECT_FALSE(t.value(0).is_borrowed_string());
+  EXPECT_TRUE(t.ArenaInvariantHolds(nullptr));
+}
+
+TEST(PageArenaTest, AddTupleRehomesForeignArenaTuples) {
+  Page source;
+  TupleArena* src_arena = source.arena();
+  ASSERT_NE(src_arena, nullptr);
+  Tuple t(src_arena, 1);
+  t.Append(Value::String("hop"));
+
+  Page dest;
+  dest.AddTuple(std::move(t));
+  ASSERT_EQ(dest.size(), 1u);
+  const Tuple& landed = dest.elements()[0].tuple();
+  EXPECT_TRUE(landed.ArenaInvariantHolds(dest.arena_if_created()));
+  // Destroy the source page: the landed tuple must not reference it.
+  source = Page();
+  EXPECT_EQ(landed.value(0).string_view(), "hop");
+}
+
+TEST(PageArenaTest, GlobalDisableFallsBackToOwned) {
+  ScopedTupleArenasEnabled off(false);
+  Page page;
+  EXPECT_EQ(page.arena(), nullptr);
+  Tuple t(page.arena(), 2);  // null arena → owned fallback
+  t.Append(Value::String("owned"));
+  EXPECT_FALSE(t.arena_backed());
+  page.AddTuple(std::move(t));
+  EXPECT_EQ(page.elements()[0].tuple().value(0).string_view(), "owned");
+}
+
+TEST(PageArenaTest, ArenaFreedWholesaleWithPage) {
+  // A page full of arena tuples (with strings) destructs cleanly and
+  // releases everything — ASan/LSan in CI is the real referee here.
+  auto page = std::make_unique<Page>();
+  TupleArena* arena = page->arena();
+  ASSERT_NE(arena, nullptr);
+  for (int i = 0; i < 1000; ++i) {
+    Tuple t(arena, 2);
+    t.Append(Value::StringIn(arena, "payload-" + std::to_string(i)));
+    t.Append(Value::Int64(i));
+    page->Add(StreamElement::OfTuple(std::move(t)));
+  }
+  EXPECT_EQ(page->size(), 1000u);
+  EXPECT_GT(arena->bytes_used(), 1000u * sizeof(Value));
+  page.reset();  // wholesale free; nothing to assert but "no crash/leak"
+}
+
+}  // namespace
+}  // namespace nstream
