@@ -47,19 +47,31 @@ SchemaPtr RightSchema() {
                        {"b", ValueType::kInt64}});
 }
 
-std::vector<TimedElement> SideStream(int n, bool left, int key_mod) {
+// burst = how many consecutive tuples share a key pair (1 = the
+// classic Table 2 stream where adjacent keys always differ; >1 models
+// bursty sources — per-segment sensor batches — the adjacency-grouped
+// probe targets).
+std::vector<TimedElement> SideStream(int n, bool left, int key_mod,
+                                     int burst = 1) {
   std::vector<TimedElement> out;
   out.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     TimeMs at = static_cast<TimeMs>(i);
+    int k = i / burst;
     if (left) {
       out.push_back(TimedElement::OfTuple(
-          at,
-          TupleBuilder().I64(i % 100).I64(i % key_mod).I64(i % 7).Build()));
+          at, TupleBuilder()
+                  .I64(i % 100)
+                  .I64(k % key_mod)
+                  .I64(k % 7)
+                  .Build()));
     } else {
       out.push_back(TimedElement::OfTuple(
-          at,
-          TupleBuilder().I64(i % key_mod).I64(i % 7).I64(i % 100).Build()));
+          at, TupleBuilder()
+                  .I64(k % key_mod)
+                  .I64(k % 7)
+                  .I64(i % 100)
+                  .Build()));
     }
   }
   return out;
@@ -72,16 +84,19 @@ struct JoinRun {
 };
 
 JoinRun RunJoin(benchmark::State* state, int n, const char* feedback,
-                bool batched_probe = true) {
+                bool batched_probe = true,
+                ProbeGrouping grouping = JoinOptions{}.probe_grouping,
+                int burst = 1) {
   QueryPlan plan;
   auto* left = plan.AddOp(std::make_unique<VectorSource>(
-      "A", LeftSchema(), SideStream(n, true, 50)));
+      "A", LeftSchema(), SideStream(n, true, 50, burst)));
   auto* right = plan.AddOp(std::make_unique<VectorSource>(
-      "B", RightSchema(), SideStream(n, false, 50)));
+      "B", RightSchema(), SideStream(n, false, 50, burst)));
   JoinOptions jopt;
   jopt.left_keys = {1, 2};   // (t, id)
   jopt.right_keys = {0, 1};  // (t, id)
   jopt.page_batched_probe = batched_probe;
+  jopt.probe_grouping = grouping;
   auto* join =
       plan.AddOp(std::make_unique<SymmetricHashJoin>("join", jopt));
   auto injected = std::make_shared<bool>(false);
@@ -222,30 +237,48 @@ void RecordHotpathJson() {
   // two. The clean same-methodology A/B is batched_probe_speedup
   // (batched vs element_probe, both measured identically below).
   const int kJoinN = 1 << 13;
-  // The production default flipped to the element walk when the arena
-  // memory model landed (see JoinOptions::page_batched_probe); the
-  // headline and arena rows measure whatever the default is, while
-  // the batched/element A/B keeps both paths honest.
+  // The production default is the batched walk again (the sort-free
+  // adjacency grouping, default ProbeGrouping::kAdjacent, won
+  // batching back from the element walk — the sort-based grouping
+  // had lost to it when the arena model landed, and kAdaptive's
+  // element-walk fallback measured strictly worse than always
+  // grouping). The headline and arena rows measure the default; the
+  // grouping A/B rows keep every path honest, on both the classic
+  // Table 2 stream (adjacent keys always differ) and a bursty variant
+  // (8-tuple key bursts, the adjacency grouping's target shape).
   const bool kDefaultBatched = JoinOptions{}.page_batched_probe;
-  auto timed_run = [&](bool batched) {
+  const ProbeGrouping kDefaultGrouping = JoinOptions{}.probe_grouping;
+  auto timed_run = [&](bool batched,
+                       ProbeGrouping grouping = JoinOptions{}.probe_grouping,
+                       int burst = 1) {
     auto start = std::chrono::steady_clock::now();
-    JoinRun run = RunJoin(nullptr, kJoinN, nullptr, batched);
+    JoinRun run = RunJoin(nullptr, kJoinN, nullptr, batched, grouping,
+                          burst);
     double ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
     benchmark::DoNotOptimize(run.joined);
     return 2.0 * kJoinN / (ms / 1000.0);
   };
-  auto best_run = [&](bool batched) {
+  auto best_run = [&](bool batched,
+                      ProbeGrouping grouping = JoinOptions{}.probe_grouping,
+                      int burst = 1) {
     double best = 0;
-    for (int i = 0; i < 3; ++i) best = std::max(best, timed_run(batched));
+    for (int i = 0; i < 3; ++i) {
+      best = std::max(best, timed_run(batched, grouping, burst));
+    }
     return best;
   };
   timed_run(true);  // warm-up
   timed_run(false);
   double batched_tps = best_run(true);
   double element_tps = best_run(false);
+  double sorted_tps = best_run(true, ProbeGrouping::kSorted);
+  double adjacent_tps = best_run(true, ProbeGrouping::kAdjacent);
   double default_tps = kDefaultBatched ? batched_tps : element_tps;
+  double bursty_adjacent_tps =
+      best_run(true, ProbeGrouping::kAdjacent, /*burst=*/8);
+  double bursty_element_tps = best_run(false, kDefaultGrouping, 8);
   // Arena A/B on the identical plan (production probe config): page
   // arenas globally disabled puts every result tuple (and join-table
   // entry) back on the owned per-tuple allocation path.
@@ -282,6 +315,15 @@ void RecordHotpathJson() {
       {"join.batched_probe_tuples_per_sec", batched_tps},
       {"join.element_probe_tuples_per_sec", element_tps},
       {"join.batched_probe_speedup", batched_tps / element_tps},
+      // Probe-grouping A/B: sorted (the original batched probe),
+      // sort-free adjacency, and the bursty-stream shape where
+      // adjacency grouping actually collapses table lookups.
+      {"join.sorted_probe_tuples_per_sec", sorted_tps},
+      {"join.adjacent_probe_tuples_per_sec", adjacent_tps},
+      {"join.bursty8_adjacent_tuples_per_sec", bursty_adjacent_tps},
+      {"join.bursty8_element_tuples_per_sec", bursty_element_tps},
+      {"join.bursty8_adjacent_speedup",
+       bursty_adjacent_tps / bursty_element_tps},
       // Arena-backed tuple memory: e2e throughput and allocation
       // count A/B on the production (batched, paged) configuration.
       {"join.arena_tuples_per_sec", default_tps},

@@ -1,0 +1,439 @@
+// Value-dispatch microbench: the flat 16-byte tagged-union Value
+// against a frozen copy of the std::variant representation it
+// replaced (pre-flat value.h/value.cc, verbatim). Measures the three
+// per-value operations the Table 2 join's result construction and
+// probe path are made of — copy (construct + destroy), Hash, and
+// TryCompare — on two mixes: the all-numeric Table 2 key shape and a
+// 25%-string mix. Records ns-per-op rows and the combined
+// copy+hash+compare speedup into BENCH_hotpath.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <new>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "bench_json.h"
+#include "types/value.h"
+
+namespace nstream {
+namespace {
+
+// ---- Frozen variant-based reference (the pre-flat representation) ----
+//
+// Fidelity note: in the pre-flat engine, TryCompare and HashSlow
+// lived behind a translation-unit boundary (value.cc) — every call
+// paid the function-call cost. NSTREAM_REF_NOINLINE reproduces that
+// boundary here; without it the reference would be measured in a
+// better-than-historical configuration. The flat representation's win
+// includes the header inlining its 16-byte layout made profitable
+// (the 40-byte variant body was never a realistic inlining
+// candidate). Copy and the Hash fast path were header-inline before
+// and stay inlinable here.
+
+#define NSTREAM_REF_NOINLINE __attribute__((noinline))
+
+class VariantValue {
+ public:
+  VariantValue() : type_(ValueType::kNull) {}
+  VariantValue(const VariantValue& o)
+      : type_(o.type_), rep_(CopyRep(o.rep_)) {}
+  VariantValue& operator=(const VariantValue& o) {
+    if (this != &o) {
+      type_ = o.type_;
+      if (o.rep_.index() == kBorrowedIndex) {
+        const StringRef& r = std::get<StringRef>(o.rep_);
+        rep_.emplace<std::string>(r.data, r.len);
+      } else {
+        rep_ = o.rep_;
+      }
+    }
+    return *this;
+  }
+  VariantValue(VariantValue&&) = default;
+  VariantValue& operator=(VariantValue&&) = default;
+
+  static VariantValue Int64(int64_t v) {
+    VariantValue x;
+    x.type_ = ValueType::kInt64;
+    x.rep_ = v;
+    return x;
+  }
+  static VariantValue Timestamp(int64_t v) {
+    VariantValue x;
+    x.type_ = ValueType::kTimestamp;
+    x.rep_ = v;
+    return x;
+  }
+  static VariantValue Double(double v) {
+    VariantValue x;
+    x.type_ = ValueType::kDouble;
+    x.rep_ = v;
+    return x;
+  }
+  static VariantValue String(std::string v) {
+    VariantValue x;
+    x.type_ = ValueType::kString;
+    x.rep_ = std::move(v);
+    return x;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_numeric() const {
+    return type_ == ValueType::kInt64 || type_ == ValueType::kDouble ||
+           type_ == ValueType::kTimestamp;
+  }
+  std::string_view string_view() const {
+    if (rep_.index() == kBorrowedIndex) {
+      const StringRef& r = std::get<StringRef>(rep_);
+      return std::string_view(r.data, r.len);
+    }
+    return std::get<std::string>(rep_);
+  }
+
+  NSTREAM_REF_NOINLINE
+  bool TryCompare(const VariantValue& other, int* out) const {
+    if (is_null() || other.is_null()) {
+      if (is_null() && other.is_null()) {
+        *out = 0;
+      } else {
+        *out = is_null() ? -1 : 1;
+      }
+      return true;
+    }
+    if (is_numeric() && other.is_numeric()) {
+      if (type_ != ValueType::kDouble &&
+          other.type_ != ValueType::kDouble) {
+        int64_t a = std::get<int64_t>(rep_);
+        int64_t b = std::get<int64_t>(other.rep_);
+        *out = a < b ? -1 : (a > b ? 1 : 0);
+        return true;
+      }
+      double a = type_ == ValueType::kDouble
+                     ? std::get<double>(rep_)
+                     : static_cast<double>(std::get<int64_t>(rep_));
+      double b = other.type_ == ValueType::kDouble
+                     ? std::get<double>(other.rep_)
+                     : static_cast<double>(std::get<int64_t>(other.rep_));
+      *out = a < b ? -1 : (a > b ? 1 : 0);
+      return true;
+    }
+    if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+      int c = string_view().compare(other.string_view());
+      *out = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      return true;
+    }
+    if (type_ == ValueType::kBool && other.type_ == ValueType::kBool) {
+      *out = static_cast<int>(std::get<bool>(rep_)) -
+             static_cast<int>(std::get<bool>(other.rep_));
+      return true;
+    }
+    return false;
+  }
+
+  size_t Hash() const {
+    if (rep_.index() == 2) {
+      int64_t v = std::get<int64_t>(rep_);
+      if (v > -Value::kDoubleExactBound && v < Value::kDoubleExactBound) {
+        return std::hash<int64_t>{}(v);
+      }
+    }
+    return HashSlow();
+  }
+
+ private:
+  struct StringRef {
+    const char* data;
+    size_t len;
+  };
+  static constexpr size_t kBorrowedIndex = 5;
+
+  using Rep = std::variant<std::monostate, bool, int64_t, double,
+                           std::string, StringRef>;
+  static Rep CopyRep(const Rep& r) {
+    if (r.index() == kBorrowedIndex) {
+      const StringRef& s = std::get<StringRef>(r);
+      return Rep(std::in_place_type<std::string>, s.data, s.len);
+    }
+    return r;
+  }
+
+  NSTREAM_REF_NOINLINE size_t HashSlow() const {
+    switch (type_) {
+      case ValueType::kNull:
+        return 0x9ae16a3b2f90404fULL;
+      case ValueType::kBool:
+        return std::get<bool>(rep_) ? 0x1234567 : 0x7654321;
+      case ValueType::kInt64:
+      case ValueType::kTimestamp: {
+        int64_t v = std::get<int64_t>(rep_);
+        if (v > -Value::kDoubleExactBound &&
+            v < Value::kDoubleExactBound) {
+          return std::hash<int64_t>{}(v);
+        }
+        return std::hash<double>{}(static_cast<double>(v));
+      }
+      case ValueType::kDouble: {
+        double d = std::get<double>(rep_);
+        if (d > -static_cast<double>(Value::kDoubleExactBound) &&
+            d < static_cast<double>(Value::kDoubleExactBound)) {
+          int64_t i = static_cast<int64_t>(d);
+          if (static_cast<double>(i) == d) {
+            return std::hash<int64_t>{}(i);
+          }
+        }
+        return std::hash<double>{}(d);
+      }
+      case ValueType::kString:
+        return std::hash<std::string_view>{}(string_view());
+    }
+    return 0;
+  }
+
+  ValueType type_;
+  Rep rep_;
+};
+
+// ---- Workload construction ----
+// The Table 2 output tuple copies (a, t, id, b) — four numeric values
+// — per result; real streams sprinkle string attributes in. Both
+// mixes are measured; the headline "dispatch" rows use the numeric
+// mix (the measured hot path), the string rows keep the clone cost
+// honest.
+
+template <typename V>
+std::vector<V> NumericMix(int n) {
+  std::vector<V> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    switch (i % 4) {
+      case 0:
+        out.push_back(V::Int64(i % 100));
+        break;
+      case 1:
+        out.push_back(V::Timestamp(i % 50));
+        break;
+      case 2:
+        out.push_back(V::Int64(i % 7));
+        break;
+      default:
+        out.push_back(V::Double(i * 0.25));
+        break;
+    }
+  }
+  return out;
+}
+
+// 25% strings of one length class mixed into the numeric stream.
+// Length classes behave differently by design: ≤8 bytes copies as a
+// flat inline value (no allocation at all) where the variant's
+// std::string used SSO; 9-15 bytes is the variant SSO's remaining
+// advantage (the flat rep heap-clones there); >15 bytes both sides
+// allocate.
+template <typename V>
+std::vector<V> StringMix(int n, size_t str_len) {
+  std::vector<V> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (i % 4 == 3) {
+      std::string s;
+      for (size_t k = 0; k < str_len; ++k) {
+        s.push_back(static_cast<char>('a' + (i + static_cast<int>(k)) % 26));
+      }
+      out.push_back(V::String(std::move(s)));
+    } else {
+      out.push_back(V::Int64(i % 100));
+    }
+  }
+  return out;
+}
+
+/// ns per op of `body`, which performs `ops_per_call` operations.
+/// Best of 3 windows: the recorded number is the attainable cost, not
+/// the scheduler's mood on a shared 1-core box (applied identically
+/// to both representations).
+template <typename Fn>
+double MeasureNsPerOp(double ops_per_call, Fn&& body) {
+  double best = 0;
+  for (int i = 0; i < 3; ++i) {
+    best = std::max(best,
+                    benchjson::MeasurePerSec(ops_per_call, 60.0, body));
+  }
+  return 1e9 / best;
+}
+
+template <typename V>
+double CopyNs(const std::vector<V>& values) {
+  return MeasureNsPerOp(static_cast<double>(values.size()), [&] {
+    for (const V& v : values) {
+      V copy(v);  // copy-construct + destroy: the result-build cost
+      benchmark::DoNotOptimize(copy);
+    }
+  });
+}
+
+template <typename V>
+double HashNs(const std::vector<V>& values) {
+  return MeasureNsPerOp(static_cast<double>(values.size()), [&] {
+    size_t acc = 0;
+    for (const V& v : values) acc ^= v.Hash();
+    benchmark::DoNotOptimize(acc);
+  });
+}
+
+template <typename V>
+double CompareNs(const std::vector<V>& values) {
+  return MeasureNsPerOp(static_cast<double>(values.size()), [&] {
+    int acc = 0;
+    const size_t n = values.size();
+    for (size_t i = 0; i + 1 < n; ++i) {
+      int c = 0;
+      if (values[i].TryCompare(values[i + 1], &c)) acc += c;
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+}
+
+void RecordJson() {
+  // Working set sized to a page burst (~2 pages of 128 tuples x 4
+  // values) — the unit the page-at-a-time engine actually streams
+  // through an operator. The flat rep keeps it L1-resident (16 KB vs
+  // 48 KB); that cache footprint is part of the design, not an
+  // artifact.
+  const int kN = 1024;
+  auto flat_num = NumericMix<Value>(kN);
+  auto var_num = NumericMix<VariantValue>(kN);
+
+  double flat_copy = CopyNs(flat_num);
+  double var_copy = CopyNs(var_num);
+  double flat_hash = HashNs(flat_num);
+  double var_hash = HashNs(var_num);
+  double flat_cmp = CompareNs(flat_num);
+  double var_cmp = CompareNs(var_num);
+
+  double combined_flat = flat_copy + flat_hash + flat_cmp;
+  double combined_var = var_copy + var_hash + var_cmp;
+
+  std::printf(
+      "value dispatch (ns/op, numeric mix):\n"
+      "  copy     flat %.2f  variant %.2f  (%.2fx)\n"
+      "  hash     flat %.2f  variant %.2f  (%.2fx)\n"
+      "  compare  flat %.2f  variant %.2f  (%.2fx)\n"
+      "  combined %.2f vs %.2f -> %.2fx\n"
+      "  sizeof: flat %zu  variant %zu\n",
+      flat_copy, var_copy, var_copy / flat_copy, flat_hash, var_hash,
+      var_hash / flat_hash, flat_cmp, var_cmp, var_cmp / flat_cmp,
+      combined_flat, combined_var, combined_var / combined_flat,
+      sizeof(Value), sizeof(VariantValue));
+
+  std::map<std::string, double> metrics = {
+      {"value.flat_copy_ns", flat_copy},
+      {"value.variant_copy_ns", var_copy},
+      {"value.copy_speedup", var_copy / flat_copy},
+      {"value.flat_hash_ns", flat_hash},
+      {"value.variant_hash_ns", var_hash},
+      {"value.hash_speedup", var_hash / flat_hash},
+      {"value.flat_compare_ns", flat_cmp},
+      {"value.variant_compare_ns", var_cmp},
+      {"value.compare_speedup", var_cmp / flat_cmp},
+      {"value.dispatch_speedup", combined_var / combined_flat},
+      {"value.sizeof_flat", static_cast<double>(sizeof(Value))},
+      {"value.sizeof_variant", static_cast<double>(sizeof(VariantValue))},
+      {"value.online_cpus",
+       static_cast<double>(std::thread::hardware_concurrency())},
+  };
+
+  // String-copy rows, one per length class (see StringMix).
+  const struct {
+    const char* key;
+    size_t len;
+  } kStringClasses[] = {
+      {"short6", 6},   // flat inline vs variant SSO
+      {"mid12", 12},   // flat heap-clone vs variant SSO
+      {"long24", 24},  // both heap-allocate
+  };
+  for (const auto& cls : kStringClasses) {
+    double flat = CopyNs(StringMix<Value>(kN, cls.len));
+    double var = CopyNs(StringMix<VariantValue>(kN, cls.len));
+    std::printf("  copy (25%% %s strings) flat %.2f  variant %.2f  (%.2fx)\n",
+                cls.key, flat, var, var / flat);
+    metrics["value.flat_copy_" + std::string(cls.key) + "_ns"] = flat;
+    metrics["value.variant_copy_" + std::string(cls.key) + "_ns"] = var;
+    metrics["value.copy_" + std::string(cls.key) + "_speedup"] =
+        var / flat;
+  }
+
+  benchjson::RecordAll(metrics);
+}
+
+// Google-benchmark registrations so the bench-smoke CI job exercises
+// the same bodies with its tiny iteration budget.
+
+void BM_FlatCopyNumeric(benchmark::State& state) {
+  auto values = NumericMix<Value>(1024);
+  for (auto _ : state) {
+    for (const Value& v : values) {
+      Value copy(v);
+      benchmark::DoNotOptimize(copy);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_FlatCopyNumeric);
+
+void BM_VariantCopyNumeric(benchmark::State& state) {
+  auto values = NumericMix<VariantValue>(1024);
+  for (auto _ : state) {
+    for (const VariantValue& v : values) {
+      VariantValue copy(v);
+      benchmark::DoNotOptimize(copy);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_VariantCopyNumeric);
+
+void BM_FlatHash(benchmark::State& state) {
+  auto values = NumericMix<Value>(1024);
+  for (auto _ : state) {
+    size_t acc = 0;
+    for (const Value& v : values) acc ^= v.Hash();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FlatHash);
+
+void BM_FlatCompare(benchmark::State& state) {
+  auto values = NumericMix<Value>(1024);
+  for (auto _ : state) {
+    int acc = 0;
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      int c = 0;
+      if (values[i].TryCompare(values[i + 1], &c)) acc += c;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FlatCompare);
+
+}  // namespace
+}  // namespace nstream
+
+int main(int argc, char** argv) {
+  nstream::RecordJson();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -122,6 +122,59 @@ class Operator {
     output_schemas_[static_cast<size_t>(port)] = std::move(schema);
   }
 
+  /// Shared paged-filter skeleton for single-output filters (Select's
+  /// predicate, Pace's lateness policy): run `keep` over the run of
+  /// leading tuples, compact survivors IN PLACE, and forward the page
+  /// itself to output 0 — arena and all, zero copies. A mixed page
+  /// detaches the remainder and PROMOTES its tuples before the page
+  /// is emitted, because the page (and the arena owning their
+  /// payloads) may be consumed and freed by a downstream thread ahead
+  /// of the tail; the tail then walks element-wise. Punctuation / EOS
+  /// can only trail the tuples of a queue-built page (punctuation
+  /// flushes its page), so order is preserved even for hand-built
+  /// mixed pages. `keep` owns all per-tuple stats except tuples_in,
+  /// which is charged here.
+  template <typename Keep>
+  Status FilterPageInPlace(int port, Page&& page, TimeMs* tick,
+                           Keep&& keep) {
+    std::vector<StreamElement>& elems = page.mutable_elements();
+    size_t kept = 0;
+    size_t i = 0;
+    for (; i < elems.size() && elems[i].is_tuple(); ++i) {
+      if (tick) ++*tick;
+      ++stats_.tuples_in;
+      if (!keep(elems[i].tuple())) continue;
+      if (kept != i) elems[kept] = std::move(elems[i]);
+      ++kept;
+    }
+    if (i == elems.size()) {
+      // Pure-tuple page (the common case): truncate and forward.
+      elems.resize(kept);
+      if (!page.empty()) EmitPage(0, std::move(page));
+      return Status::OK();
+    }
+    std::vector<StreamElement> rest;
+    rest.reserve(elems.size() - i);
+    for (size_t j = i; j < elems.size(); ++j) {
+      if (elems[j].is_tuple()) elems[j].mutable_tuple().Promote();
+      rest.push_back(std::move(elems[j]));
+    }
+    elems.resize(kept);
+    if (!page.empty()) EmitPage(0, std::move(page));
+    for (StreamElement& e : rest) {
+      if (tick) ++*tick;
+      if (e.is_tuple()) {
+        ++stats_.tuples_in;
+        if (keep(e.tuple())) Emit(0, std::move(e.mutable_tuple()));
+      } else if (e.is_punct()) {
+        NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, e.punct()));
+      } else {
+        NSTREAM_RETURN_NOT_OK(ProcessEos(port));
+      }
+    }
+    return Status::OK();
+  }
+
   // Emission helpers that keep stats in sync.
   void Emit(int out_port, Tuple t) {
     ++stats_.tuples_out;

@@ -76,62 +76,17 @@ class Select final : public Operator {
     }
     // Paged path: filter IN PLACE and forward the page itself, so the
     // page's arena (which owns every surviving tuple's payload) makes
-    // the hop untouched — zero copies, zero allocations. Punctuation /
-    // EOS can only trail the tuples of a queue-built page
-    // (punctuation flushes its page), so the compacted tuple prefix is
-    // emitted first and the remainder is walked element-wise — order
-    // is preserved even for hand-built mixed pages.
-    std::vector<StreamElement>& elems = page.mutable_elements();
-    size_t kept = 0;
-    size_t i = 0;
-    for (; i < elems.size() && elems[i].is_tuple(); ++i) {
-      if (tick) ++*tick;
-      ++stats_.tuples_in;
-      const Tuple& tuple = elems[i].tuple();
-      if (guards_.Blocks(tuple)) {
-        ++stats_.input_guard_drops;
-        continue;
-      }
-      if (!predicate_(tuple)) continue;
-      if (kept != i) elems[kept] = std::move(elems[i]);
-      ++kept;
-    }
-    if (i == elems.size()) {
-      // Pure-tuple page (the common case): truncate and forward.
-      elems.resize(kept);
-      if (!page.empty()) EmitPage(0, std::move(page));
-      return Status::OK();
-    }
-    // Mixed page: detach the remainder — promoting any tuple in it to
-    // owned storage, because the page (and its arena) is emitted
-    // ahead of it and may be consumed and freed by a downstream
-    // thread — emit the filtered tuple prefix, then handle the rest
-    // element-wise.
-    std::vector<StreamElement> rest;
-    rest.reserve(elems.size() - i);
-    for (size_t j = i; j < elems.size(); ++j) {
-      if (elems[j].is_tuple()) elems[j].mutable_tuple().Promote();
-      rest.push_back(std::move(elems[j]));
-    }
-    elems.resize(kept);
-    if (!page.empty()) EmitPage(0, std::move(page));
-    for (StreamElement& e : rest) {
-      if (tick) ++*tick;
-      if (e.is_tuple()) {
-        ++stats_.tuples_in;
-        const Tuple& tuple = e.tuple();
-        if (guards_.Blocks(tuple)) {
-          ++stats_.input_guard_drops;
-          continue;
-        }
-        if (predicate_(tuple)) Emit(0, std::move(e.mutable_tuple()));
-      } else if (e.is_punct()) {
-        NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, e.punct()));
-      } else {
-        NSTREAM_RETURN_NOT_OK(ProcessEos(port));
-      }
-    }
-    return Status::OK();
+    // the hop untouched — zero copies, zero allocations. The
+    // compaction + mixed-page handling lives in Operator::
+    // FilterPageInPlace (shared with Pace).
+    return FilterPageInPlace(port, std::move(page), tick,
+                             [this](const Tuple& tuple) {
+                               if (guards_.Blocks(tuple)) {
+                                 ++stats_.input_guard_drops;
+                                 return false;
+                               }
+                               return predicate_(tuple);
+                             });
   }
 
   Status ProcessPunctuation(int port, const Punctuation& punct) override {

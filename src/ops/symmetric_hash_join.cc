@@ -220,6 +220,152 @@ Status SymmetricHashJoin::ProcessPage(int port, Page&& page,
 Status SymmetricHashJoin::ProcessTupleRun(
     int port, std::vector<StreamElement>& elems, size_t begin,
     size_t end, TimeMs* tick) {
+  switch (options_.probe_grouping) {
+    case ProbeGrouping::kSorted:
+      return ProcessSortedRun(port, elems, begin, end, tick);
+    case ProbeGrouping::kAdjacent:
+      return ProcessAdjacentRun(port, elems, begin, end, tick);
+    case ProbeGrouping::kAdaptive:
+      // Grouped while duplicates are dense enough to pay for the
+      // memoization bookkeeping; otherwise the plain element walk,
+      // with a periodic grouped run to re-sample the density (the
+      // grouped pass measures as it walks, the element walk cannot).
+      if (adj_dup_ewma_ >= options_.adaptive_min_dup_fraction ||
+          ++runs_since_dup_sample_ >= options_.adaptive_resample_period) {
+        return ProcessAdjacentRun(port, elems, begin, end, tick);
+      }
+      return ProcessRunElementwise(port, elems, begin, end, tick);
+  }
+  return ProcessRunElementwise(port, elems, begin, end, tick);
+}
+
+Status SymmetricHashJoin::ProcessRunElementwise(
+    int port, std::vector<StreamElement>& elems, size_t begin,
+    size_t end, TimeMs* tick) {
+  for (size_t e = begin; e < end; ++e) {
+    if (tick) ++*tick;
+    ++stats_.tuples_in;
+    NSTREAM_RETURN_NOT_OK(ProcessTuple(port, elems[e].tuple()));
+  }
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::ProcessAdjacentRun(
+    int port, std::vector<StreamElement>& elems, size_t begin,
+    size_t end, TimeMs* tick) {
+  const std::vector<int>& my_keys =
+      port == 0 ? options_.left_keys : options_.right_keys;
+  const std::vector<int>& other_keys =
+      port == 0 ? options_.right_keys : options_.left_keys;
+  const int other = 1 - port;
+
+  // One fused pass in element order. The memoized bucket pointers
+  // stay valid across the walk: probing never mutates tables_[other],
+  // and inserting into tables_[port] may rehash that map but never
+  // moves its mapped vectors (unordered_map references are stable
+  // under insertion).
+  bool have_prev = false;
+  uint64_t prev_key = 0;
+  std::vector<Entry>* probe_bucket = nullptr;
+  std::vector<Entry>* own_bucket = nullptr;
+  uint64_t admitted = 0;
+  uint64_t adjacent_dups = 0;
+
+  for (size_t e = begin; e < end; ++e) {
+    if (tick) ++*tick;
+    ++stats_.tuples_in;
+    const Tuple& tuple = elems[e].tuple();
+    if (input_guards_[static_cast<size_t>(port)].Blocks(tuple)) {
+      ++stats_.input_guard_drops;
+      continue;
+    }
+#ifndef NDEBUG
+    // Shard-routing tripwire: a mis-routed tuple would silently miss
+    // its join partner, so verify the Exchange's placement decision.
+    if (options_.shard_count > 1) {
+      assert(ShardOfRoutingHash(ShardRoutingHash(tuple, my_keys),
+                                options_.shard_count) ==
+             options_.shard_index);
+    }
+#endif
+    int64_t wid = WidOf(tuple, port);
+    if (options_.window_join && wid <= watermark_[port]) {
+      // Straggler past its window's punctuation: nothing to join
+      // with. The watermark cannot advance mid-run (punctuation
+      // bounds the run), so this matches the element-wise decision.
+      continue;
+    }
+    uint64_t key = KeyHash(tuple, port, wid);
+    ++admitted;
+    if (have_prev && key == prev_key) {
+      ++adjacent_dups;  // memoized buckets stay hot
+    } else {
+      auto it = tables_[other].find(key);
+      probe_bucket = it == tables_[other].end() ? nullptr : &it->second;
+      own_bucket = nullptr;  // resolved lazily at first insert
+      prev_key = key;
+      have_prev = true;
+    }
+
+    bool gated = false;
+    if (port == 0 && options_.left_gate && !options_.left_gate(tuple)) {
+      gated = true;
+      if (options_.gate_feedback_horizon > 0 && options_.window_join) {
+        SendGateFeedback(tuple, wid, key);
+      }
+    }
+
+    bool matched_now = false;
+    if (!gated && probe_bucket != nullptr) {
+      for (Entry& ent : *probe_bucket) {
+        if (port == 1 && ent.gated) continue;  // right probe skips gated
+        if (ent.wid != wid ||
+            !tuple.EqualsSubset(ent.tuple, my_keys, other_keys)) {
+          continue;  // hash collision: not actually the same key
+        }
+        ent.matched = true;
+        matched_now = true;
+        if (port == 0) {
+          EmitJoined(JoinTuples(tuple, ent.tuple, OutArena()));
+        } else {
+          EmitJoined(JoinTuples(ent.tuple, tuple, OutArena()));
+        }
+      }
+    }
+
+    if (options_.window_join) {
+      ++window_counts_[port][wid];
+      if (wid < min_seen_wid_[port]) min_seen_wid_[port] = wid;
+      if (options_.impatient && port == options_.impatient_data_input) {
+        MaybeImpatient(tuple, port, wid, key);
+      }
+    }
+    Entry entry;
+    entry.tuple = std::move(elems[e].mutable_tuple());  // page is ours
+    // Table entries outlive the input page: promote arena-backed
+    // tuples into table-owned (heap) storage.
+    entry.tuple.Promote();
+    entry.wid = wid;
+    entry.gated = gated;
+    entry.matched = matched_now;
+    if (own_bucket == nullptr) own_bucket = &tables_[port][key];
+    own_bucket->push_back(std::move(entry));
+  }
+
+  // Feed the adaptive density estimate (quarter-weight EWMA: reacts
+  // within a few pages, shrugs off one odd run).
+  if (admitted > 0) {
+    double frac = static_cast<double>(adjacent_dups) /
+                  static_cast<double>(admitted);
+    adj_dup_ewma_ = 0.75 * adj_dup_ewma_ + 0.25 * frac;
+    runs_since_dup_sample_ = 0;
+  }
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::ProcessSortedRun(
+    int port, std::vector<StreamElement>& elems, size_t begin,
+    size_t end, TimeMs* tick) {
   const std::vector<int>& my_keys =
       port == 0 ? options_.left_keys : options_.right_keys;
   const std::vector<int>& other_keys =

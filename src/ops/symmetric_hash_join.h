@@ -37,6 +37,36 @@
 
 namespace nstream {
 
+/// How the page-at-a-time probe groups a tuple run (see
+/// JoinOptions::page_batched_probe).
+enum class ProbeGrouping : uint8_t {
+  // Stabilized sort by key hash: gathers scattered duplicates so each
+  // distinct key touches the tables once, at the price of the sort and
+  // scattered element access. Loses to the element walk on Table 2
+  // once arenas removed allocation (~0.73x) — kept for high-duplicate
+  // runs whose repeats are NOT adjacent, and for the A/B tests.
+  kSorted = 0,
+  // Sort-free adjacency grouping: a single fused walk in element
+  // order that memoizes the probe/insert buckets across CONSECUTIVE
+  // equal key hashes, and MOVES each tuple into the table. Bursty
+  // streams (sensor readings per segment, per-key batches) skip both
+  // hash-table lookups on every repeat; runs with no adjacent
+  // repeats still beat the element walk, because the walk's
+  // ProcessTuple copies every inserted tuple where this path moves
+  // it (~1.1x on Table 2, which has zero adjacent repeats —
+  // join.adjacent_probe_* vs join.element_probe_*). Output order
+  // matches the element walk exactly (no cross-key reordering).
+  kAdjacent,
+  // kAdjacent while the observed adjacent-duplicate density says the
+  // memoization pays, the plain element walk otherwise; density is
+  // re-sampled periodically so a stream that turns bursty is
+  // noticed. Measured strictly worse than kAdjacent as a default:
+  // the fused walk dominates the element walk even at zero duplicate
+  // density (the move-vs-copy insert), so falling back only forfeits
+  // that. Kept as an option and for the A/B suites.
+  kAdaptive,
+};
+
 struct JoinOptions {
   // Equi-join key attribute positions (parallel arrays).
   std::vector<int> left_keys;
@@ -84,24 +114,31 @@ struct JoinOptions {
   // DataQueueOptions::page_size and ExchangeOptions::stage_page_size.
   int output_page_size = 256;
 
-  // Page-at-a-time probe: ProcessPage groups each run of tuples by
-  // key hash (one small sort pass) so each distinct key touches the
-  // hash tables once on the probe side and once on the insert side,
-  // and tuples MOVE from the page into the table instead of copying.
-  // Within a key, element order is preserved; across keys the output
-  // interleaving may differ from the element-wise walk (the result
-  // multiset is identical — join_batched_probe_test enforces it).
+  // Page-at-a-time probe: ProcessPage handles each run of tuples
+  // (between punctuation/EOS boundaries) with a grouped walk chosen
+  // by `probe_grouping`, and tuples MOVE from the page into the table
+  // instead of copying. Under kSorted the output interleaving across
+  // keys may differ from the element-wise walk (the result multiset
+  // is identical — join_batched_probe_test enforces it); kAdjacent /
+  // kAdaptive preserve element order exactly.
   //
-  // Default OFF since the arena memory model landed: grouping paid
-  // for itself when every result tuple cost a malloc, but with
-  // results bump-allocated from the staging page's arena the element
-  // walk measures ~1.3-1.5x faster across key-cardinality regimes on
-  // the Table 2 pipeline (the sort + staging + scattered element
-  // access now outweigh the saved hash lookups — bench_table2_join's
-  // batched_probe/element_probe rows carry the A/B). The grouped path
-  // stays available and equivalence-tested; an adjacency-based
-  // (sort-free) grouping is the candidate to win it back.
-  bool page_batched_probe = false;
+  // History: the original sort-based grouping paid for itself while
+  // every result tuple cost a malloc, lost to the element walk
+  // (~0.73x) once the arena model landed, and was defaulted off. The
+  // sort-free adjacency grouping won batching back — move-inserts
+  // plus bucket memoization beat the element walk at every measured
+  // duplicate density, including zero — so the default is ON again
+  // with kAdjacent (bench_table2_join's sorted/adjacent/element and
+  // bursty rows carry the A/B).
+  bool page_batched_probe = true;
+  ProbeGrouping probe_grouping = ProbeGrouping::kAdjacent;
+  // kAdaptive: take the grouped walk while the EWMA of the adjacent-
+  // duplicate fraction (admitted run items whose key hash equals the
+  // previous item's) stays at or above this; below it, walk runs
+  // element-wise and re-sample the density every
+  // `adaptive_resample_period` runs.
+  double adaptive_min_dup_fraction = 0.05;
+  int adaptive_resample_period = 16;
 
   // Test seam: replaces the (wid, key-subset) hash used for the join
   // tables and feedback dedup sets. Forcing a constant here makes every
@@ -167,6 +204,9 @@ class SymmetricHashJoin final : public Operator {
   uint64_t impatient_feedbacks() const { return impatient_feedbacks_; }
   uint64_t gate_feedbacks() const { return gate_feedbacks_; }
   uint64_t joined_count() const { return joined_count_; }
+  /// kAdaptive probe introspection: the current adjacent-duplicate
+  /// density estimate (tests assert it tracks the stream's shape).
+  double adjacent_dup_ewma() const { return adj_dup_ewma_; }
 
  private:
   struct Entry {
@@ -193,10 +233,26 @@ class SymmetricHashJoin final : public Operator {
   uint64_t KeyHash(const Tuple& t, int port, int64_t wid) const;
   int64_t WidOf(const Tuple& t, int port) const;
   /// Batched equivalent of ProcessTuple over elems[begin, end) (all
-  /// tuples). Must stay semantically aligned with ProcessTuple — the
-  /// randomized equivalence test compares the two paths directly.
+  /// tuples); dispatches on options_.probe_grouping. Must stay
+  /// semantically aligned with ProcessTuple — the randomized
+  /// equivalence test compares the paths directly.
   Status ProcessTupleRun(int port, std::vector<StreamElement>& elems,
                          size_t begin, size_t end, TimeMs* tick);
+  /// kSorted: stage + sort by key hash, one probe/insert lookup per
+  /// distinct key in the run.
+  Status ProcessSortedRun(int port, std::vector<StreamElement>& elems,
+                          size_t begin, size_t end, TimeMs* tick);
+  /// kAdjacent: fused single pass in element order, probe/insert
+  /// buckets memoized across consecutive equal key hashes. Also the
+  /// kAdaptive sampling pass (it measures density as it walks).
+  Status ProcessAdjacentRun(int port, std::vector<StreamElement>& elems,
+                            size_t begin, size_t end, TimeMs* tick);
+  /// Element-wise walk of a run (kAdaptive's low-density path):
+  /// ProcessTuple per element, with the page walk's stats/tick
+  /// charges.
+  Status ProcessRunElementwise(int port,
+                               std::vector<StreamElement>& elems,
+                               size_t begin, size_t end, TimeMs* tick);
   /// Arena for result construction: the staging page's arena when
   /// results are paged, null (owned fallback) otherwise.
   TupleArena* OutArena();
@@ -231,6 +287,12 @@ class SymmetricHashJoin final : public Operator {
   // Scratch for the batched probe's sort-by-key pass (reused across
   // pages to keep the hot path allocation-free once warm).
   std::vector<RunItem> run_scratch_;
+  // kAdaptive probe state: EWMA of the adjacent-duplicate fraction
+  // observed by grouped runs, and how many element-wise runs have
+  // passed since the density was last sampled. Initialized so the
+  // very first run samples.
+  double adj_dup_ewma_ = 0.0;
+  int runs_since_dup_sample_ = 1 << 20;
 
   // Per-input window bookkeeping (window_join only).
   std::map<int64_t, uint64_t> window_counts_[2];

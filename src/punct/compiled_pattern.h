@@ -89,25 +89,25 @@ class CompiledPattern {
       // lowered exactly: interpret via the original pattern.
       return pattern_.attr(c.index).Matches(v);
     }
-    switch (v.type()) {
-      case ValueType::kInt64:
-      case ValueType::kTimestamp: {
-        int64_t x = v.int64_value();
-        if (c.cls == OperandClass::kInt) {
-          return ApplyOp<int64_t>(c.op, x, c.ilo, c.ihi);
-        }
-        return ApplyOp<double>(c.op, static_cast<double>(x), c.dlo,
-                               c.dhi);
+    // Raw-payload fast path over Value's flat representation: one tag
+    // test routes the dominant timestamp/int64 shape to a pair of
+    // integer compares on the raw 8-byte payload — no accessor
+    // re-dispatch between the tag check and the comparison.
+    if (v.is_int64_rep()) {
+      int64_t x = v.unchecked_int64();
+      if (c.cls == OperandClass::kInt) {
+        return ApplyOp<int64_t>(c.op, x, c.ilo, c.ihi);
       }
-      case ValueType::kDouble:
-        return ApplyOp<double>(c.op, v.double_value(), c.dlo, c.dhi);
-      case ValueType::kNull:
-        return false;  // comparison patterns never match NULL
-      default:
-        // Numeric operand vs string/bool value: incomparable, and
-        // strings/bools are rare — interpret via the original pattern.
-        return pattern_.attr(c.index).Matches(v);
+      return ApplyOp<double>(c.op, static_cast<double>(x), c.dlo,
+                             c.dhi);
     }
+    if (v.type() == ValueType::kDouble) {
+      return ApplyOp<double>(c.op, v.unchecked_double(), c.dlo, c.dhi);
+    }
+    if (v.is_null()) return false;  // comparison patterns never match NULL
+    // Numeric operand vs string/bool value: incomparable, and
+    // strings/bools are rare — interpret via the original pattern.
+    return pattern_.attr(c.index).Matches(v);
   }
 
   PunctPattern pattern_;

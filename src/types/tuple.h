@@ -131,8 +131,9 @@ class Tuple {
       // borrowed bytes are re-copied because their source arena may
       // die first. A borrow that already points into this tuple's
       // arena (the Value::StringIn(arena, ...) construction pattern)
-      // moves through without a second copy.
-      if (v.type() == ValueType::kString) {
+      // moves through without a second copy, and INLINE strings are
+      // self-contained — they move through like any scalar.
+      if (v.type() == ValueType::kString && !v.is_inline_string()) {
         std::string_view sv = v.string_view();
         if (v.is_borrowed_string() && arena_->Owns(sv.data())) {
           new (data_ + size_) Value(std::move(v));
@@ -159,7 +160,8 @@ class Tuple {
   /// backed by this arena is re-borrowed rather than re-copied.
   void Append(const Value& v) {
     if (size_ == capacity_) Grow();
-    if (arena_ != nullptr && v.type() == ValueType::kString) {
+    if (arena_ != nullptr && v.type() == ValueType::kString &&
+        !v.is_inline_string()) {
       std::string_view sv = v.string_view();
       if (v.is_borrowed_string() && arena_->Owns(sv.data())) {
         new (data_ + size_) Value(Value::BorrowedString(sv));
@@ -167,6 +169,10 @@ class Tuple {
         new (data_ + size_) Value(Value::StringIn(arena_, sv));
       }
     } else {
+      // Scalars and inline strings copy as flat fields (an inline
+      // string is trivially destructible, so it is arena-legal as
+      // is); a borrowed string copied into an owned tuple promotes
+      // via Value's copy constructor.
       new (data_ + size_) Value(v);
     }
     ++size_;

@@ -26,75 +26,33 @@ const char* ValueTypeName(ValueType t) {
 }
 
 Result<double> Value::AsDouble() const {
-  switch (type_) {
+  switch (type()) {
     case ValueType::kInt64:
     case ValueType::kTimestamp:
-      return static_cast<double>(std::get<int64_t>(rep_));
+      return static_cast<double>(payload_.i);
     case ValueType::kDouble:
-      return std::get<double>(rep_);
+      return payload_.d;
     case ValueType::kBool:
-      return std::get<bool>(rep_) ? 1.0 : 0.0;
+      return payload_.b ? 1.0 : 0.0;
     default:
       return Status::InvalidArgument(
           std::string("AsDouble on non-numeric value of type ") +
-          ValueTypeName(type_));
+          ValueTypeName(type()));
   }
 }
 
 Result<int64_t> Value::AsInt64() const {
-  switch (type_) {
+  switch (type()) {
     case ValueType::kInt64:
     case ValueType::kTimestamp:
-      return std::get<int64_t>(rep_);
+      return payload_.i;
     case ValueType::kBool:
-      return static_cast<int64_t>(std::get<bool>(rep_));
+      return static_cast<int64_t>(payload_.b);
     default:
       return Status::InvalidArgument(
           std::string("AsInt64 on non-integral value of type ") +
-          ValueTypeName(type_));
+          ValueTypeName(type()));
   }
-}
-
-bool Value::TryCompare(const Value& other, int* out) const {
-  DCheckConsistent();
-  other.DCheckConsistent();
-  // NULL sorts before everything; two NULLs are equal.
-  if (is_null() || other.is_null()) {
-    if (is_null() && other.is_null()) {
-      *out = 0;
-    } else {
-      *out = is_null() ? -1 : 1;
-    }
-    return true;
-  }
-  if (is_numeric() && other.is_numeric()) {
-    // Compare int64/timestamp pairs exactly; mix with double via
-    // widening (fine for the magnitudes streams carry).
-    if (type_ != ValueType::kDouble && other.type_ != ValueType::kDouble) {
-      int64_t a = std::get<int64_t>(rep_);
-      int64_t b = std::get<int64_t>(other.rep_);
-      *out = a < b ? -1 : (a > b ? 1 : 0);
-      return true;
-    }
-    double a = type_ == ValueType::kDouble
-                   ? std::get<double>(rep_)
-                   : static_cast<double>(std::get<int64_t>(rep_));
-    double b = other.type_ == ValueType::kDouble
-                   ? std::get<double>(other.rep_)
-                   : static_cast<double>(std::get<int64_t>(other.rep_));
-    *out = a < b ? -1 : (a > b ? 1 : 0);
-    return true;
-  }
-  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
-    int c = string_view().compare(other.string_view());
-    *out = c < 0 ? -1 : (c > 0 ? 1 : 0);
-    return true;
-  }
-  if (type_ == ValueType::kBool && other.type_ == ValueType::kBool) {
-    *out = static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
-    return true;
-  }
-  return false;
 }
 
 Result<int> Value::Compare(const Value& other) const {
@@ -102,66 +60,23 @@ Result<int> Value::Compare(const Value& other) const {
   if (TryCompare(other, &c)) return c;
   return Status::InvalidArgument(
       StringPrintf("incomparable value types %s vs %s",
-                   ValueTypeName(type_), ValueTypeName(other.type_)));
-}
-
-bool Value::EqualsSlow(const Value& other) const {
-  int c;
-  return TryCompare(other, &c) && c == 0;
-}
-
-size_t Value::HashSlow() const {
-  DCheckConsistent();
-  // Numeric canonicalization rule, chosen to be ==-compatible with
-  // TryCompare's widening: magnitudes under 2^53 (where int64 and
-  // double agree exactly) hash in the int64 domain; everything else
-  // hashes via its double image, because that is the precision in
-  // which mixed int64/double equality is decided.
-  switch (type_) {
-    case ValueType::kNull:
-      return 0x9ae16a3b2f90404fULL;
-    case ValueType::kBool:
-      return std::get<bool>(rep_) ? 0x1234567 : 0x7654321;
-    case ValueType::kInt64:
-    case ValueType::kTimestamp: {
-      int64_t v = std::get<int64_t>(rep_);
-      if (v > -kDoubleExactBound && v < kDoubleExactBound) {
-        return std::hash<int64_t>{}(v);
-      }
-      return std::hash<double>{}(static_cast<double>(v));
-    }
-    case ValueType::kDouble: {
-      double d = std::get<double>(rep_);
-      if (d > -static_cast<double>(kDoubleExactBound) &&
-          d < static_cast<double>(kDoubleExactBound)) {
-        int64_t i = static_cast<int64_t>(d);
-        if (static_cast<double>(i) == d) {
-          return std::hash<int64_t>{}(i);
-        }
-      }
-      return std::hash<double>{}(d);
-    }
-    case ValueType::kString:
-      // Owned and borrowed strings with equal bytes must hash alike.
-      return std::hash<std::string_view>{}(string_view());
-  }
-  return 0;
+                   ValueTypeName(type()), ValueTypeName(other.type())));
 }
 
 std::string Value::ToString() const {
-  switch (type_) {
+  switch (type()) {
     case ValueType::kNull:
       return "null";
     case ValueType::kBool:
-      return std::get<bool>(rep_) ? "true" : "false";
+      return payload_.b ? "true" : "false";
     case ValueType::kInt64:
-      return std::to_string(std::get<int64_t>(rep_));
+      return std::to_string(payload_.i);
     case ValueType::kDouble:
-      return FormatDouble(std::get<double>(rep_));
+      return FormatDouble(payload_.d);
     case ValueType::kString:
       return "'" + std::string(string_view()) + "'";
     case ValueType::kTimestamp:
-      return "t:" + std::to_string(std::get<int64_t>(rep_));
+      return "t:" + std::to_string(payload_.i);
   }
   return "?";
 }

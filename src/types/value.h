@@ -3,25 +3,54 @@
 // speeds, locations); Value covers exactly that vocabulary plus NULL,
 // which Experiment 1's dirty sensor readings require.
 //
-// Strings come in two representations behind the same kString type
-// tag: an OWNED std::string, and a BORROWED (pointer, length) view of
-// bytes that live in a TupleArena (page-owned tuple memory). Borrowed
-// strings are what make arena-backed tuples trivially destructible —
-// the page frees their bytes wholesale. Copying a Value always
-// promotes a borrowed string to an owned one, so a Value that escapes
-// its page through a plain copy can never dangle; only moves preserve
-// the borrow, and those stay on arena-aware paths (Tuple append,
-// rehome, promote).
+// Representation: a FLAT 16-byte tagged union — one 8-byte payload
+// (bool / int64 / double / string bytes, each read through the union
+// member it was stored through, so the punning is UB-clean), a 32-bit
+// string length, and a one-byte tag. The tag byte carries the
+// ValueType in its low bits plus two string-representation modifier
+// bits:
+//
+//   * kString                (no bits)  — BORROWED: the payload
+//     pointer references bytes living in a TupleArena (page-owned
+//     tuple memory); destruction is a no-op, the page frees the bytes
+//     wholesale.
+//   * kString | kInlineBit   — INLINE: up to 8 bytes stored directly
+//     in the payload. Self-contained AND trivially destructible, so
+//     it is legal in both owned and arena-backed tuples and copies as
+//     a plain field copy.
+//   * kString | kOwnedBit    — OWNED: the payload pointer is a heap
+//     buffer this value frees on destruction (the self-contained
+//     representation for strings longer than 8 bytes).
+//
+// Borrowed and inline strings are what make arena-backed tuples
+// trivially destructible. Copying a Value is a 16-byte field copy
+// plus one branch on the tag; a borrowed or heap-owned string
+// additionally clones its bytes into a self-contained representation
+// (inline when they fit, heap otherwise), so a Value that escapes its
+// page through a plain copy can never dangle. Only moves preserve a
+// borrow, and those stay on arena-aware paths (Tuple append, rehome,
+// promote).
+//
+// The previous representation — std::variant<monostate, bool, int64,
+// double, std::string, StringRef> + tag, 48 bytes — paid a variant
+// dispatch per copied value; the Table 2 join's result construction
+// copies four values per output tuple and profiled dominated by those
+// dispatches once the arena model removed allocation. The flat layout
+// kills the dispatch and shrinks tuple spans 3x. bench_value_dispatch
+// carries the A/B against a frozen variant reference.
 
 #ifndef NSTREAM_TYPES_VALUE_H_
 #define NSTREAM_TYPES_VALUE_H_
 
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <new>
 #include <string>
 #include <string_view>
-#include <variant>
+#include <type_traits>
 
 #include "common/clock.h"
 #include "common/status.h"
@@ -31,14 +60,17 @@ namespace nstream {
 
 /// Scalar type tags. kTimestamp is int64 milliseconds of application
 /// time; it is kept distinct from kInt64 so punctuation schemes can
-/// recognise delimited (progressing) attributes.
+/// recognise delimited (progressing) attributes. The numbering is
+/// load-bearing for the flat Value's one-compare type tests: the two
+/// int64-imaged types differ only in bit 0, and the numeric types
+/// (int64/timestamp/double) are contiguous.
 enum class ValueType : uint8_t {
   kNull = 0,
-  kBool,
-  kInt64,
-  kDouble,
-  kString,
-  kTimestamp,
+  kBool = 1,
+  kInt64 = 2,
+  kTimestamp = 3,
+  kDouble = 4,
+  kString = 5,
 };
 
 /// Name of a ValueType ("int64", "timestamp", ...).
@@ -49,119 +81,175 @@ const char* ValueTypeName(ValueType t);
 /// boundaries; strings compare lexicographically and only with strings.
 class Value {
  public:
-  Value() : type_(ValueType::kNull) {}
+  Value() = default;
 
-  // Copies deep-copy: a borrowed string is promoted to an owned one,
-  // so copied values are always safe to outlive their source arena.
-  // Moves preserve the representation (and therefore the borrow).
-  // The copy constructor initializes rep_ in the member-init list —
-  // construction, not default-construct-then-assign, which would pay
-  // a second variant dispatch on every copied value (the join's
-  // result-construction path copies four values per output tuple).
-  Value(const Value& o) : type_(o.type_), rep_(CopyRep(o.rep_)) {}
+  // Copies are a flat field copy plus a branch on the tag; a borrowed
+  // or heap-owned string additionally clones its bytes into a
+  // self-contained representation, so copied values are always safe
+  // to outlive their source arena. Moves preserve the representation
+  // (and therefore the borrow) and leave the source NULL.
+  Value(const Value& o)
+      : payload_(o.payload_), len_(o.len_), tag_(o.tag_) {
+    if (NeedsCloneOnCopy()) CloneStringBytes();
+  }
   Value& operator=(const Value& o) {
     if (this != &o) {
-      type_ = o.type_;
-      if (o.rep_.index() == kBorrowedIndex) {
-        const StringRef& r = std::get<StringRef>(o.rep_);
-        rep_.emplace<std::string>(r.data, r.len);
-      } else {
-        rep_ = o.rep_;
-      }
+      // Copy-and-move: `o` may borrow bytes inside our own storage
+      // (a substring of our heap buffer, or even of our inline
+      // payload), so the clone must complete before our fields are
+      // touched.
+      Value tmp(o);
+      *this = std::move(tmp);
     }
     return *this;
   }
-  Value(Value&&) = default;
-  Value& operator=(Value&&) = default;
-  ~Value() = default;
+  Value(Value&& o) noexcept
+      : payload_(o.payload_), len_(o.len_), tag_(o.tag_) {
+    o.ForgetPayload();
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      ::operator delete(const_cast<char*>(owned_ptr_or_null()));
+      payload_ = o.payload_;
+      len_ = o.len_;
+      tag_ = o.tag_;
+      o.ForgetPayload();
+    }
+    return *this;
+  }
+  ~Value() {
+    if (tag_ & kOwnedBit) {
+      ::operator delete(const_cast<char*>(payload_.str));
+    }
+  }
 
   static Value Null() { return Value(); }
   static Value Bool(bool v) {
     Value x;
-    x.type_ = ValueType::kBool;
-    x.rep_ = v;
-    x.DCheckConsistent();
+    x.tag_ = kTagBool;
+    x.payload_.b = v;
     return x;
   }
   static Value Int64(int64_t v) {
     Value x;
-    x.type_ = ValueType::kInt64;
-    x.rep_ = v;
-    x.DCheckConsistent();
+    x.tag_ = kTagInt64;
+    x.payload_.i = v;
     return x;
   }
   static Value Double(double v) {
     Value x;
-    x.type_ = ValueType::kDouble;
-    x.rep_ = v;
-    x.DCheckConsistent();
+    x.tag_ = kTagDouble;
+    x.payload_.d = v;
     return x;
   }
-  static Value String(std::string v) {
+  /// Self-contained string (by view — the flat rep always clones the
+  /// bytes into its own representation, so there is no buffer to
+  /// adopt and taking a std::string would only materialize a dead
+  /// intermediate).
+  static Value String(std::string_view v) { return OwnedString(v); }
+  /// Self-contained string: INLINE when the bytes fit the payload,
+  /// heap-OWNED otherwise. Never references the caller's storage.
+  static Value OwnedString(std::string_view s) {
     Value x;
-    x.type_ = ValueType::kString;
-    x.rep_ = std::move(v);
-    x.DCheckConsistent();
+    x.len_ = CheckedLen(s.size());
+    if (s.size() <= kInlineCap) {
+      x.tag_ = kTagString | kInlineBit;
+      if (!s.empty()) std::memcpy(x.payload_.buf, s.data(), s.size());
+    } else {
+      x.tag_ = kTagString;
+      x.payload_.str = s.data();
+      x.CloneStringBytes();
+    }
     return x;
   }
   /// Borrow externally-owned bytes (a TupleArena's, in practice). The
   /// caller guarantees the bytes outlive every move of this value.
   static Value BorrowedString(std::string_view s) {
     Value x;
-    x.type_ = ValueType::kString;
-    x.rep_ = StringRef{s.data(), s.size()};
-    x.DCheckConsistent();
+    x.tag_ = kTagString;
+    x.payload_.str = s.data();
+    x.len_ = CheckedLen(s.size());
     return x;
   }
-  /// String whose bytes live in `arena` (borrowed, freed with the
-  /// arena's page); owned when `arena` is null — the fallback path.
+  /// String with page-granular lifetime: INLINE when it fits (no
+  /// arena bytes needed at all), otherwise borrowed from `arena` —
+  /// or heap-owned when `arena` is null, the fallback path.
   static Value StringIn(TupleArena* arena, std::string_view s) {
-    if (arena == nullptr) return String(std::string(s));
+    if (s.size() <= kInlineCap || arena == nullptr) {
+      return OwnedString(s);
+    }
     return BorrowedString(arena->CopyString(s));
   }
   static Value Timestamp(TimeMs v) {
     Value x;
-    x.type_ = ValueType::kTimestamp;
-    x.rep_ = v;
-    x.DCheckConsistent();
+    x.tag_ = kTagTimestamp;
+    x.payload_.i = v;
     return x;
   }
 
-  ValueType type() const { return type_; }
-  bool is_null() const { return type_ == ValueType::kNull; }
-  bool is_numeric() const {
-    return type_ == ValueType::kInt64 || type_ == ValueType::kDouble ||
-           type_ == ValueType::kTimestamp;
+  ValueType type() const {
+    return static_cast<ValueType>(tag_ & kTypeMask);
   }
+  bool is_null() const { return tag_ == 0; }
+  bool is_numeric() const {
+    // int64/timestamp/double are contiguous tags [2, 4]; string
+    // modifier bits push the tag far outside the window.
+    return static_cast<uint8_t>(tag_ - kTagInt64) <= 2;
+  }
+  bool is_string() const { return (tag_ & kTypeMask) == kTagString; }
+  /// True when the 8-byte payload is an int64 image (kInt64 or
+  /// kTimestamp — tags 2 and 3, one masked compare). Public for typed
+  /// fast paths (compiled patterns, join-key hashing) that dispatch
+  /// once and read the payload raw.
+  bool is_int64_rep() const { return (tag_ & 0xFE) == kTagInt64; }
   /// True for a kString value whose bytes are borrowed (arena-backed).
-  bool is_borrowed_string() const {
-    return rep_.index() == kBorrowedIndex;
+  bool is_borrowed_string() const { return tag_ == kTagString; }
+  /// True for a kString value whose bytes live inside the payload.
+  bool is_inline_string() const {
+    return tag_ == (kTagString | kInlineBit);
   }
   /// True when destroying this value releases no resources — the
   /// invariant every arena-resident value must satisfy (the arena is
   /// freed wholesale, destructors never run).
   bool is_trivially_destructible_rep() const {
-    return rep_.index() != kOwnedStringIndex;
+    return (tag_ & kOwnedBit) == 0;
   }
 
   // Accessors assume the type matches (checked in debug builds).
-  bool bool_value() const { return std::get<bool>(rep_); }
-  int64_t int64_value() const { return std::get<int64_t>(rep_); }
-  double double_value() const { return std::get<double>(rep_); }
-  /// Owned-string accessor; asserts the representation is owned. Use
-  /// string_view() on paths that may see arena-backed values.
-  const std::string& string_value() const {
-    return std::get<std::string>(rep_);
+  bool bool_value() const {
+    assert(type() == ValueType::kBool);
+    return payload_.b;
   }
-  /// View of the string bytes, owned or borrowed.
+  int64_t int64_value() const {
+    assert(is_int64_rep());
+    return payload_.i;
+  }
+  double double_value() const {
+    assert(type() == ValueType::kDouble);
+    return payload_.d;
+  }
+  /// Raw payload reads for callers that already dispatched on the tag
+  /// (CompiledPattern's typed comparison plans). No debug type check:
+  /// the caller's switch IS the check.
+  int64_t unchecked_int64() const { return payload_.i; }
+  double unchecked_double() const { return payload_.d; }
+  /// Owned-string materialization (by value — the flat representation
+  /// holds raw bytes, not a std::string). Prefer string_view().
+  std::string string_value() const { return std::string(string_view()); }
+  /// View of the string bytes: borrowed, inline, or heap-owned. An
+  /// INLINE view points into this Value — it dies with the value (or
+  /// its move), unlike borrowed/owned views which track the bytes.
   std::string_view string_view() const {
-    if (rep_.index() == kBorrowedIndex) {
-      const StringRef& r = std::get<StringRef>(rep_);
-      return std::string_view(r.data, r.len);
+    assert(is_string());
+    if (tag_ & kInlineBit) {
+      return std::string_view(payload_.buf, len_);
     }
-    return std::get<std::string>(rep_);
+    return std::string_view(payload_.str, len_);
   }
-  TimeMs timestamp_value() const { return std::get<int64_t>(rep_); }
+  TimeMs timestamp_value() const {
+    assert(is_int64_rep());
+    return payload_.i;
+  }
 
   /// Numeric view: int64/timestamp widened to double. Error on
   /// non-numeric types.
@@ -176,15 +264,56 @@ class Value {
 
   /// Allocation-free comparison for hot paths (pattern matching, join
   /// probes): writes -1/0/1 into `*out` and returns true, or returns
-  /// false for incomparable pairs. Same ordering as Compare.
-  bool TryCompare(const Value& other, int* out) const;
+  /// false for incomparable pairs. Same ordering as Compare. Fully
+  /// inline: this runs per guarded tuple and per probe collision.
+  bool TryCompare(const Value& other, int* out) const {
+    // Both int64/timestamp — the join-key / punctuation shape. One
+    // fused tag test: tags 2 and 3 differ only in bit 0.
+    if ((((tag_ ^ kTagInt64) | (other.tag_ ^ kTagInt64)) & 0xFE) == 0) {
+      int64_t a = payload_.i;
+      int64_t b = other.payload_.i;
+      *out = a < b ? -1 : (a > b ? 1 : 0);
+      return true;
+    }
+    // NULL sorts before everything; two NULLs are equal.
+    if (is_null() || other.is_null()) {
+      if (is_null() && other.is_null()) {
+        *out = 0;
+      } else {
+        *out = is_null() ? -1 : 1;
+      }
+      return true;
+    }
+    if (is_numeric() && other.is_numeric()) {
+      // At least one side is a double: widen (fine for the
+      // magnitudes streams carry).
+      double a = tag_ == kTagDouble ? payload_.d
+                                    : static_cast<double>(payload_.i);
+      double b = other.tag_ == kTagDouble
+                     ? other.payload_.d
+                     : static_cast<double>(other.payload_.i);
+      *out = a < b ? -1 : (a > b ? 1 : 0);
+      return true;
+    }
+    if (is_string() && other.is_string()) {
+      int c = string_view().compare(other.string_view());
+      *out = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      return true;
+    }
+    if (tag_ == kTagBool && other.tag_ == kTagBool) {
+      *out = static_cast<int>(payload_.b) -
+             static_cast<int>(other.payload_.b);
+      return true;
+    }
+    return false;
+  }
 
   /// Equality per the same ordering; incomparable pairs are unequal.
   /// Int64/timestamp pairs (the dominant join-key shape) are compared
   /// inline; everything else takes the out-of-line path.
   bool operator==(const Value& other) const {
-    if (rep_.index() == 2 && other.rep_.index() == 2) {
-      return std::get<int64_t>(rep_) == std::get<int64_t>(other.rep_);
+    if ((((tag_ ^ kTagInt64) | (other.tag_ ^ kTagInt64)) & 0xFE) == 0) {
+      return payload_.i == other.payload_.i;
     }
     return EqualsSlow(other);
   }
@@ -192,16 +321,16 @@ class Value {
 
   /// Hash compatible with operator== (numerically equal int64/double
   /// values hash identically, including the >2^53 region where mixed
-  /// int64/double equality is decided in double precision; owned and
-  /// borrowed strings with equal bytes hash identically). The common
-  /// small-int64/timestamp case is inline for the join-key path.
+  /// int64/double equality is decided in double precision; borrowed,
+  /// inline, and owned strings with equal bytes hash identically).
+  /// The common small-int64/timestamp case is inline for the join-key
+  /// path.
   size_t Hash() const {
-    if (rep_.index() == 2) {
-      int64_t v = std::get<int64_t>(rep_);
-      if (v > -kDoubleExactBound && v < kDoubleExactBound) {
-        return std::hash<int64_t>{}(v);
-      }
-    }
+    if (is_int64_rep()) return HashInt64Domain(payload_.i);
+    // Doubles are NOT rare (a quarter of a typical measurement
+    // stream): dispatch them here rather than through HashSlow's
+    // full switch.
+    if (tag_ == kTagDouble) return HashDoubleDomain(payload_.d);
     return HashSlow();
   }
 
@@ -216,54 +345,141 @@ class Value {
   /// the hash must canonicalize on the double image instead.
   static constexpr int64_t kDoubleExactBound = int64_t{1} << 53;
 
- private:
-  /// Non-owning view of string bytes living in a TupleArena.
-  struct StringRef {
-    const char* data;
-    size_t len;
-  };
-  static constexpr size_t kOwnedStringIndex = 4;
-  static constexpr size_t kBorrowedIndex = 5;
+  /// Longest string stored inline in the payload.
+  static constexpr size_t kInlineCap = 8;
 
-  using Rep = std::variant<std::monostate, bool, int64_t, double,
-                           std::string, StringRef>;
-  static Rep CopyRep(const Rep& r) {
-    if (r.index() == kBorrowedIndex) {
-      const StringRef& s = std::get<StringRef>(r);
-      return Rep(std::in_place_type<std::string>, s.data, s.len);
-    }
-    return r;
+ private:
+  // Tag byte layout: ValueType in the low bits; for strings, exactly
+  // one of kInlineBit/kOwnedBit may be set (neither = borrowed).
+  // kNull is 0, so a zero tag byte IS the null value.
+  static constexpr uint8_t kTypeMask = 0x3f;
+  static constexpr uint8_t kInlineBit = 0x40;
+  static constexpr uint8_t kOwnedBit = 0x80;
+  static constexpr uint8_t kTagBool =
+      static_cast<uint8_t>(ValueType::kBool);
+  static constexpr uint8_t kTagInt64 =
+      static_cast<uint8_t>(ValueType::kInt64);
+  static constexpr uint8_t kTagTimestamp =
+      static_cast<uint8_t>(ValueType::kTimestamp);
+  static constexpr uint8_t kTagDouble =
+      static_cast<uint8_t>(ValueType::kDouble);
+  static constexpr uint8_t kTagString =
+      static_cast<uint8_t>(ValueType::kString);
+
+  // The 8-byte payload. Each member is read only through the member
+  // it was stored through (the tag says which), so access is always
+  // to the active member — no type punning, UB-clean by construction.
+  union Payload {
+    bool b;
+    int64_t i;  // kInt64 and kTimestamp
+    double d;
+    const char* str;      // borrowed/owned string bytes (see tag)
+    char buf[kInlineCap];  // inline string bytes
+  };
+
+  static uint32_t CheckedLen(size_t n) {
+    // Hard check, release builds included: a ≥4 GiB string cell is far
+    // beyond any stream workload, and silently wrapping len_ would
+    // corrupt the value (equal-to-empty, wrong hash) instead of
+    // failing.
+    if (n > UINT32_MAX) std::abort();
+    return static_cast<uint32_t>(n);
   }
 
-  bool EqualsSlow(const Value& other) const;
-  size_t HashSlow() const;
+  /// A copy must clone bytes exactly when the source is a borrowed or
+  /// heap-owned string; inline strings (and every non-string) copy as
+  /// plain fields.
+  bool NeedsCloneOnCopy() const {
+    return (tag_ & (kTypeMask | kInlineBit)) == kTagString;
+  }
+  /// Replace the (possibly foreign) string payload with a
+  /// self-contained copy of its bytes: inline when they fit, heap
+  /// otherwise.
+  void CloneStringBytes() {
+    const char* src = payload_.str;
+    if (len_ <= kInlineCap) {
+      if (len_ != 0) std::memcpy(payload_.buf, src, len_);
+      tag_ = kTagString | kInlineBit;
+      return;
+    }
+    char* p = static_cast<char*>(::operator new(len_));
+    std::memcpy(p, src, len_);
+    payload_.str = p;
+    tag_ = kTagString | kOwnedBit;
+  }
+  const char* owned_ptr_or_null() const {
+    return (tag_ & kOwnedBit) ? payload_.str : nullptr;
+  }
+  /// Reset to NULL without freeing (the payload now belongs to a
+  /// move destination).
+  void ForgetPayload() {
+    payload_.i = 0;
+    len_ = 0;
+    tag_ = 0;
+  }
 
-  /// The tag is kept alongside the variant because it carries more
-  /// information than the representation alone (int64 vs timestamp
-  /// share an int64_t rep; owned vs borrowed strings share kString).
-  /// This checks the two never drift apart.
-  bool TagMatchesRep() const {
-    switch (type_) {
+  bool EqualsSlow(const Value& other) const {
+    int c;
+    return TryCompare(other, &c) && c == 0;
+  }
+
+  // The numeric canonicalization rule, ==-compatible with
+  // TryCompare's widening and defined ONCE per domain (Hash and
+  // HashSlow both route here): magnitudes under 2^53 — where int64
+  // and double agree exactly — hash in the int64 domain; everything
+  // else hashes via its double image, the precision in which mixed
+  // int64/double equality is decided.
+  static size_t HashInt64Domain(int64_t v) {
+    if (v > -kDoubleExactBound && v < kDoubleExactBound) {
+      return std::hash<int64_t>{}(v);
+    }
+    return std::hash<double>{}(static_cast<double>(v));
+  }
+  static size_t HashDoubleDomain(double d) {
+    if (d > -static_cast<double>(kDoubleExactBound) &&
+        d < static_cast<double>(kDoubleExactBound)) {
+      int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        return std::hash<int64_t>{}(i);
+      }
+    }
+    return std::hash<double>{}(d);
+  }
+
+  /// Hash for everything Hash()'s tag dispatch rejects — null, bool,
+  /// strings (numerics are routed before this is reached, but the
+  /// cases stay so HashSlow is total over every tag).
+  size_t HashSlow() const {
+    switch (type()) {
       case ValueType::kNull:
-        return rep_.index() == 0;
+        return 0x9ae16a3b2f90404fULL;
       case ValueType::kBool:
-        return rep_.index() == 1;
+        return payload_.b ? 0x1234567 : 0x7654321;
       case ValueType::kInt64:
       case ValueType::kTimestamp:
-        return rep_.index() == 2;
+        return HashInt64Domain(payload_.i);
       case ValueType::kDouble:
-        return rep_.index() == 3;
+        return HashDoubleDomain(payload_.d);
       case ValueType::kString:
-        return rep_.index() == kOwnedStringIndex ||
-               rep_.index() == kBorrowedIndex;
+        // Borrowed, inline, and owned strings with equal bytes must
+        // hash alike.
+        return std::hash<std::string_view>{}(string_view());
     }
-    return false;
+    return 0;
   }
-  void DCheckConsistent() const { assert(TagMatchesRep()); }
 
-  ValueType type_;
-  Rep rep_;
+  Payload payload_{.i = 0};
+  uint32_t len_ = 0;
+  uint8_t tag_ = 0;  // ValueType | string modifier bit
 };
+
+// The whole point: four of these per Table 2 output tuple must copy as
+// a couple of stores, not a variant dispatch.
+static_assert(sizeof(Value) <= 16,
+              "Value must stay a flat 16-byte tagged union");
+static_assert(std::is_nothrow_move_constructible_v<Value> &&
+                  std::is_nothrow_move_assignable_v<Value>,
+              "Value moves are the currency of the tuple data path");
 
 }  // namespace nstream
 

@@ -106,18 +106,24 @@ JoinOptions BaseOptions() {
 void ExpectEquivalent(const std::vector<Tuple>& left,
                       const std::vector<Tuple>& right,
                       JoinOptions jopt) {
-  JoinOptions batched = jopt;
-  batched.page_batched_probe = true;
   JoinOptions element = jopt;
   element.page_batched_probe = false;
-  RunResult b = RunJoin(left, right, batched);
   RunResult e = RunJoin(left, right, element);
-  EXPECT_EQ(b.rows, e.rows);
-  EXPECT_EQ(b.joined, e.joined);
-  EXPECT_EQ(b.impatient, e.impatient);
-  EXPECT_EQ(b.gate, e.gate);
-  EXPECT_EQ(b.tuples_in, e.tuples_in);
-  EXPECT_GT(b.joined, 0u);  // vacuous equivalence is no evidence
+  EXPECT_GT(e.joined, 0u);  // vacuous equivalence is no evidence
+  for (ProbeGrouping grouping :
+       {ProbeGrouping::kSorted, ProbeGrouping::kAdjacent,
+        ProbeGrouping::kAdaptive}) {
+    JoinOptions batched = jopt;
+    batched.page_batched_probe = true;
+    batched.probe_grouping = grouping;
+    RunResult b = RunJoin(left, right, batched);
+    EXPECT_EQ(b.rows, e.rows)
+        << "grouping " << static_cast<int>(grouping);
+    EXPECT_EQ(b.joined, e.joined);
+    EXPECT_EQ(b.impatient, e.impatient);
+    EXPECT_EQ(b.gate, e.gate);
+    EXPECT_EQ(b.tuples_in, e.tuples_in);
+  }
 }
 
 TEST(JoinBatchedProbe, RandomizedEquivalencePlainJoin) {
@@ -217,6 +223,112 @@ TEST(JoinBatchedProbe, DuplicateKeysWithinOnePageKeepPerKeyOrder) {
                   .int64_value(),
               i);
   }
+}
+
+TEST(JoinBatchedProbe, BurstyDuplicateRunsAllGroupings) {
+  // Bursty streams — runs of identical keys, the adjacency grouping's
+  // target shape — must join identically under every grouping,
+  // including when the bursts cross page boundaries (page_size 16,
+  // burst length 8) and when every key collides.
+  std::mt19937 rng(47);
+  for (bool collide : {false, true}) {
+    JoinOptions jopt = BaseOptions();
+    if (collide) {
+      jopt.key_hash_override = [](const Tuple&, int, int64_t) {
+        return uint64_t{0};
+      };
+    }
+    std::vector<Tuple> left;
+    std::vector<Tuple> right;
+    for (int i = 0; i < 240; ++i) {
+      left.push_back(TupleBuilder()
+                         .I64(i / 8)  // 8-tuple bursts per key
+                         .Ts(static_cast<int64_t>(rng() % 1000))
+                         .I64(i)
+                         .Build());
+      right.push_back(TupleBuilder()
+                          .I64(i / 8)
+                          .Ts(static_cast<int64_t>(rng() % 1000))
+                          .I64(i)
+                          .Build());
+    }
+    ExpectEquivalent(left, right, jopt);
+  }
+}
+
+TEST(JoinBatchedProbe, AdjacentGroupingPreservesFullElementOrder) {
+  // Unlike kSorted (which reorders across keys), the adjacency walk
+  // emits in exact element order — interleaved keys stay interleaved.
+  // The SyncExecutor hands the join its port-0 page first each round,
+  // so the left rows are table-resident when the interleaved right
+  // page probes.
+  std::vector<Tuple> left = {
+      TupleBuilder().I64(1).Ts(0).I64(100).Build(),
+      TupleBuilder().I64(2).Ts(0).I64(200).Build()};
+  std::vector<Tuple> right;
+  for (int i = 0; i < 8; ++i) {
+    right.push_back(TupleBuilder().I64(1 + i % 2).Ts(0).I64(i).Build());
+  }
+  JoinOptions jopt = BaseOptions();
+  jopt.probe_grouping = ProbeGrouping::kAdjacent;
+  QueryPlan plan;
+  auto* l = plan.AddOp(std::make_unique<VectorSource>(
+      "L", LeftSchema(), AtMillis(left)));
+  auto* r = plan.AddOp(std::make_unique<VectorSource>(
+      "R", RightSchema(), AtMillis(right)));
+  auto* join =
+      plan.AddOp(std::make_unique<SymmetricHashJoin>("join", jopt));
+  auto* sink = plan.AddOp(std::make_unique<CollectorSink>("sink"));
+  ASSERT_TRUE(plan.Connect(*l, 0, *join, 0).ok());
+  ASSERT_TRUE(plan.Connect(*r, 0, *join, 1).ok());
+  ASSERT_TRUE(plan.Connect(*join, *sink).ok());
+  SyncExecutor exec;
+  ASSERT_TRUE(exec.Run(&plan).ok());
+  // Output = left attrs (k, ts, l) then right non-key attrs (ts, r):
+  // the probing tuple's sequence number lands at output index 4.
+  ASSERT_EQ(sink->collected().size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(sink->collected()[static_cast<size_t>(i)]
+                  .tuple.value(4)
+                  .int64_value(),
+              i);
+  }
+}
+
+TEST(JoinBatchedProbe, AdaptiveDensityTracksStreamShape) {
+  // A unique-key stream drives the duplicate-density estimate to ~0;
+  // a bursty stream drives it high. (The estimate is what flips the
+  // adaptive walk between grouped and element-wise.)
+  auto run_and_read_ewma = [](const std::vector<Tuple>& left,
+                              const std::vector<Tuple>& right) {
+    JoinOptions jopt;
+    jopt.left_keys = {0};
+    jopt.right_keys = {0};
+    jopt.probe_grouping = ProbeGrouping::kAdjacent;  // always samples
+    QueryPlan plan;
+    auto* l = plan.AddOp(std::make_unique<VectorSource>(
+        "L", LeftSchema(), AtMillis(left)));
+    auto* r = plan.AddOp(std::make_unique<VectorSource>(
+        "R", RightSchema(), AtMillis(right)));
+    auto* join =
+        plan.AddOp(std::make_unique<SymmetricHashJoin>("join", jopt));
+    auto* sink = plan.AddOp(std::make_unique<CollectorSink>("sink"));
+    EXPECT_TRUE(plan.Connect(*l, 0, *join, 0).ok());
+    EXPECT_TRUE(plan.Connect(*r, 0, *join, 1).ok());
+    EXPECT_TRUE(plan.Connect(*join, *sink).ok());
+    SyncExecutor exec;
+    EXPECT_TRUE(exec.Run(&plan).ok());
+    return join->adjacent_dup_ewma();
+  };
+  std::vector<Tuple> unique_l, unique_r, bursty_l, bursty_r;
+  for (int i = 0; i < 200; ++i) {
+    unique_l.push_back(TupleBuilder().I64(i).Ts(0).I64(i).Build());
+    unique_r.push_back(TupleBuilder().I64(i).Ts(0).I64(i).Build());
+    bursty_l.push_back(TupleBuilder().I64(i / 10).Ts(0).I64(i).Build());
+    bursty_r.push_back(TupleBuilder().I64(i / 10).Ts(0).I64(i).Build());
+  }
+  EXPECT_LT(run_and_read_ewma(unique_l, unique_r), 0.05);
+  EXPECT_GT(run_and_read_ewma(bursty_l, bursty_r), 0.5);
 }
 
 TEST(JoinBatchedProbe, ThreadedExecutorMatchesSyncResults) {

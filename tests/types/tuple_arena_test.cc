@@ -57,8 +57,9 @@ TEST(TupleArenaTest, CopyStringBorrowsArenaBytes) {
 
 TEST(BorrowedValueTest, EqualityHashAndCompareAgreeWithOwned) {
   TupleArena arena;
-  Value owned = Value::String("stream");
-  Value borrowed = Value::StringIn(&arena, "stream");
+  // Longer than Value::kInlineCap so the arena copy actually borrows.
+  Value owned = Value::String("stream-attribute");
+  Value borrowed = Value::StringIn(&arena, "stream-attribute");
   EXPECT_TRUE(borrowed.is_borrowed_string());
   EXPECT_FALSE(owned.is_borrowed_string());
   EXPECT_EQ(owned.type(), ValueType::kString);
@@ -67,15 +68,26 @@ TEST(BorrowedValueTest, EqualityHashAndCompareAgreeWithOwned) {
   EXPECT_TRUE(borrowed == owned);
   EXPECT_EQ(owned.Hash(), borrowed.Hash());
   int c = 99;
-  ASSERT_TRUE(borrowed.TryCompare(Value::String("stream!"), &c));
+  ASSERT_TRUE(borrowed.TryCompare(Value::String("stream-attribute!"), &c));
   EXPECT_LT(c, 0);
   EXPECT_EQ(borrowed.ToString(), owned.ToString());
   EXPECT_EQ(borrowed.string_view(), owned.string_view());
+  // Short strings skip the arena entirely: inline representation,
+  // equal to and hash-compatible with both other representations.
+  Value inlined = Value::StringIn(&arena, "stream");
+  EXPECT_TRUE(inlined.is_inline_string());
+  EXPECT_FALSE(inlined.is_borrowed_string());
+  EXPECT_TRUE(inlined.is_trivially_destructible_rep());
+  EXPECT_TRUE(inlined == Value::String("stream"));
+  EXPECT_EQ(inlined.Hash(), Value::String("stream").Hash());
+  EXPECT_EQ(inlined.Hash(),
+            Value::BorrowedString(arena.CopyString("stream")).Hash());
 }
 
 TEST(BorrowedValueTest, CopyPromotesMovePreserves) {
   TupleArena arena;
   Value borrowed = Value::StringIn(&arena, "escape-safe");
+  ASSERT_TRUE(borrowed.is_borrowed_string());
   Value copy = borrowed;  // deep copy: owned
   EXPECT_FALSE(copy.is_borrowed_string());
   EXPECT_TRUE(copy == borrowed);
@@ -87,11 +99,19 @@ TEST(BorrowedValueTest, CopyPromotesMovePreserves) {
   EXPECT_EQ(moved.string_view(), "escape-safe");
 }
 
-TEST(BorrowedValueTest, StringInNullArenaFallsBackToOwned) {
-  Value v = Value::StringIn(nullptr, "fallback");
-  EXPECT_FALSE(v.is_borrowed_string());
-  EXPECT_EQ(v.string_value(), "fallback");
-  EXPECT_TRUE(v.is_trivially_destructible_rep() == false);
+TEST(BorrowedValueTest, StringInNullArenaFallsBackToSelfContained) {
+  // No arena: a short string inlines, a long one owns heap bytes —
+  // either way the value is self-contained (never borrowing).
+  Value short_v = Value::StringIn(nullptr, "fallback");
+  EXPECT_FALSE(short_v.is_borrowed_string());
+  EXPECT_TRUE(short_v.is_inline_string());
+  EXPECT_EQ(short_v.string_value(), "fallback");
+  EXPECT_TRUE(short_v.is_trivially_destructible_rep());
+  Value long_v = Value::StringIn(nullptr, "fallback-beyond-inline");
+  EXPECT_FALSE(long_v.is_borrowed_string());
+  EXPECT_FALSE(long_v.is_inline_string());
+  EXPECT_EQ(long_v.string_value(), "fallback-beyond-inline");
+  EXPECT_FALSE(long_v.is_trivially_destructible_rep());
 }
 
 TEST(ArenaTupleTest, AppendKeepsArenaValuesTriviallyDestructible) {
