@@ -24,6 +24,8 @@
 #include "ops/symmetric_hash_join.h"
 #include "ops/vector_source.h"
 #include "punct/pattern_parser.h"
+#include "stream/columnar.h"
+#include "stream/page.h"
 #include "types/tuple_arena.h"
 
 namespace nstream {
@@ -289,6 +291,69 @@ void RecordHotpathJson() {
     noarena_tps = best_run(kDefaultBatched);
   }
 
+  // Columnar (SoA) vs row page staging on the identical plan and
+  // production probe config, arenas on in both arms (columnar
+  // requires them; with arenas off it degrades to row staging
+  // anyway). This is the honest e2e A/B behind the PageColumnar
+  // default.
+  double columnar_tps, rowpage_tps;
+  {
+    ScopedPageColumnarEnabled on(true);
+    timed_run(kDefaultBatched);
+    columnar_tps = best_run(kDefaultBatched);
+  }
+  {
+    ScopedPageColumnarEnabled off(false);
+    timed_run(kDefaultBatched);
+    rowpage_tps = best_run(kDefaultBatched);
+  }
+
+  // Staged-result construction in isolation (the join's emit path,
+  // per output tuple): columnar = AddRow + one Set per attribute into
+  // column arrays; row = arena tuple, one Append per attribute, one
+  // StreamElement push. Join-shaped pairs: 3 left attrs + 1 right
+  // non-key attr -> 4-attr output, pages of output_page_size.
+  const int kEmitPage = JoinOptions{}.output_page_size;
+  std::vector<Tuple> emit_left, emit_right;
+  for (int i = 0; i < kEmitPage; ++i) {
+    emit_left.push_back(
+        TupleBuilder().I64(i % 100).I64(i % 50).I64(i % 7).Build());
+    emit_right.push_back(
+        TupleBuilder().I64(i % 50).I64(i % 7).I64(i % 100).Build());
+  }
+  auto emit_ns = [](double per_sec) { return 1e9 / per_sec; };
+  double columnar_emit_ns = emit_ns(MeasurePerSec(kEmitPage, 60.0, [&] {
+    Page p;
+    ColumnarBlock* b =
+        p.BeginColumnar(4, static_cast<uint32_t>(kEmitPage));
+    for (int i = 0; i < kEmitPage; ++i) {
+      const Tuple& l = emit_left[static_cast<size_t>(i)];
+      const Tuple& r = emit_right[static_cast<size_t>(i)];
+      uint32_t row = b->AddRow(l.id(), -1);
+      b->Set(0, row, l.value(0));
+      b->Set(1, row, l.value(1));
+      b->Set(2, row, l.value(2));
+      b->Set(3, row, r.value(2));
+    }
+    benchmark::DoNotOptimize(p.size());
+  }));
+  double rowpage_emit_ns = emit_ns(MeasurePerSec(kEmitPage, 60.0, [&] {
+    Page p;
+    p.Reserve(static_cast<size_t>(kEmitPage));
+    for (int i = 0; i < kEmitPage; ++i) {
+      const Tuple& l = emit_left[static_cast<size_t>(i)];
+      const Tuple& r = emit_right[static_cast<size_t>(i)];
+      Tuple out(p.arena(), 4);
+      out.Append(l.value(0));
+      out.Append(l.value(1));
+      out.Append(l.value(2));
+      out.Append(r.value(2));
+      out.set_id(l.id());
+      p.Add(StreamElement::OfTuple(std::move(out)));
+    }
+    benchmark::DoNotOptimize(p.size());
+  }));
+
   // Allocations per output tuple, via the operator-new counting hook.
   // One warm run first so allocator pools and code paths are hot;
   // then a counted run. The count covers the whole pipeline (plan
@@ -332,6 +397,15 @@ void RecordHotpathJson() {
       {"join.arena_allocs_per_output", arena_allocs},
       {"join.noarena_allocs_per_output", noarena_allocs},
       {"join.arena_alloc_reduction", noarena_allocs / arena_allocs},
+      // Columnar (SoA) page staging: e2e throughput A/B and the
+      // isolated emit-path cost per output tuple.
+      {"join.columnar_tuples_per_sec", columnar_tps},
+      {"join.rowpage_tuples_per_sec", rowpage_tps},
+      {"join.columnar_e2e_speedup", columnar_tps / rowpage_tps},
+      {"join.columnar_emit_ns_per_tuple", columnar_emit_ns},
+      {"join.rowpage_emit_ns_per_tuple", rowpage_emit_ns},
+      {"join.columnar_emit_speedup",
+       rowpage_emit_ns / columnar_emit_ns},
       {"join.online_cpus",
        static_cast<double>(std::thread::hardware_concurrency())},
   });

@@ -235,11 +235,13 @@ std::vector<V> NumericMix(int n) {
 }
 
 // 25% strings of one length class mixed into the numeric stream.
-// Length classes behave differently by design: ≤8 bytes copies as a
-// flat inline value (no allocation at all) where the variant's
-// std::string used SSO; 9-15 bytes is the variant SSO's remaining
-// advantage (the flat rep heap-clones there); >15 bytes both sides
-// allocate.
+// Length classes: ≤15 bytes copies as a flat inline value (no
+// allocation at all — the tag byte carries the length, so the whole
+// 15-byte payload is usable) where the variant's std::string used
+// SSO; >15 bytes both sides heap-allocate. The mid12 class used to be
+// the variant SSO's remaining advantage (the flat rep heap-cloned
+// 9-15 byte strings when only ≤8 inlined) and is kept as the
+// regression row for the inline-cap extension.
 template <typename V>
 std::vector<V> StringMix(int n, size_t str_len) {
   std::vector<V> out;
@@ -359,7 +361,8 @@ void RecordJson() {
     size_t len;
   } kStringClasses[] = {
       {"short6", 6},   // flat inline vs variant SSO
-      {"mid12", 12},   // flat heap-clone vs variant SSO
+      {"mid12", 12},   // flat inline (since the 15-byte cap) vs SSO
+      {"mid15", 15},   // the inline-cap boundary itself
       {"long24", 24},  // both heap-allocate
   };
   for (const auto& cls : kStringClasses) {

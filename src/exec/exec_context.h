@@ -33,6 +33,7 @@ class ExecContext {
   /// emissions, so operators may use it unconditionally. The page must
   /// contain only tuples — punctuation/EOS keep their dedicated paths.
   virtual void EmitPage(int out_port, Page&& page) {
+    page.EnsureRowLayout();  // per-element decomposition needs rows
     for (StreamElement& e : page.mutable_elements()) {
       EmitTuple(out_port, std::move(e.mutable_tuple()));
     }

@@ -137,6 +137,23 @@ class Operator {
   template <typename Keep>
   Status FilterPageInPlace(int port, Page&& page, TimeMs* tick,
                            Keep&& keep) {
+    if (page.is_columnar()) {
+      // Columnar pages filter by SELECTION VECTOR: survivors are
+      // recorded as row indices, nothing is moved or compacted. The
+      // predicate sees each row through a reused scratch tuple whose
+      // slots are flat Value aliases into the columns. Columnar pages
+      // are tuples-only, so there is no punctuation tail to split off.
+      ColumnarBlock* b = page.columnar();
+      Tuple scratch = b->MakeRowScratch();
+      b->KeepIf([&](uint32_t r) {
+        if (tick) ++*tick;
+        ++stats_.tuples_in;
+        b->FillRow(r, &scratch);
+        return static_cast<bool>(keep(scratch));
+      });
+      if (!page.empty()) EmitPage(0, std::move(page));
+      return Status::OK();
+    }
     std::vector<StreamElement>& elems = page.mutable_elements();
     size_t kept = 0;
     size_t i = 0;
@@ -228,6 +245,26 @@ class Operator {
 template <typename Op>
 Status WalkPageElements(Op* op, OperatorStats* stats, int port,
                         Page&& page, TimeMs* tick) {
+  if (page.is_columnar()) {
+    // Columnar pages walk in place through a reused scratch row (flat
+    // Value aliases into the columns) — no per-row span allocation,
+    // no StreamElement materialization. The scratch is only valid for
+    // the duration of each ProcessTuple call, which is exactly the
+    // contract a row-page walk gives (elements die with the page);
+    // consumers that retain tuples copy them, and a copy promotes the
+    // aliases to self-contained values. Columnar pages are
+    // tuples-only, so there is no punctuation/EOS dispatch here.
+    const ColumnarBlock* b = page.columnar();
+    Tuple scratch = b->MakeRowScratch();
+    const uint32_t n = b->size();
+    for (uint32_t i = 0; i < n; ++i) {
+      if (tick) ++*tick;
+      ++stats->tuples_in;
+      b->FillRow(b->row_at(i), &scratch);
+      NSTREAM_RETURN_NOT_OK(op->ProcessTuple(port, scratch));
+    }
+    return Status::OK();
+  }
   for (StreamElement& e : page.mutable_elements()) {
     if (tick) ++*tick;
     switch (e.kind()) {

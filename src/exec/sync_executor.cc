@@ -24,9 +24,17 @@ class SyncContext final : public ExecContext {
     rt_->output_conn(op_id_, out_port)->data->PushEos();
   }
   void EmitPage(int out_port, Page&& page) override {
-    for (StreamElement& e : page.mutable_elements()) {
-      if (e.mutable_tuple().arrival_ms() < 0) {
-        e.mutable_tuple().set_arrival_ms(*now_);
+    if (page.is_columnar()) {
+      ColumnarBlock* b = page.columnar();
+      TimeMs* arr = b->mutable_arrivals();
+      for (uint32_t i = 0, n = b->rows(); i < n; ++i) {
+        if (arr[i] < 0) arr[i] = *now_;
+      }
+    } else {
+      for (StreamElement& e : page.mutable_elements()) {
+        if (e.mutable_tuple().arrival_ms() < 0) {
+          e.mutable_tuple().set_arrival_ms(*now_);
+        }
       }
     }
     rt_->output_conn(op_id_, out_port)->data->PushPage(std::move(page));

@@ -59,9 +59,18 @@ class ThreadedContext final : public ExecContext {
     rt_->output_conn(op_id_, out_port)->data->PushEos();
   }
   void EmitPage(int out_port, Page&& page) override {
-    for (StreamElement& e : page.mutable_elements()) {
-      if (e.mutable_tuple().arrival_ms() < 0) {
-        e.mutable_tuple().set_arrival_ms(clock_->NowMs());
+    if (page.is_columnar()) {
+      ColumnarBlock* b = page.columnar();
+      TimeMs* arr = b->mutable_arrivals();
+      const TimeMs now = clock_->NowMs();
+      for (uint32_t i = 0, n = b->rows(); i < n; ++i) {
+        if (arr[i] < 0) arr[i] = now;
+      }
+    } else {
+      for (StreamElement& e : page.mutable_elements()) {
+        if (e.mutable_tuple().arrival_ms() < 0) {
+          e.mutable_tuple().set_arrival_ms(clock_->NowMs());
+        }
       }
     }
     rt_->output_conn(op_id_, out_port)->data->PushPage(std::move(page));

@@ -100,6 +100,7 @@ void Exchange::FlushStaged() {
 }
 
 Status Exchange::ProcessPage(int port, Page&& page, TimeMs* tick) {
+  page.EnsureRowLayout();  // shard routing moves tuples element-wise
   for (StreamElement& e : page.mutable_elements()) {
     if (tick) ++*tick;
     switch (e.kind()) {
@@ -358,10 +359,18 @@ Status ShardMerge::ProcessPunctuation(int port,
 }
 
 Status ShardMerge::ProcessPage(int port, Page&& page, TimeMs* tick) {
+  // Columnar pages are all tuples by construction: same wholesale
+  // forward, layout intact.
+  if (guards_.empty() && page.is_columnar() && !page.empty()) {
+    if (tick) *tick += static_cast<TimeMs>(page.size());
+    stats_.tuples_in += page.size();
+    EmitPage(0, std::move(page));
+    return Status::OK();
+  }
   // Punctuation/EOS flush their page, so they can only sit last; a page
   // with a tuple in last position is all tuples and — absent guards —
   // forwards wholesale with one queue lock.
-  if (guards_.empty() && !page.empty() &&
+  if (guards_.empty() && !page.is_columnar() && !page.empty() &&
       page.elements().back().is_tuple()) {
     if (tick) *tick += static_cast<TimeMs>(page.size());
     stats_.tuples_in += page.size();

@@ -58,12 +58,44 @@ class Project final : public Operator {
       return WalkPageElements(this, &stats_, port, std::move(page),
                               tick);
     }
-    // Paged path: projected tuples bump-allocate from the staged
-    // output page's arena (zero heap traffic per result) and make the
-    // queue hop as one page. The staged page flushes before any
-    // punctuation/EOS so results never overtake progress claims.
+    // Columnar input with no active guards: projection is a
+    // column-pointer remap — O(output arity) total, zero per-row
+    // work — and the page forwards as is, arena and all.
+    if (page.is_columnar() && input_guards_.empty()) {
+      const size_t n = page.size();
+      if (tick) *tick += static_cast<TimeMs>(n);
+      stats_.tuples_in += n;
+      page.columnar()->ProjectColumns(keep_);
+      if (n > 0) EmitPage(0, std::move(page));
+      return Status::OK();
+    }
+    page.EnsureRowLayout();  // guard-active columnar input: row walk
+    // Paged path: results stage COLUMN-WISE when the columnar layout
+    // is on (per attribute, flat slot stores into contiguous column
+    // arrays — no per-tuple span setup, no StreamElement variant);
+    // otherwise projected tuples bump-allocate row-wise from the
+    // staged page's arena as before. Either way the staged page
+    // flushes before any punctuation/EOS so results never overtake
+    // progress claims.
+    const uint32_t ncols = static_cast<uint32_t>(keep_.size());
+    const uint32_t cap = static_cast<uint32_t>(page.size());
     Page out;
-    out.Reserve(page.size());
+    ColumnarBlock* blk = nullptr;
+    bool opened = false;
+    auto open_out = [&]() {
+      if (opened) return;
+      opened = true;
+      if (PageColumnar::enabled() && ncols > 0 && cap > 0) {
+        blk = out.BeginColumnar(ncols, cap);
+      }
+      if (blk == nullptr) out.Reserve(cap);
+    };
+    auto flush_out = [&]() {
+      if (!out.empty()) ctx()->EmitPage(0, std::move(out));
+      out = Page();
+      blk = nullptr;
+      opened = false;
+    };
     for (StreamElement& e : page.mutable_elements()) {
       if (tick) ++*tick;
       if (e.is_tuple()) {
@@ -73,14 +105,19 @@ class Project final : public Operator {
           ++stats_.input_guard_drops;
           continue;
         }
-        Tuple pt = Projected(tuple, out.arena());
-        ++stats_.tuples_out;
-        out.Add(StreamElement::OfTuple(std::move(pt)));
-      } else {
-        if (!out.empty()) {
-          ctx()->EmitPage(0, std::move(out));
-          out = Page();
+        open_out();
+        if (blk != nullptr) {
+          const uint32_t r = blk->AddRow(tuple.id(), tuple.arrival_ms());
+          for (uint32_t c = 0; c < ncols; ++c) {
+            blk->Set(c, r, tuple.value(keep_[c]));
+          }
+        } else {
+          Tuple pt = Projected(tuple, out.arena());
+          out.Add(StreamElement::OfTuple(std::move(pt)));
         }
+        ++stats_.tuples_out;
+      } else {
+        flush_out();
         if (e.is_punct()) {
           NSTREAM_RETURN_NOT_OK(ProcessPunctuation(port, e.punct()));
         } else {
@@ -88,7 +125,7 @@ class Project final : public Operator {
         }
       }
     }
-    if (!out.empty()) ctx()->EmitPage(0, std::move(out));
+    flush_out();
     return Status::OK();
   }
 

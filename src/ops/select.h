@@ -56,6 +56,7 @@ class Select final : public Operator {
     // Stateless filter: run the whole page through a tight loop with
     // no per-tuple virtual dispatch.
     if (!ctx()->PagedEmissionPreferred()) {
+      page.EnsureRowLayout();  // per-element emission needs rows
       for (StreamElement& e : page.mutable_elements()) {
         if (tick) ++*tick;
         if (e.is_tuple()) {

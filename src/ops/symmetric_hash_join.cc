@@ -140,6 +140,53 @@ Tuple SymmetricHashJoin::OuterTuple(const Tuple& left,
   return out;
 }
 
+ColumnarBlock* SymmetricHashJoin::StagedColumnar() {
+  if (out_staged_.is_columnar()) return out_staged_.columnar();
+  if (!out_staged_.empty()) return nullptr;  // a row page is open
+  if (!PageColumnar::enabled()) return nullptr;
+  return out_staged_.BeginColumnar(
+      static_cast<uint32_t>(left_arity_ +
+                            static_cast<int>(right_nonkey_.size())),
+      static_cast<uint32_t>(options_.output_page_size));
+}
+
+void SymmetricHashJoin::EmitJoinedPair(const Tuple& left,
+                                       const Tuple* right) {
+  if (paged_emission_ && output_guards_.empty()) {
+    if (ColumnarBlock* blk = StagedColumnar()) {
+      // Columnar result construction: one flat slot store per
+      // attribute into contiguous column arrays — no per-result span
+      // setup, no StreamElement, no intermediate row tuple.
+      ++joined_count_;
+      const uint32_t r = blk->AddRow(left.id(), /*arrival=*/-1);
+      uint32_t c = 0;
+      for (int i = 0; i < left.size(); ++i) {
+        blk->Set(c++, r, left.value(i));
+      }
+      if (right != nullptr) {
+        for (int i : right_nonkey_) blk->Set(c++, r, right->value(i));
+      } else {
+        for (size_t k = 0; k < right_nonkey_.size(); ++k) {
+          blk->Set(c++, r, Value::Null());
+        }
+      }
+      if (static_cast<int>(out_staged_.size()) >=
+          options_.output_page_size) {
+        FlushOutput();
+      }
+      return;
+    }
+  }
+  // Row fallback (guards active, columnar/arenas off, or per-element
+  // emission). Flush a columnar staged page BEFORE building the row
+  // tuple: OutArena() is the staged page's arena, and a tuple built
+  // there could not legally be staged into the page that replaces it.
+  if (paged_emission_ && out_staged_.is_columnar()) FlushOutput();
+  Tuple out = right != nullptr ? JoinTuples(left, *right, OutArena())
+                               : OuterTuple(left, OutArena());
+  EmitJoined(std::move(out));
+}
+
 void SymmetricHashJoin::EmitJoined(Tuple out) {
   // Guard-empty fast path: the common (no-feedback) pipeline pays one
   // branch here, not a call per result.
@@ -189,6 +236,17 @@ Status SymmetricHashJoin::ProcessPage(int port, Page&& page,
     Status st = Operator::ProcessPage(port, std::move(page), tick);
     FlushOutput();
     return st;
+  }
+  if (page.is_columnar()) {
+    // Columnar input rides the dedicated column-sweep probe under the
+    // default adjacency grouping; the sorted/adaptive variants (A/B
+    // configurations) materialize rows and take their usual paths.
+    if (options_.probe_grouping == ProbeGrouping::kAdjacent) {
+      Status st = ProcessColumnarPage(port, std::move(page), tick);
+      FlushOutput();
+      return st;
+    }
+    page.EnsureRowLayout();
   }
   // Batched walk: runs of consecutive tuples take the grouped probe;
   // punctuation and EOS keep their element positions as run
@@ -326,9 +384,9 @@ Status SymmetricHashJoin::ProcessAdjacentRun(
         ent.matched = true;
         matched_now = true;
         if (port == 0) {
-          EmitJoined(JoinTuples(tuple, ent.tuple, OutArena()));
+          EmitJoinedPair(tuple, &ent.tuple);
         } else {
-          EmitJoined(JoinTuples(ent.tuple, tuple, OutArena()));
+          EmitJoinedPair(ent.tuple, &tuple);
         }
       }
     }
@@ -354,6 +412,168 @@ Status SymmetricHashJoin::ProcessAdjacentRun(
 
   // Feed the adaptive density estimate (quarter-weight EWMA: reacts
   // within a few pages, shrugs off one odd run).
+  if (admitted > 0) {
+    double frac = static_cast<double>(adjacent_dups) /
+                  static_cast<double>(admitted);
+    adj_dup_ewma_ = 0.75 * adj_dup_ewma_ + 0.25 * frac;
+    runs_since_dup_sample_ = 0;
+  }
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::ProcessColumnarPage(int port, Page&& page,
+                                              TimeMs* tick) {
+  ColumnarBlock* b = page.columnar();
+  const uint32_t n = b->size();
+  if (n == 0) return Status::OK();
+  const std::vector<int>& my_keys =
+      port == 0 ? options_.left_keys : options_.right_keys;
+  const std::vector<int>& other_keys =
+      port == 0 ? options_.right_keys : options_.left_keys;
+  const int other = 1 - port;
+
+  Tuple scratch = b->MakeRowScratch();
+
+  // Window ids: one contiguous sweep over the timestamp column. The
+  // uniform-int64 column class (the norm for timestamps) hoists the
+  // per-value dispatch out of the loop entirely.
+  wid_scratch_.assign(n, 0);
+  if (options_.window_join) {
+    const int ts_attr = port == 0 ? options_.left_ts : options_.right_ts;
+    const Value* col = b->column(ts_attr);
+    const int64_t slide = options_.window.slide_ms;
+    if (b->column_class(ts_attr) == ColumnClass::kInt64) {
+      for (uint32_t i = 0; i < n; ++i) {
+        wid_scratch_[i] = WindowSpec::FloorDiv(
+            col[b->row_at(i)].unchecked_int64(), slide);
+      }
+    } else {
+      for (uint32_t i = 0; i < n; ++i) {
+        Result<int64_t> ts = col[b->row_at(i)].AsInt64();
+        wid_scratch_[i] =
+            ts.ok() ? WindowSpec::FloorDiv(ts.value(), slide) : 0;
+      }
+    }
+  }
+
+  // Key hashes, column-outer row-inner: per key attribute one pass
+  // over its contiguous column, accumulating exactly the FNV chain
+  // Tuple::HashSubset computes row-wise, then the wid mix. The
+  // override seam (collision-forcing tests) evaluates per row on the
+  // scratch view instead.
+  if (options_.key_hash_override) {
+    hash_scratch_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      b->FillRow(b->row_at(i), &scratch);
+      hash_scratch_[i] =
+          options_.key_hash_override(scratch, port, wid_scratch_[i]);
+    }
+  } else {
+    hash_scratch_.assign(n, 0xcbf29ce484222325ULL);
+    for (int k : my_keys) {
+      const Value* col = b->column(k);
+      for (uint32_t i = 0; i < n; ++i) {
+        hash_scratch_[i] ^= col[b->row_at(i)].Hash();
+        hash_scratch_[i] *= 0x100000001b3ULL;
+      }
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      hash_scratch_[i] = MixWidHash(hash_scratch_[i], wid_scratch_[i]);
+    }
+  }
+
+  // The fused adjacency-memoized walk of ProcessAdjacentRun, reading
+  // rows through the reused aliased scratch view. Columnar pages are
+  // tuples-only, so the whole page is one run.
+  bool have_prev = false;
+  uint64_t prev_key = 0;
+  std::vector<Entry>* probe_bucket = nullptr;
+  std::vector<Entry>* own_bucket = nullptr;
+  uint64_t admitted = 0;
+  uint64_t adjacent_dups = 0;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    if (tick) ++*tick;
+    ++stats_.tuples_in;
+    const uint32_t r = b->row_at(i);
+    b->FillRow(r, &scratch);
+    const Tuple& tuple = scratch;
+    if (input_guards_[static_cast<size_t>(port)].Blocks(tuple)) {
+      ++stats_.input_guard_drops;
+      continue;
+    }
+#ifndef NDEBUG
+    // Shard-routing tripwire: a mis-routed tuple would silently miss
+    // its join partner, so verify the Exchange's placement decision.
+    if (options_.shard_count > 1) {
+      assert(ShardOfRoutingHash(ShardRoutingHash(tuple, my_keys),
+                                options_.shard_count) ==
+             options_.shard_index);
+    }
+#endif
+    const int64_t wid = wid_scratch_[i];
+    if (options_.window_join && wid <= watermark_[port]) {
+      // Straggler past its window's punctuation: nothing to join
+      // with (the watermark cannot advance mid-page).
+      continue;
+    }
+    const uint64_t key = hash_scratch_[i];
+    ++admitted;
+    if (have_prev && key == prev_key) {
+      ++adjacent_dups;  // memoized buckets stay hot
+    } else {
+      auto it = tables_[other].find(key);
+      probe_bucket = it == tables_[other].end() ? nullptr : &it->second;
+      own_bucket = nullptr;  // resolved lazily at first insert
+      prev_key = key;
+      have_prev = true;
+    }
+
+    bool gated = false;
+    if (port == 0 && options_.left_gate && !options_.left_gate(tuple)) {
+      gated = true;
+      if (options_.gate_feedback_horizon > 0 && options_.window_join) {
+        SendGateFeedback(tuple, wid, key);
+      }
+    }
+
+    bool matched_now = false;
+    if (!gated && probe_bucket != nullptr) {
+      for (Entry& ent : *probe_bucket) {
+        if (port == 1 && ent.gated) continue;  // right probe skips gated
+        if (ent.wid != wid ||
+            !tuple.EqualsSubset(ent.tuple, my_keys, other_keys)) {
+          continue;  // hash collision: not actually the same key
+        }
+        ent.matched = true;
+        matched_now = true;
+        if (port == 0) {
+          EmitJoinedPair(tuple, &ent.tuple);
+        } else {
+          EmitJoinedPair(ent.tuple, &tuple);
+        }
+      }
+    }
+
+    if (options_.window_join) {
+      ++window_counts_[port][wid];
+      if (wid < min_seen_wid_[port]) min_seen_wid_[port] = wid;
+      if (options_.impatient && port == options_.impatient_data_input) {
+        MaybeImpatient(tuple, port, wid, key);
+      }
+    }
+    Entry entry;
+    // Table entries outlive the input page: gather the row into a
+    // self-contained owned tuple (the columnar analogue of the row
+    // path's move + Promote — the same one value copy per attribute).
+    entry.tuple = b->GatherRowOwned(r);
+    entry.wid = wid;
+    entry.gated = gated;
+    entry.matched = matched_now;
+    if (own_bucket == nullptr) own_bucket = &tables_[port][key];
+    own_bucket->push_back(std::move(entry));
+  }
+
   if (admitted > 0) {
     double frac = static_cast<double>(adjacent_dups) /
                   static_cast<double>(admitted);
@@ -448,9 +668,9 @@ Status SymmetricHashJoin::ProcessSortedRun(
           ent.matched = true;
           run[m].matched = true;
           if (port == 0) {
-            EmitJoined(JoinTuples(tuple, ent.tuple, OutArena()));
+            EmitJoinedPair(tuple, &ent.tuple);
           } else {
-            EmitJoined(JoinTuples(ent.tuple, tuple, OutArena()));
+            EmitJoinedPair(ent.tuple, &tuple);
           }
         }
       }
@@ -538,9 +758,9 @@ Status SymmetricHashJoin::ProcessTuple(int port, const Tuple& tuple) {
       e.matched = true;
       matched_now = true;
       if (port == 0) {
-        EmitJoined(JoinTuples(tuple, e.tuple, OutArena()));
+        EmitJoinedPair(tuple, &e.tuple);
       } else {
-        EmitJoined(JoinTuples(e.tuple, tuple, OutArena()));
+        EmitJoinedPair(e.tuple, &tuple);
       }
     }
   }
@@ -622,8 +842,7 @@ void SymmetricHashJoin::PurgeWindowsThrough(int side, int64_t wid,
         continue;
       }
       if (emit_outer && !e.matched) {
-        Tuple out = OuterTuple(e.tuple, OutArena());
-        EmitJoined(std::move(out));
+        EmitJoinedPair(e.tuple, /*right=*/nullptr);
       }
       ++stats_.state_purged;
     }
@@ -750,7 +969,7 @@ Status SymmetricHashJoin::OnAllInputsEos() {
                 return a->tuple.id() < b->tuple.id();
               });
     for (const Entry* e : unmatched) {
-      EmitJoined(OuterTuple(e->tuple, OutArena()));
+      EmitJoinedPair(e->tuple, /*right=*/nullptr);
     }
   }
   tables_[0].clear();

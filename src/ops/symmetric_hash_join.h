@@ -253,12 +253,28 @@ class SymmetricHashJoin final : public Operator {
   Status ProcessRunElementwise(int port,
                                std::vector<StreamElement>& elems,
                                size_t begin, size_t end, TimeMs* tick);
+  /// Columnar-input fast path (kAdjacent grouping only): key hashes
+  /// and window ids precompute column-at-a-time over the block's
+  /// contiguous columns (type dispatch hoisted per column), then the
+  /// adjacency-memoized walk runs over a reused aliased row view.
+  Status ProcessColumnarPage(int port, Page&& page, TimeMs* tick);
   /// Arena for result construction: the staging page's arena when
   /// results are paged, null (owned fallback) otherwise.
   TupleArena* OutArena();
   Tuple JoinTuples(const Tuple& left, const Tuple& right,
                    TupleArena* arena) const;
   Tuple OuterTuple(const Tuple& left, TupleArena* arena) const;
+  /// Single result-emission seam for every probe/outer path: stages
+  /// the pair column-wise (left attrs then right non-keys — or NULLs
+  /// when `right` is null) straight into the staged block when the
+  /// columnar layout is available and no output guard is active;
+  /// otherwise assembles the row tuple and routes through
+  /// EmitJoined's guarded row staging.
+  void EmitJoinedPair(const Tuple& left, const Tuple* right);
+  /// The staged page's columnar block: existing block, or a freshly
+  /// begun one on an empty staged page; null when a row page is open,
+  /// the columnar layout is off, or arenas are unavailable.
+  ColumnarBlock* StagedColumnar();
   void EmitJoined(Tuple out);
   void FlushOutput();
   void PurgeWindowsThrough(int side, int64_t wid, bool emit_outer);
@@ -287,6 +303,10 @@ class SymmetricHashJoin final : public Operator {
   // Scratch for the batched probe's sort-by-key pass (reused across
   // pages to keep the hot path allocation-free once warm).
   std::vector<RunItem> run_scratch_;
+  // Columnar-input scratch: per-selected-row window ids and key
+  // hashes, filled by contiguous column sweeps before the probe walk.
+  std::vector<int64_t> wid_scratch_;
+  std::vector<uint64_t> hash_scratch_;
   // kAdaptive probe state: EWMA of the adjacent-duplicate fraction
   // observed by grouped runs, and how many element-wise runs have
   // passed since the density was last sampled. Initialized so the

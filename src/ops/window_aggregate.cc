@@ -286,6 +286,10 @@ Status WindowAggregate::ProcessPage(int port, Page&& page, TimeMs* tick) {
   // punctuation/EOS boundaries take the grouped update; the
   // boundaries keep guard/tombstone/closed-window state fixed within
   // a run, so per-run decisions match the element-wise walk's.
+  // Columnar input materializes rows first: the aggregation reads
+  // each tuple's attrs several times across passes, so aliased row
+  // gather (flat field copies) is the cheap, simple bridge.
+  page.EnsureRowLayout();
   std::vector<StreamElement>& elems = page.mutable_elements();
   size_t i = 0;
   while (i < elems.size()) {
@@ -440,10 +444,31 @@ void WindowAggregate::EmitResult(const Key& key, const Partial& p) {
     Emit(0, std::move(out));
     return;
   }
-  if (out_staged_.empty()) {
-    out_staged_.Reserve(static_cast<size_t>(options_.output_page_size));
+  // Columnar staging: results land as one flat slot store per
+  // attribute in the staged page's column arrays (the row tuple above
+  // lives in the same arena, so string bytes re-borrow — no clones).
+  // Row staging remains the fallback when the columnar layout or
+  // arenas are off.
+  ColumnarBlock* blk =
+      out_staged_.is_columnar() ? out_staged_.columnar() : nullptr;
+  if (blk == nullptr && out_staged_.empty()) {
+    if (PageColumnar::enabled()) {
+      blk = out_staged_.BeginColumnar(
+          static_cast<uint32_t>(out.size()),
+          static_cast<uint32_t>(options_.output_page_size));
+    }
+    if (blk == nullptr) {
+      out_staged_.Reserve(static_cast<size_t>(options_.output_page_size));
+    }
   }
-  out_staged_.Add(StreamElement::OfTuple(std::move(out)));
+  if (blk != nullptr) {
+    const uint32_t r = blk->AddRow(out.id(), out.arrival_ms());
+    for (int c = 0; c < out.size(); ++c) {
+      blk->Set(static_cast<uint32_t>(c), r, out.value(c));
+    }
+  } else {
+    out_staged_.Add(StreamElement::OfTuple(std::move(out)));
+  }
   if (static_cast<int>(out_staged_.size()) >= options_.output_page_size) {
     FlushOutput();
   }

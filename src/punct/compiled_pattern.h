@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "punct/punct_pattern.h"
+#include "stream/columnar.h"
 #include "types/tuple.h"
 
 namespace nstream {
@@ -40,7 +41,69 @@ class CompiledPattern {
     return true;
   }
 
+  /// Matches() against one (physical) row of a columnar block — the
+  /// columns stand in for the tuple's value span.
+  bool MatchesRow(const ColumnarBlock& b, uint32_t row) const {
+    if (static_cast<int>(b.cols()) != pattern_.arity()) return false;
+    for (const Check& c : checks_) {
+      if (!MatchCheck(c, b.column(c.index)[row])) return false;
+    }
+    return true;
+  }
+
+  /// Purge exploit over a columnar page: drop matching rows by
+  /// editing the selection vector — survivors never move. When every
+  /// check lowered to exact-integer operands AND its column is
+  /// uniformly int64-imaged (the dominant timestamp-range purge), the
+  /// per-value tag dispatch hoists out entirely: the row loop is raw
+  /// unchecked_int64 compares over contiguous columns. Returns the
+  /// number of rows dropped.
+  int FilterColumnarPurge(ColumnarBlock* b) const {
+    if (static_cast<int>(b->cols()) != pattern_.arity()) return 0;
+    const int before = static_cast<int>(b->size());
+    if (always_true()) {
+      b->KeepIf([](uint32_t) { return false; });
+      return before;
+    }
+    struct IntCheck {
+      const Value* col;
+      PatternOp op;
+      int64_t lo, hi;
+    };
+    IntCheck ics[kMaxHoistedChecks];
+    size_t n_ic = 0;
+    bool all_int = checks_.size() <= kMaxHoistedChecks;
+    for (const Check& c : checks_) {
+      if (!all_int) break;
+      if (c.op == PatternOp::kIsNull || c.op == PatternOp::kNotNull ||
+          c.cls != OperandClass::kInt ||
+          b->column_class(c.index) != ColumnClass::kInt64) {
+        all_int = false;
+        break;
+      }
+      ics[n_ic++] = {b->column(c.index), c.op, c.ilo, c.ihi};
+    }
+    if (all_int) {
+      b->KeepIf([&](uint32_t r) {
+        for (size_t k = 0; k < n_ic; ++k) {
+          if (!ApplyOp<int64_t>(ics[k].op, ics[k].col[r].unchecked_int64(),
+                                ics[k].lo, ics[k].hi)) {
+            return true;  // check failed → row not matched → keep
+          }
+        }
+        return false;  // all checks matched → purge
+      });
+    } else {
+      b->KeepIf([&](uint32_t r) { return !MatchesRow(*b, r); });
+    }
+    return before - static_cast<int>(b->size());
+  }
+
  private:
+  // Hoisted-check scratch bound; patterns with more constrained
+  // attributes (unheard of — exploits constrain 1-2) take the
+  // row-wise path.
+  static constexpr size_t kMaxHoistedChecks = 8;
   // How the operand(s) of a comparison check were classified at
   // compile time.
   enum class OperandClass : uint8_t {

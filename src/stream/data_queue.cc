@@ -169,13 +169,20 @@ void DataQueue::PushEos() {
 void DataQueue::PushPage(Page&& page) {
   if (page.empty()) return;
 #ifndef NDEBUG
-  for (const StreamElement& e : page.elements()) {
-    assert(e.is_tuple());
-    // Arena ownership invariant: every arena-backed tuple in the page
-    // references the page's own arena (and holds nothing the
-    // wholesale arena free would leak). A violation means some
-    // operator moved a tuple between pages without Rehome/Promote.
-    assert(page.ElementArenaInvariantHolds(e));
+  if (page.is_columnar()) {
+    // Columnar pages are tuples-only by construction; the block-level
+    // check covers the arena side: block arrays in the page's own
+    // arena, no owning values behind the wholesale free.
+    assert(page.columnar()->ArenaInvariantHolds(page.arena_if_created()));
+  } else {
+    for (const StreamElement& e : page.elements()) {
+      assert(e.is_tuple());
+      // Arena ownership invariant: every arena-backed tuple in the
+      // page references the page's own arena (and holds nothing the
+      // wholesale arena free would leak). A violation means some
+      // operator moved a tuple between pages without Rehome/Promote.
+      assert(page.ElementArenaInvariantHolds(e));
+    }
   }
 #endif
   if (lockfree()) {
@@ -349,6 +356,11 @@ int DataQueue::PurgeMatching(const PunctPattern& pattern) {
   const CompiledPattern& compiled = *compiled_ptr;
   int removed = 0;
   auto purge_page = [&](Page* page) {
+    if (page->is_columnar()) {
+      // Selection-vector edit, hoisted type dispatch — no compaction.
+      removed += compiled.FilterColumnarPurge(page->columnar());
+      return;
+    }
     std::vector<StreamElement>& elems = page->mutable_elements();
     auto it = std::remove_if(
         elems.begin(), elems.end(), [&](const StreamElement& e) {
@@ -395,6 +407,13 @@ int DataQueue::PromoteMatching(const PunctPattern& pattern) {
   // across a punctuation. std::stable_partition keeps relative order
   // on both sides and works in place.
   auto promote_page = [&](Page* page) {
+    if (page->is_columnar()) {
+      // Stable-partition the selection vector; rows never move.
+      ColumnarBlock* b = page->columnar();
+      moved += b->PartitionSelection(
+          [&](uint32_t r) { return compiled.MatchesRow(*b, r); });
+      return;
+    }
     std::vector<StreamElement>& elems = page->mutable_elements();
     auto mid = std::stable_partition(
         elems.begin(), elems.end(), [&](const StreamElement& e) {

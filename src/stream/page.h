@@ -13,6 +13,16 @@
 // Invariant: every arena-backed tuple stored in a page references
 // that page's own arena (AddTuple re-homes foreign-arena tuples);
 // owned-mode tuples may live in any page.
+//
+// A page has one of two layouts:
+//   * ROW (default) — a vector of StreamElements (tuples, punctuation,
+//     EOS markers) in arrival order.
+//   * COLUMNAR — a ColumnarBlock of per-attribute Value arrays in the
+//     page arena, tuples only (punctuation flushes its page, so it
+//     could only ever trail the rows; emitters send it on the next,
+//     row, page). Consumers that need row tuples call
+//     EnsureRowLayout() first; layout-aware consumers branch on
+//     is_columnar() and read the block in place.
 
 #ifndef NSTREAM_STREAM_PAGE_H_
 #define NSTREAM_STREAM_PAGE_H_
@@ -21,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "stream/columnar.h"
 #include "stream/element.h"
 #include "types/tuple_arena.h"
 
@@ -48,6 +59,7 @@ class Page {
   Page& operator=(Page&&) = default;
 
   void Add(StreamElement e) {
+    assert(block_ == nullptr && "columnar pages take rows via the block");
     assert(ElementArenaInvariantHolds(e));
     elems_.push_back(std::move(e));
   }
@@ -81,10 +93,54 @@ class Page {
   /// null. Consumers use this for introspection/asserts only.
   const TupleArena* arena_if_created() const { return arena_.get(); }
 
-  bool empty() const { return elems_.empty(); }
-  size_t size() const { return elems_.size(); }
-  const std::vector<StreamElement>& elements() const { return elems_; }
-  std::vector<StreamElement>& mutable_elements() { return elems_; }
+  bool empty() const {
+    return block_ != nullptr ? block_->size() == 0 : elems_.empty();
+  }
+  size_t size() const {
+    return block_ != nullptr ? block_->size() : elems_.size();
+  }
+  const std::vector<StreamElement>& elements() const {
+    assert(block_ == nullptr && "call EnsureRowLayout() first");
+    return elems_;
+  }
+  std::vector<StreamElement>& mutable_elements() {
+    assert(block_ == nullptr && "call EnsureRowLayout() first");
+    return elems_;
+  }
+
+  /// Switch this (empty) page to the columnar layout, allocating a
+  /// block of `cols` columns × `capacity` rows from the page arena.
+  /// Returns null when arenas are unavailable (columnar requires a
+  /// page arena) — callers fall back to row staging.
+  ColumnarBlock* BeginColumnar(uint32_t cols, uint32_t capacity) {
+    assert(elems_.empty() && block_ == nullptr);
+    TupleArena* a = arena();
+    if (a == nullptr) return nullptr;
+    block_ = std::make_unique<ColumnarBlock>();
+    block_->Init(a, cols, capacity);
+    return block_.get();
+  }
+  bool is_columnar() const { return block_ != nullptr; }
+  ColumnarBlock* columnar() { return block_.get(); }
+  const ColumnarBlock* columnar() const { return block_.get(); }
+
+  /// Columnar → row materialization at boundaries that require row
+  /// tuples (per-element walks, sinks, non-columnar operators). Each
+  /// selected row gathers into an arena tuple of Value aliases — one
+  /// flat 16-byte copy per attribute, no string clones, same arena,
+  /// so the page invariant holds by construction. No-op on row pages.
+  void EnsureRowLayout() {
+    if (block_ == nullptr) return;
+    std::unique_ptr<ColumnarBlock> b = std::move(block_);
+    const uint32_t n = b->size();
+    elems_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      elems_.push_back(
+          StreamElement::OfTuple(b->GatherRowAliased(b->row_at(i))));
+    }
+    // The block's arrays stay behind in the arena (freed with the
+    // page); the block header itself dies here.
+  }
 
   FlushReason flush_reason() const { return flush_reason_; }
   void set_flush_reason(FlushReason r) { flush_reason_ = r; }
@@ -96,11 +152,13 @@ class Page {
   }
 
  private:
-  // Declared before elems_ so elements (whose tuples reference the
-  // arena) are destroyed first; arena-mode tuple destructors are
-  // no-ops, but the order keeps even pathological cases sound.
+  // Declared before elems_/block_ so elements (whose tuples reference
+  // the arena) and the block (whose arrays live in the arena) are
+  // destroyed first; arena-mode tuple destructors are no-ops, but the
+  // order keeps even pathological cases sound.
   std::unique_ptr<TupleArena> arena_;
   std::vector<StreamElement> elems_;
+  std::unique_ptr<ColumnarBlock> block_;
   FlushReason flush_reason_ = FlushReason::kExplicit;
 };
 

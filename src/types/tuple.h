@@ -177,6 +177,17 @@ class Tuple {
     }
     ++size_;
   }
+  /// Arena-mode append of an already-arena-legal value as a raw field
+  /// copy (Value::Alias) — no Owns() probe, no byte clone. The caller
+  /// guarantees `v` is trivially destructible and that any borrowed
+  /// bytes live in (or outlive) this tuple's arena; the columnar
+  /// row-gather path satisfies this by construction.
+  void AppendAlias(const Value& v) {
+    assert(arena_ != nullptr);
+    if (size_ == capacity_) Grow();
+    new (data_ + size_) Value(Value::Alias(v));
+    ++size_;
+  }
   void Reserve(size_t n) {
     if (n > capacity_) Regrow(n);
   }

@@ -1,11 +1,28 @@
 #include "types/value.h"
 
 #include <cmath>
+#include <cstddef>
 #include <functional>
 
 #include "common/string_util.h"
 
 namespace nstream {
+
+// The inline-string representation stores up to 15 bytes across
+// payload_, len_'s storage, and extra_, read/written through char
+// pointers starting at the object's first byte. That is sound only if
+// those members are contiguous with the tag as the final byte.
+struct ValueLayoutAsserts {
+  static_assert(offsetof(Value, payload_) == 0,
+                "inline bytes must start at offset 0");
+  static_assert(offsetof(Value, len_) == 8,
+                "len_ must directly follow the payload");
+  static_assert(offsetof(Value, extra_) == 12,
+                "extra_ must directly follow len_");
+  static_assert(offsetof(Value, tag_) == 15,
+                "tag must be the final byte, after 15 inline bytes");
+  static_assert(sizeof(Value) == 16, "Value must stay 16 bytes");
+};
 
 const char* ValueTypeName(ValueType t) {
   switch (t) {

@@ -6,21 +6,26 @@
 // Representation: a FLAT 16-byte tagged union — one 8-byte payload
 // (bool / int64 / double / string bytes, each read through the union
 // member it was stored through, so the punning is UB-clean), a 32-bit
-// string length, and a one-byte tag. The tag byte carries the
-// ValueType in its low bits plus two string-representation modifier
-// bits:
+// string length, three spare bytes, and a one-byte tag at offset 15.
+// The tag byte carries the ValueType in bits 0-2 plus the string
+// representation: bit 3 marks heap-OWNED bytes, and bit 7 marks an
+// INLINE string whose LENGTH lives in bits 3-6 — spending tag bits on
+// the length frees the 32-bit len_ field (and the spare bytes) to
+// store string bytes, so inline strings cover the first 15 bytes of
+// the object instead of only the 8-byte payload:
 //
 //   * kString                (no bits)  — BORROWED: the payload
 //     pointer references bytes living in a TupleArena (page-owned
 //     tuple memory); destruction is a no-op, the page frees the bytes
 //     wholesale.
-//   * kString | kInlineBit   — INLINE: up to 8 bytes stored directly
-//     in the payload. Self-contained AND trivially destructible, so
-//     it is legal in both owned and arena-backed tuples and copies as
-//     a plain field copy.
+//   * kInlineFlag | len<<3 | kString — INLINE: up to 15 bytes stored
+//     directly in the value (payload + len_ storage + spare bytes;
+//     the length is in the tag). Self-contained AND trivially
+//     destructible, so it is legal in both owned and arena-backed
+//     tuples and copies as a plain field copy.
 //   * kString | kOwnedBit    — OWNED: the payload pointer is a heap
 //     buffer this value frees on destruction (the self-contained
-//     representation for strings longer than 8 bytes).
+//     representation for strings longer than 15 bytes).
 //
 // Borrowed and inline strings are what make arena-backed tuples
 // trivially destructible. Copying a Value is a 16-byte field copy
@@ -90,6 +95,9 @@ class Value {
   // (and therefore the borrow) and leave the source NULL.
   Value(const Value& o)
       : payload_(o.payload_), len_(o.len_), tag_(o.tag_) {
+    extra_[0] = o.extra_[0];
+    extra_[1] = o.extra_[1];
+    extra_[2] = o.extra_[2];
     if (NeedsCloneOnCopy()) CloneStringBytes();
   }
   Value& operator=(const Value& o) {
@@ -105,6 +113,9 @@ class Value {
   }
   Value(Value&& o) noexcept
       : payload_(o.payload_), len_(o.len_), tag_(o.tag_) {
+    extra_[0] = o.extra_[0];
+    extra_[1] = o.extra_[1];
+    extra_[2] = o.extra_[2];
     o.ForgetPayload();
   }
   Value& operator=(Value&& o) noexcept {
@@ -112,13 +123,16 @@ class Value {
       ::operator delete(const_cast<char*>(owned_ptr_or_null()));
       payload_ = o.payload_;
       len_ = o.len_;
+      extra_[0] = o.extra_[0];
+      extra_[1] = o.extra_[1];
+      extra_[2] = o.extra_[2];
       tag_ = o.tag_;
       o.ForgetPayload();
     }
     return *this;
   }
   ~Value() {
-    if (tag_ & kOwnedBit) {
+    if (is_owned_rep()) {
       ::operator delete(const_cast<char*>(payload_.str));
     }
   }
@@ -147,15 +161,16 @@ class Value {
   /// adopt and taking a std::string would only materialize a dead
   /// intermediate).
   static Value String(std::string_view v) { return OwnedString(v); }
-  /// Self-contained string: INLINE when the bytes fit the payload,
-  /// heap-OWNED otherwise. Never references the caller's storage.
+  /// Self-contained string: INLINE when the bytes fit the 15-byte
+  /// in-object store, heap-OWNED otherwise. Never references the
+  /// caller's storage.
   static Value OwnedString(std::string_view s) {
     Value x;
-    x.len_ = CheckedLen(s.size());
     if (s.size() <= kInlineCap) {
-      x.tag_ = kTagString | kInlineBit;
-      if (!s.empty()) std::memcpy(x.payload_.buf, s.data(), s.size());
+      if (!s.empty()) std::memcpy(x.inline_data(), s.data(), s.size());
+      x.tag_ = InlineTag(s.size());
     } else {
+      x.len_ = CheckedLen(s.size());
       x.tag_ = kTagString;
       x.payload_.str = s.data();
       x.CloneStringBytes();
@@ -186,6 +201,23 @@ class Value {
     x.payload_.i = v;
     return x;
   }
+  /// Field copy WITHOUT byte cloning — an alias of `v`, not a
+  /// self-contained copy. Legal only for trivially destructible
+  /// representations (asserted): a borrowed-string alias shares the
+  /// source's arena bytes and must not outlive that arena. The
+  /// columnar row-gather paths use this to re-reference page-resident
+  /// values at field-copy cost.
+  static Value Alias(const Value& v) {
+    assert(v.is_trivially_destructible_rep());
+    Value x;
+    x.payload_ = v.payload_;
+    x.len_ = v.len_;
+    x.extra_[0] = v.extra_[0];
+    x.extra_[1] = v.extra_[1];
+    x.extra_[2] = v.extra_[2];
+    x.tag_ = v.tag_;
+    return x;
+  }
 
   ValueType type() const {
     return static_cast<ValueType>(tag_ & kTypeMask);
@@ -204,16 +236,15 @@ class Value {
   bool is_int64_rep() const { return (tag_ & 0xFE) == kTagInt64; }
   /// True for a kString value whose bytes are borrowed (arena-backed).
   bool is_borrowed_string() const { return tag_ == kTagString; }
-  /// True for a kString value whose bytes live inside the payload.
+  /// True for a kString value whose bytes live inside the value (only
+  /// strings ever set the inline flag, so the bit test suffices).
   bool is_inline_string() const {
-    return tag_ == (kTagString | kInlineBit);
+    return (tag_ & kInlineFlag) != 0;
   }
   /// True when destroying this value releases no resources — the
   /// invariant every arena-resident value must satisfy (the arena is
   /// freed wholesale, destructors never run).
-  bool is_trivially_destructible_rep() const {
-    return (tag_ & kOwnedBit) == 0;
-  }
+  bool is_trivially_destructible_rep() const { return !is_owned_rep(); }
 
   // Accessors assume the type matches (checked in debug builds).
   bool bool_value() const {
@@ -241,8 +272,8 @@ class Value {
   /// its move), unlike borrowed/owned views which track the bytes.
   std::string_view string_view() const {
     assert(is_string());
-    if (tag_ & kInlineBit) {
-      return std::string_view(payload_.buf, len_);
+    if (tag_ & kInlineFlag) {
+      return std::string_view(inline_data(), inline_len());
     }
     return std::string_view(payload_.str, len_);
   }
@@ -345,16 +376,20 @@ class Value {
   /// the hash must canonicalize on the double image instead.
   static constexpr int64_t kDoubleExactBound = int64_t{1} << 53;
 
-  /// Longest string stored inline in the payload.
-  static constexpr size_t kInlineCap = 8;
+  /// Longest string stored inline in the value (payload + len_
+  /// storage + spare bytes; everything before the tag at offset 15).
+  static constexpr size_t kInlineCap = 15;
 
  private:
-  // Tag byte layout: ValueType in the low bits; for strings, exactly
-  // one of kInlineBit/kOwnedBit may be set (neither = borrowed).
+  // Tag byte layout: ValueType in bits 0-2; kOwnedBit (bit 3) marks a
+  // heap-owned string; kInlineFlag (bit 7) marks an inline string
+  // whose length occupies bits 3-6 (0..15 — an inline tag therefore
+  // may have bit 3 set, so "owned" is owned-bit AND NOT inline).
   // kNull is 0, so a zero tag byte IS the null value.
-  static constexpr uint8_t kTypeMask = 0x3f;
-  static constexpr uint8_t kInlineBit = 0x40;
-  static constexpr uint8_t kOwnedBit = 0x80;
+  static constexpr uint8_t kTypeMask = 0x07;
+  static constexpr uint8_t kOwnedBit = 0x08;
+  static constexpr uint8_t kInlineFlag = 0x80;
+  static constexpr int kInlineLenShift = 3;
   static constexpr uint8_t kTagBool =
       static_cast<uint8_t>(ValueType::kBool);
   static constexpr uint8_t kTagInt64 =
@@ -373,9 +408,30 @@ class Value {
     bool b;
     int64_t i;  // kInt64 and kTimestamp
     double d;
-    const char* str;      // borrowed/owned string bytes (see tag)
-    char buf[kInlineCap];  // inline string bytes
+    const char* str;  // borrowed/owned string bytes (see tag)
+    char buf[8];      // first 8 inline string bytes
   };
+
+  static constexpr uint8_t InlineTag(size_t n) {
+    return static_cast<uint8_t>(kInlineFlag | (n << kInlineLenShift) |
+                                kTagString);
+  }
+  uint32_t inline_len() const {
+    return (tag_ >> kInlineLenShift) & 0x0F;
+  }
+  // Inline string bytes span payload_, len_'s storage, and extra_ —
+  // the 15 contiguous bytes before the tag (offsets static_asserted in
+  // value.cc). Accessed only through char pointers to the object
+  // representation, which aliases anything.
+  char* inline_data() { return reinterpret_cast<char*>(&payload_); }
+  const char* inline_data() const {
+    return reinterpret_cast<const char*>(&payload_);
+  }
+  /// Owned = owned bit set AND not inline (an inline tag may carry
+  /// bit 3 as part of its length nibble).
+  bool is_owned_rep() const {
+    return (tag_ & (kOwnedBit | kInlineFlag)) == kOwnedBit;
+  }
 
   static uint32_t CheckedLen(size_t n) {
     // Hard check, release builds included: a ≥4 GiB string cell is far
@@ -388,33 +444,38 @@ class Value {
 
   /// A copy must clone bytes exactly when the source is a borrowed or
   /// heap-owned string; inline strings (and every non-string) copy as
-  /// plain fields.
+  /// plain fields. Masking out the owned bit and the inline flag
+  /// folds borrowed (0x05) and owned (0x0D) onto kTagString with one
+  /// compare, while every inline tag keeps bit 7 and fails it.
   bool NeedsCloneOnCopy() const {
-    return (tag_ & (kTypeMask | kInlineBit)) == kTagString;
+    return (tag_ & static_cast<uint8_t>(~kOwnedBit)) == kTagString;
   }
   /// Replace the (possibly foreign) string payload with a
   /// self-contained copy of its bytes: inline when they fit, heap
-  /// otherwise.
+  /// otherwise. Only called on borrowed/owned reps, whose length is
+  /// in len_ (saved before the inline bytes overwrite its storage).
   void CloneStringBytes() {
     const char* src = payload_.str;
-    if (len_ <= kInlineCap) {
-      if (len_ != 0) std::memcpy(payload_.buf, src, len_);
-      tag_ = kTagString | kInlineBit;
+    const uint32_t n = len_;
+    if (n <= kInlineCap) {
+      if (n != 0) std::memcpy(inline_data(), src, n);
+      tag_ = InlineTag(n);
       return;
     }
-    char* p = static_cast<char*>(::operator new(len_));
-    std::memcpy(p, src, len_);
+    char* p = static_cast<char*>(::operator new(n));
+    std::memcpy(p, src, n);
     payload_.str = p;
     tag_ = kTagString | kOwnedBit;
   }
   const char* owned_ptr_or_null() const {
-    return (tag_ & kOwnedBit) ? payload_.str : nullptr;
+    return is_owned_rep() ? payload_.str : nullptr;
   }
   /// Reset to NULL without freeing (the payload now belongs to a
   /// move destination).
   void ForgetPayload() {
     payload_.i = 0;
     len_ = 0;
+    extra_[0] = extra_[1] = extra_[2] = 0;
     tag_ = 0;
   }
 
@@ -468,9 +529,15 @@ class Value {
     return 0;
   }
 
+  // Order is load-bearing: payload_, len_, extra_ are the 15
+  // contiguous bytes an inline string occupies, with the tag last at
+  // offset 15 (layout static_asserted in value.cc).
   Payload payload_{.i = 0};
-  uint32_t len_ = 0;
-  uint8_t tag_ = 0;  // ValueType | string modifier bit
+  uint32_t len_ = 0;     // string byte count for borrowed/owned reps
+  char extra_[3] = {};   // inline string bytes 12..14
+  uint8_t tag_ = 0;      // ValueType | string rep (see above)
+
+  friend struct ValueLayoutAsserts;
 };
 
 // The whole point: four of these per Table 2 output tuple must copy as

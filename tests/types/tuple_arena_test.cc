@@ -86,7 +86,8 @@ TEST(BorrowedValueTest, EqualityHashAndCompareAgreeWithOwned) {
 
 TEST(BorrowedValueTest, CopyPromotesMovePreserves) {
   TupleArena arena;
-  Value borrowed = Value::StringIn(&arena, "escape-safe");
+  // Past the inline cap, so StringIn actually borrows arena bytes.
+  Value borrowed = Value::StringIn(&arena, "escape-safe-arena-bytes");
   ASSERT_TRUE(borrowed.is_borrowed_string());
   Value copy = borrowed;  // deep copy: owned
   EXPECT_FALSE(copy.is_borrowed_string());
@@ -96,7 +97,7 @@ TEST(BorrowedValueTest, CopyPromotesMovePreserves) {
   EXPECT_FALSE(assigned.is_borrowed_string());
   Value moved = std::move(borrowed);  // move: still borrowing
   EXPECT_TRUE(moved.is_borrowed_string());
-  EXPECT_EQ(moved.string_view(), "escape-safe");
+  EXPECT_EQ(moved.string_view(), "escape-safe-arena-bytes");
 }
 
 TEST(BorrowedValueTest, StringInNullArenaFallsBackToSelfContained) {
