@@ -19,6 +19,17 @@
 
 namespace nstream {
 
+/// What ExecContext::ChargeMs does under executors that model cost in
+/// real time (threaded / pooled). The SimExecutor has its own
+/// virtual-time accounting and ignores this knob; the pooled
+/// scheduler's manual mode maps ChargeMs onto a VirtualClock instead.
+enum class ChargePolicy : uint8_t {
+  kIgnore = 0,  // cost accounting is a no-op (real CPU time rules)
+  kSleep,       // sleep for the charged duration (models blocking I/O,
+                // e.g. IMPUTE's per-tuple database query)
+  kSpin,        // busy-spin for the charged duration (models CPU work)
+};
+
 class ExecContext {
  public:
   virtual ~ExecContext() = default;

@@ -107,6 +107,17 @@ class Operator {
   virtual Status ProcessFeedback(int out_port,
                                  const FeedbackPunctuation& feedback);
 
+  // ---- Scheduler placement ----
+  /// Pooled-scheduler placement hint: tasks whose operators share a
+  /// non-negative affinity key are pinned to the same worker (key mod
+  /// pool size), giving shard-parallel subplans cache locality and a
+  /// stable worker per SPSC queue side. -1 (default) means "any
+  /// worker". Purely advisory — correctness never depends on it (the
+  /// single-consumer guarantee comes from task identity, not worker
+  /// identity).
+  int scheduler_affinity() const { return scheduler_affinity_; }
+  void set_scheduler_affinity(int key) { scheduler_affinity_ = key; }
+
   bool shutdown_requested() const { return shutdown_requested_; }
   bool eos_seen(int port) const {
     return eos_seen_[static_cast<size_t>(port)];
@@ -231,6 +242,7 @@ class Operator {
   std::vector<SchemaPtr> output_schemas_;
   std::vector<bool> eos_seen_;
   int eos_count_ = 0;
+  int scheduler_affinity_ = -1;
   bool finished_ = false;
   bool shutdown_requested_ = false;
 };

@@ -29,6 +29,15 @@ Result<std::unique_ptr<PlanRuntime>> PlanRuntime::Create(
     } else if (policy == EdgeTransportPolicy::kSpscChainSingleThread) {
       opts.transport = DataQueueTransport::kSpscChain;
       opts.assume_single_thread = true;
+    } else if (policy == EdgeTransportPolicy::kSpscChainWhereEligible) {
+      // Pooled scheduler: every push must be non-blocking (see the
+      // policy comment in runtime.h), so eligible edges get the
+      // unbounded chain and the mutex-deque fallback is forced
+      // unbounded too.
+      opts.max_pages = 0;
+      if (plan->EdgeSpscEligible(edge_index)) {
+        opts.transport = DataQueueTransport::kSpscChain;
+      }
     }
     ++edge_index;
     auto conn = std::make_unique<Connection>(opts);

@@ -1,0 +1,768 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+
+#include "common/logging.h"
+#include "exec/exec_context.h"
+#include "stream/data_queue.h"
+
+namespace nstream {
+
+const char* TaskStateName(TaskState s) {
+  switch (s) {
+    case TaskState::kQueued:
+      return "QUEUED";
+    case TaskState::kRunning:
+      return "RUNNING";
+    case TaskState::kWaiting:
+      return "WAITING";
+    case TaskState::kKilled:
+      return "KILLED";
+  }
+  return "?";
+}
+
+namespace {
+
+/// ExecContext for one (query, operator) task. Identical data paths to
+/// ThreadedContext, but clocked by the scheduler's Clock (wall or
+/// virtual) and, under a virtual clock, mapping ChargeMs onto clock
+/// advancement instead of sleeping — deterministic cost accounting.
+class PooledContext final : public ExecContext {
+ public:
+  PooledContext(PlanRuntime* rt, int64_t op_id, const Clock* clock,
+                VirtualClock* virtual_clock, ChargePolicy charge_policy)
+      : rt_(rt),
+        op_id_(op_id),
+        clock_(clock),
+        virtual_clock_(virtual_clock),
+        charge_policy_(charge_policy) {}
+
+  void EmitTuple(int out_port, Tuple t) override {
+    if (t.arrival_ms() < 0) t.set_arrival_ms(clock_->NowMs());
+    rt_->output_conn(op_id_, out_port)->data->PushTuple(std::move(t));
+  }
+  void EmitPunct(int out_port, Punctuation p) override {
+    rt_->output_conn(op_id_, out_port)
+        ->data->PushPunctuation(std::move(p));
+  }
+  void EmitEos(int out_port) override {
+    rt_->output_conn(op_id_, out_port)->data->PushEos();
+  }
+  void EmitPage(int out_port, Page&& page) override {
+    if (page.is_columnar()) {
+      ColumnarBlock* b = page.columnar();
+      TimeMs* arr = b->mutable_arrivals();
+      const TimeMs now = clock_->NowMs();
+      for (uint32_t i = 0, n = b->rows(); i < n; ++i) {
+        if (arr[i] < 0) arr[i] = now;
+      }
+    } else {
+      for (StreamElement& e : page.mutable_elements()) {
+        if (e.mutable_tuple().arrival_ms() < 0) {
+          e.mutable_tuple().set_arrival_ms(clock_->NowMs());
+        }
+      }
+    }
+    rt_->output_conn(op_id_, out_port)->data->PushPage(std::move(page));
+  }
+  bool PagedEmissionPreferred() const override { return true; }
+  TupleArena* OpenPageArena(int out_port) override {
+    // Producer-local open page: safe because exactly this task ever
+    // emits on this port, and a task runs on one worker at a time.
+    return rt_->output_conn(op_id_, out_port)->data->OpenPageArena();
+  }
+  void EmitFeedback(int in_port, FeedbackPunctuation fb) override {
+    rt_->input_conn(op_id_, in_port)
+        ->control->Push(ControlMessage::Feedback(std::move(fb)));
+  }
+  void EmitControl(int in_port, ControlMessage msg) override {
+    rt_->input_conn(op_id_, in_port)->control->Push(std::move(msg));
+  }
+  TimeMs NowMs() const override { return clock_->NowMs(); }
+  void ChargeMs(double cost_ms) override {
+    if (cost_ms <= 0) return;
+    if (virtual_clock_ != nullptr) {
+      // Virtual time: the cost accrues to the CURRENT SLICE and the
+      // scheduler busy-parks the task until now + accrued once the
+      // slice ends. Crucially the charge does NOT advance the global
+      // clock inline — an operator that spends 4 ms on a tuple is
+      // unavailable for 4 ms while everyone else runs at today's
+      // instant, which is what makes a charged operator genuinely
+      // SLOWER than its free neighbors (the paper's divergence
+      // dynamics depend on exactly that). Whole ms accrue; the
+      // fractional remainder carries across slices so e.g. 0.25 ms
+      // charges still sum exactly. Single-threaded by the manual-mode
+      // contract, so no synchronization.
+      charge_carry_ += cost_ms;
+      const TimeMs whole = static_cast<TimeMs>(charge_carry_);
+      if (whole > 0) {
+        charge_carry_ -= static_cast<double>(whole);
+        slice_charge_ms_ += whole;
+      }
+      return;
+    }
+    switch (charge_policy_) {
+      case ChargePolicy::kIgnore:
+        break;
+      case ChargePolicy::kSleep:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(cost_ms));
+        break;
+      case ChargePolicy::kSpin: {
+        auto end = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::milli>(cost_ms));
+        while (std::chrono::steady_clock::now() < end) {
+        }
+        break;
+      }
+    }
+  }
+  int PurgeInput(int in_port, const PunctPattern& pattern) override {
+    return rt_->input_conn(op_id_, in_port)
+        ->data->PurgeMatching(pattern);
+  }
+  int PrioritizeInput(int in_port, const PunctPattern& pattern) override {
+    return rt_->input_conn(op_id_, in_port)
+        ->data->PromoteMatching(pattern);
+  }
+
+  /// Whole ms charged by the slice that just ran; resets the counter.
+  TimeMs TakeSliceChargeMs() {
+    const TimeMs c = slice_charge_ms_;
+    slice_charge_ms_ = 0;
+    return c;
+  }
+
+ private:
+  PlanRuntime* rt_;
+  int64_t op_id_;
+  const Clock* clock_;
+  VirtualClock* virtual_clock_;
+  ChargePolicy charge_policy_;
+  double charge_carry_ = 0.0;
+  TimeMs slice_charge_ms_ = 0;
+};
+
+}  // namespace
+
+/// One operator task. All mutable fields are guarded by the scheduler
+/// mutex except those only touched by the slice that owns the task
+/// while it is RUNNING (source_eos_emitted) — the RUNNING transition
+/// itself hands them off under the mutex.
+struct Scheduler::Task {
+  QueryRun* run = nullptr;
+  int64_t op_id = -1;
+  uint64_t token = 0;  // consumer-affinity tripwire token (nonzero)
+  int affinity = -1;   // pinned worker ring index; -1 = any worker
+  TaskState state = TaskState::kWaiting;
+  bool wake_pending = false;      // wake arrived while RUNNING
+  bool busy = false;  // WAITING because of charged work, not idleness
+  bool source_eos_emitted = false;
+  TimeMs due_ms = -1;  // >= 0: parked until this instant (pace / busy)
+  uint32_t worker_mask = 0;
+  Status status;
+};
+
+struct Scheduler::QueryRun {
+  QueryId id = 0;
+  QueryPlan* plan = nullptr;
+  std::unique_ptr<PlanRuntime> rt;
+  std::vector<std::unique_ptr<PooledContext>> contexts;
+  std::vector<std::unique_ptr<Task>> tasks;
+  int live = 0;      // tasks not yet KILLED
+  bool failed = false;
+  bool done = false;
+  bool closed = false;  // operators Close()d (by the first Wait)
+  Status status;
+  TimeMs start_ms = 0;  // pacing origin
+};
+
+struct Scheduler::SliceResult {
+  bool did_work = false;
+  bool finished = false;
+  TimeMs due_ms = -1;   // >= 0: paced source, park until then
+  TimeMs busy_ms = 0;   // virtual ms the slice charged (busy-park)
+  Status status;
+};
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(options) {
+  if (options_.virtual_clock != nullptr) {
+    // Virtual time is only coherent when slices are serialized.
+    options_.manual = true;
+    clock_ = options_.virtual_clock;
+  } else {
+    clock_ = &wall_clock_;
+  }
+  if (!options_.manual) {
+    const int n = std::max(1, options_.num_workers);
+    pinned_.resize(static_cast<size_t>(n));
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+void Scheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+Result<QueryId> Scheduler::Submit(QueryPlan* plan) {
+  if (!plan->finalized()) {
+    Status st = plan->Finalize();
+    if (!st.ok()) return st;
+  }
+  DataQueueOptions qopts = options_.queue;
+  // Non-blocking pushes are mandatory on a fixed pool (see header).
+  qopts.max_pages = 0;
+  auto rt_result = PlanRuntime::Create(
+      plan, qopts,
+      options_.use_lockfree_queues
+          ? EdgeTransportPolicy::kSpscChainWhereEligible
+          : EdgeTransportPolicy::kMutexDeque);
+  if (!rt_result.ok()) return rt_result.status();
+
+  auto run = std::make_unique<QueryRun>();
+  run->plan = plan;
+  run->rt = rt_result.MoveValue();
+  run->start_ms = clock_->NowMs();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    run->id = next_query_id_++;
+  }
+  const int n = plan->num_operators();
+  run->live = n;
+  for (int64_t id = 0; id < n; ++id) {
+    run->contexts.push_back(std::make_unique<PooledContext>(
+        run->rt.get(), id, clock_, options_.virtual_clock,
+        options_.charge_policy));
+    auto task = std::make_unique<Task>();
+    task->run = run.get();
+    task->op_id = id;
+    // Nonzero and unique across (query, op): the tripwire token.
+    task->token = (static_cast<uint64_t>(run->id) << 20) ^
+                  static_cast<uint64_t>(id + 1);
+    task->affinity = plan->op(id)->scheduler_affinity();
+    run->tasks.push_back(std::move(task));
+  }
+
+  // Wire wakes and pin consumer affinity. Emissions during Open (and
+  // any notifier they fire) are safe here: tasks exist and Wake takes
+  // the scheduler mutex, which is not held.
+  for (int64_t id = 0; id < n; ++id) {
+    Operator* op = plan->op(id);
+    Task* task = run->tasks[static_cast<size_t>(id)].get();
+    for (int p = 0; p < op->num_inputs(); ++p) {
+      Connection* conn = run->rt->input_conn(id, p);
+      conn->data->set_consumer_affinity_token(task->token);
+      conn->data->SetConsumerNotifier([this, task] { Wake(task); });
+    }
+    for (int p = 0; p < op->num_outputs(); ++p) {
+      run->rt->output_conn(id, p)->control->SetNotifier(
+          [this, task] { Wake(task); });
+    }
+  }
+  for (int64_t id = 0; id < n; ++id) {
+    Status st = plan->op(id)->Open(
+        run->contexts[static_cast<size_t>(id)].get());
+    if (!st.ok()) return st;
+  }
+
+  QueryId qid = run->id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.tasks_created += static_cast<uint64_t>(n);
+    for (auto& task : run->tasks) {
+      // A wake during Open may already have queued the task.
+      if (task->state == TaskState::kWaiting) EnqueueLocked(task.get());
+    }
+    runs_.push_back(std::move(run));
+  }
+  work_cv_.notify_all();
+  return qid;
+}
+
+void Scheduler::EnqueueLocked(Task* t) {
+  t->state = TaskState::kQueued;
+  t->due_ms = -1;
+  t->busy = false;
+  if (!options_.manual && t->affinity >= 0 && !pinned_.empty()) {
+    pinned_[static_cast<size_t>(t->affinity) % pinned_.size()]
+        .push_back(t);
+  } else {
+    ready_.push_back(t);
+  }
+  if (idle_workers_ > 0) work_cv_.notify_all();
+}
+
+void Scheduler::WakeLocked(Task* t) {
+  switch (t->state) {
+    case TaskState::kKilled:
+    case TaskState::kQueued:
+      ++stats_.wakes_ignored;
+      return;
+    case TaskState::kRunning:
+      // Coalesce: the slice's completion re-enqueues the task, so the
+      // event this wake announces is re-checked — never lost.
+      t->wake_pending = true;
+      ++stats_.wakes_coalesced;
+      return;
+    case TaskState::kWaiting:
+      if (t->busy) {
+        // Busy-parked (virtual time): the operator is mid-"work" and
+        // cannot react before its busy window ends. The release
+        // re-enqueues unconditionally, so the event is not lost.
+        t->wake_pending = true;
+        ++stats_.wakes_coalesced;
+        return;
+      }
+      ++stats_.wakes_delivered;
+      EnqueueLocked(t);
+      return;
+  }
+}
+
+void Scheduler::Wake(Task* t) {
+  if (wake_hook_) {
+    // Manual mode only (single-threaded): the harness may swallow the
+    // wake and re-inject it later to explore reorderings.
+    if (wake_hook_(t->run->id, t->op_id)) return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  WakeLocked(t);
+}
+
+void Scheduler::KillTaskLocked(Task* t) {
+  if (t->state == TaskState::kKilled) return;
+  t->state = TaskState::kKilled;
+  t->due_ms = -1;
+  ++stats_.tasks_killed;
+  QueryRun* run = t->run;
+  if (--run->live == 0) {
+    run->done = true;
+    done_cv_.notify_all();
+  }
+}
+
+void Scheduler::FailRunLocked(QueryRun* run, const Status& status) {
+  if (!run->failed) {
+    run->failed = true;
+    run->status = status;
+  }
+  // Kill everything not currently running; RUNNING tasks die at their
+  // own OnSliceDoneLocked (they observe run->failed).
+  for (auto& task : run->tasks) {
+    if (task->state == TaskState::kQueued ||
+        task->state == TaskState::kWaiting) {
+      KillTaskLocked(task.get());
+    }
+  }
+}
+
+Scheduler::SliceResult Scheduler::RunSlice(Task* t) {
+  SliceResult r = RunSliceBody(t);
+  if (options_.virtual_clock != nullptr) {
+    r.busy_ms = t->run->contexts[static_cast<size_t>(t->op_id)]
+                    ->TakeSliceChargeMs();
+  }
+  return r;
+}
+
+Scheduler::SliceResult Scheduler::RunSliceBody(Task* t) {
+  SliceResult r;
+  QueryRun* run = t->run;
+  Operator* op = run->plan->op(t->op_id);
+  PooledContext* ctx =
+      run->contexts[static_cast<size_t>(t->op_id)].get();
+  PlanRuntime* rt = run->rt.get();
+
+  // 1. Control messages first — they are high priority (§5).
+  for (int p = 0; p < op->num_outputs(); ++p) {
+    ControlChannel* ch = rt->output_conn(t->op_id, p)->control.get();
+    while (auto msg = ch->TryPop()) {
+      r.status = op->ProcessControl(p, *msg);
+      if (!r.status.ok()) return r;
+      r.did_work = true;
+    }
+  }
+
+  // 2. Sources produce a bounded batch (their drain budget).
+  if (op->is_source()) {
+    if (t->source_eos_emitted) {
+      r.finished = true;
+      return r;
+    }
+    auto* src = static_cast<SourceOperator*>(op);
+    const int batch = std::max(1, options_.source_batch_per_slice);
+    for (int i = 0; i < batch; ++i) {
+      std::optional<TimeMs> next = src->NextArrivalMs();
+      if (src->shutdown_requested() || !next.has_value()) {
+        for (int p = 0; p < op->num_outputs(); ++p) ctx->EmitEos(p);
+        t->source_eos_emitted = true;
+        r.finished = true;
+        return r;
+      }
+      if (options_.pace_sources) {
+        const TimeMs due =
+            run->start_ms +
+            static_cast<TimeMs>(static_cast<double>(*next) *
+                                options_.pace_scale);
+        if (due > clock_->NowMs()) {
+          r.due_ms = due;  // park until the arrival is due
+          return r;
+        }
+      }
+      r.status = src->ProduceNext();
+      if (!r.status.ok()) return r;
+      r.did_work = true;
+    }
+    return r;  // budget exhausted; did_work re-enqueues
+  }
+
+  // 3. Drain up to max_pages_per_wake pages per input — one batch
+  // call per page — then end the slice (control is re-checked next
+  // slice).
+  const int budget = std::max(1, options_.max_pages_per_wake);
+  for (int round = 0; round < budget && !op->finished(); ++round) {
+    bool popped_any = false;
+    for (int p = 0; p < op->num_inputs(); ++p) {
+      DataQueue* q = rt->input_conn(t->op_id, p)->data.get();
+      std::optional<Page> page = q->TryPopPage();
+      if (!page) continue;
+      popped_any = r.did_work = true;
+      r.status = op->ProcessPage(p, std::move(*page), nullptr);
+      if (!r.status.ok()) return r;
+    }
+    if (!popped_any) break;
+  }
+  if (op->finished()) r.finished = true;  // all inputs hit EOS
+  return r;
+}
+
+void Scheduler::OnSliceDoneLocked(Task* t, const SliceResult& r,
+                                  int worker) {
+  ++stats_.slices;
+  if (worker >= 0 && worker < 32) {
+    t->worker_mask |= (1u << static_cast<uint32_t>(worker));
+  }
+  if (!r.status.ok()) {
+    t->status = r.status;
+    FailRunLocked(t->run, r.status);
+    KillTaskLocked(t);
+    return;
+  }
+  if (t->run->failed || r.finished) {
+    KillTaskLocked(t);
+    return;
+  }
+  if (r.busy_ms > 0) {
+    // Virtual time: the slice charged processing cost, so the task is
+    // busy — unavailable — until that cost has elapsed. Pending wakes
+    // stay flagged and fold into the unconditional release enqueue.
+    t->state = TaskState::kWaiting;
+    t->busy = true;
+    const TimeMs until = clock_->NowMs() + r.busy_ms;
+    t->due_ms = (r.due_ms > until) ? r.due_ms : until;
+    return;
+  }
+  if (t->wake_pending) {
+    // A wake raced the slice; whatever it announced has not been
+    // looked at yet — run again.
+    t->wake_pending = false;
+    EnqueueLocked(t);
+    return;
+  }
+  if (r.due_ms >= 0) {
+    t->state = TaskState::kWaiting;
+    t->due_ms = r.due_ms;
+    return;
+  }
+  if (r.did_work) {
+    ++stats_.requeues;
+    EnqueueLocked(t);
+    return;
+  }
+  t->state = TaskState::kWaiting;
+  t->due_ms = -1;
+}
+
+Scheduler::Task* Scheduler::PopReadyLocked(int worker) {
+  auto pop_from = [](std::deque<Task*>& dq) -> Task* {
+    while (!dq.empty()) {
+      Task* t = dq.front();
+      dq.pop_front();
+      if (t->state == TaskState::kQueued) return t;
+      // Stale entry: killed while queued. Drop it.
+    }
+    return nullptr;
+  };
+  Task* t = nullptr;
+  if (worker >= 0 && worker < static_cast<int>(pinned_.size())) {
+    t = pop_from(pinned_[static_cast<size_t>(worker)]);
+  }
+  if (t == nullptr) t = pop_from(ready_);
+  if (t != nullptr) t->state = TaskState::kRunning;
+  return t;
+}
+
+void Scheduler::WorkerLoop(int worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (options_.pace_sources) PromoteDueLocked(clock_->NowMs());
+    Task* t = PopReadyLocked(worker);
+    if (t != nullptr) {
+      lock.unlock();
+      // The thread token makes the consumer-affinity tripwire attest
+      // that only this task drains its pinned input queues.
+      DataQueue::SetThreadConsumerToken(t->token);
+      SliceResult r = RunSlice(t);
+      DataQueue::SetThreadConsumerToken(0);
+      lock.lock();
+      OnSliceDoneLocked(t, r, worker);
+      continue;
+    }
+    // Idle: timed wait (same missed-notify-costs-latency-never-
+    // correctness idiom as the threaded executor's wake objects, and
+    // the poll that releases paced sources when their time comes).
+    ++idle_workers_;
+    work_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    --idle_workers_;
+  }
+}
+
+Status Scheduler::Wait(QueryId id) {
+  QueryRun* run = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    run = FindRunLocked(id);
+    if (run == nullptr) {
+      return Status::NotFound("unknown query id");
+    }
+    if (options_.manual) {
+      if (!run->done) {
+        return Status::FailedPrecondition(
+            "manual-mode query not finished; drive the scheduler "
+            "(ReadyCount/StepReadyAt) to completion first");
+      }
+    } else {
+      done_cv_.wait(lock, [&] { return run->done || stop_; });
+      if (!run->done) {
+        return Status::Cancelled("scheduler shut down before query end");
+      }
+    }
+    if (run->closed) return run->status;
+    run->closed = true;
+  }
+  // Close outside the mutex: operators may flush or allocate.
+  Status st = run->status;
+  for (int64_t op_id = 0; op_id < run->plan->num_operators(); ++op_id) {
+    Status cst = run->plan->op(op_id)->Close();
+    if (st.ok() && !cst.ok()) st = cst;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  run->status = st;
+  return st;
+}
+
+bool Scheduler::Done(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryRun* run = FindRunLocked(id);
+  return run != nullptr && run->done;
+}
+
+bool Scheduler::AllDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& run : runs_) {
+    if (!run->done) return false;
+  }
+  return true;
+}
+
+void Scheduler::WakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& run : runs_) {
+    if (run->done) continue;
+    for (const auto& task : run->tasks) WakeLocked(task.get());
+  }
+}
+
+void Scheduler::PruneKilledLocked() {
+  ready_.erase(std::remove_if(ready_.begin(), ready_.end(),
+                              [](const Task* t) {
+                                return t->state != TaskState::kQueued;
+                              }),
+               ready_.end());
+}
+
+size_t Scheduler::ReadyCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneKilledLocked();
+  return ready_.size();
+}
+
+Status Scheduler::StepReadyAt(size_t index) {
+  if (!options_.manual) {
+    return Status::FailedPrecondition(
+        "StepReadyAt requires manual mode");
+  }
+  Task* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PruneKilledLocked();
+    if (index >= ready_.size()) {
+      return Status::OutOfRange("ready index out of range");
+    }
+    t = ready_[index];
+    ready_.erase(ready_.begin() + static_cast<ptrdiff_t>(index));
+    t->state = TaskState::kRunning;
+  }
+  DataQueue::SetThreadConsumerToken(t->token);
+  SliceResult r = RunSlice(t);
+  DataQueue::SetThreadConsumerToken(0);
+  std::lock_guard<std::mutex> lock(mu_);
+  OnSliceDoneLocked(t, r, /*worker=*/-1);
+  return Status::OK();
+}
+
+int Scheduler::PromoteDueLocked(TimeMs now_ms) {
+  int released = 0;
+  for (const auto& run : runs_) {
+    if (run->done) continue;
+    for (const auto& task : run->tasks) {
+      Task* t = task.get();
+      if (t->state == TaskState::kWaiting && t->due_ms >= 0 &&
+          t->due_ms <= now_ms) {
+        ++stats_.wakes_delivered;
+        // The release re-enqueues unconditionally, so any wake that
+        // coalesced into a busy window is serviced by the very next
+        // slice — consume the flag rather than replaying it later.
+        t->wake_pending = false;
+        EnqueueLocked(t);
+        ++released;
+      }
+    }
+  }
+  return released;
+}
+
+int Scheduler::ReleaseDue(TimeMs now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PromoteDueLocked(now_ms);
+}
+
+std::optional<TimeMs> Scheduler::NextDueLocked() const {
+  std::optional<TimeMs> best;
+  for (const auto& run : runs_) {
+    if (run->done) continue;
+    for (const auto& task : run->tasks) {
+      if (task->state == TaskState::kWaiting && task->due_ms >= 0 &&
+          (!best.has_value() || task->due_ms < *best)) {
+        best = task->due_ms;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<TimeMs> Scheduler::NextDueMs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NextDueLocked();
+}
+
+void Scheduler::SetWakeHook(WakeHook hook) {
+  NSTREAM_CHECK(options_.manual)
+      << "SetWakeHook is a manual-mode (harness) facility";
+  wake_hook_ = std::move(hook);
+}
+
+void Scheduler::InjectWake(QueryId id, int64_t op_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryRun* run = FindRunLocked(id);
+  if (run == nullptr || op_id < 0 ||
+      op_id >= static_cast<int64_t>(run->tasks.size())) {
+    return;
+  }
+  WakeLocked(run->tasks[static_cast<size_t>(op_id)].get());
+}
+
+Scheduler::QueryRun* Scheduler::FindRunLocked(QueryId id) const {
+  for (const auto& run : runs_) {
+    if (run->id == id) return run.get();
+  }
+  return nullptr;
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats out = stats_;
+  for (const auto& run : runs_) {
+    for (const auto& conn : run->rt->connections()) {
+      out.affinity_violations += conn->data->affinity_violations();
+    }
+  }
+  return out;
+}
+
+TaskState Scheduler::task_state(QueryId id, int64_t op_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryRun* run = FindRunLocked(id);
+  NSTREAM_CHECK(run != nullptr &&
+                op_id < static_cast<int64_t>(run->tasks.size()))
+      << "task_state: unknown (query, op)";
+  return run->tasks[static_cast<size_t>(op_id)]->state;
+}
+
+uint32_t Scheduler::task_worker_mask(QueryId id, int64_t op_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryRun* run = FindRunLocked(id);
+  NSTREAM_CHECK(run != nullptr &&
+                op_id < static_cast<int64_t>(run->tasks.size()))
+      << "task_worker_mask: unknown (query, op)";
+  return run->tasks[static_cast<size_t>(op_id)]->worker_mask;
+}
+
+// ---------------------------------------------------------------------------
+// PooledExecutor
+// ---------------------------------------------------------------------------
+
+PooledExecutor::PooledExecutor(PooledExecutorOptions options) {
+  SchedulerOptions sopts;
+  sopts.num_workers = options.pool_size;
+  sopts.queue = options.queue;
+  sopts.charge_policy = options.charge_policy;
+  sopts.pace_sources = options.pace_sources;
+  sopts.pace_scale = options.pace_scale;
+  sopts.max_pages_per_wake = options.max_pages_per_wake;
+  sopts.source_batch_per_slice = options.source_batch_per_slice;
+  sopts.use_lockfree_queues = options.use_lockfree_queues;
+  scheduler_ = std::make_unique<Scheduler>(sopts);
+}
+
+Status PooledExecutor::Run(QueryPlan* plan) {
+  NSTREAM_ASSIGN_OR_RETURN(QueryId id, scheduler_->Submit(plan));
+  return scheduler_->Wait(id);
+}
+
+Result<QueryId> PooledExecutor::Submit(QueryPlan* plan) {
+  return scheduler_->Submit(plan);
+}
+
+Status PooledExecutor::Wait(QueryId id) { return scheduler_->Wait(id); }
+
+}  // namespace nstream

@@ -1,0 +1,258 @@
+// Scheduler / PooledExecutor: resumable operator tasks on a fixed-size
+// worker pool (ROADMAP item 3). ThreadedExecutor spawns one thread per
+// operator — fine for one plan, fatal for thousands of concurrent
+// queries. Here each operator becomes a TASK driven through a small
+// state machine:
+//
+//        Submit                   Wake (page/control arrives)
+//   ┌──> kQueued ──pop──> kRunning ──no work──> kWaiting ──┐
+//   │       ^                │  │                          │
+//   │       │   did work /   │  └── finished / query ──> kKilled
+//   │       └── wake_pending ┘      failed
+//   └──────────────────────────────────────────────────────┘
+//
+// A task SLICE is one iteration of the classic operator loop (§5):
+// drain output-side control channels first, sources produce a bounded
+// batch, then drain up to `max_pages_per_wake` pages per input. Wakes
+// come from queue-readiness notifiers (DataQueue consumer notifier →
+// consumer task; ControlChannel notifier → producer task) instead of
+// parked per-operator threads. All state transitions happen under one
+// scheduler mutex, so wakes are never lost: a wake that races a
+// running slice sets `wake_pending`, which the slice's completion
+// converts into a re-enqueue.
+//
+// Transports: every push the pool makes must be NON-BLOCKING — with a
+// fixed pool, a producer slice parked on backpressure can starve the
+// very consumer task that would drain the queue (guaranteed deadlock
+// at pool size 1). Submit therefore wires plans with
+// EdgeTransportPolicy::kSpscChainWhereEligible (unbounded SPSC chain /
+// unbounded mutex deque) and forces max_pages = 0.
+//
+// SPSC soundness under worker migration: each queue side is pinned to
+// one task, a task runs on at most one worker at a time, and the
+// worker handoff goes through the scheduler mutex (release/acquire),
+// so the chain's single-writer fields see proper happens-before. The
+// DataQueue consumer-affinity tripwire enforces the consumer half of
+// this at runtime (tokens set per slice).
+//
+// Manual mode (`SchedulerOptions::manual`) starts no workers and
+// exposes the ready set for external driving — the deterministic
+// scheduling-test harness (tests/testing/sched_harness.h) picks slices
+// from a seeded RNG, defers wakes through SetWakeHook, and runs
+// against a VirtualClock so interleavings reproduce from a seed.
+
+#ifndef NSTREAM_EXEC_SCHEDULER_H_
+#define NSTREAM_EXEC_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "exec/query_plan.h"
+#include "exec/runtime.h"
+
+namespace nstream {
+
+/// Operator-task lifecycle states.
+enum class TaskState : uint8_t {
+  kQueued = 0,  // in the ready set, awaiting a worker
+  kRunning,     // a worker (or manual step) is executing a slice
+  kWaiting,     // no pending work; parked until a wake (or due time)
+  kKilled,      // finished, or its query failed — never runs again
+};
+
+const char* TaskStateName(TaskState s);
+
+/// Identifies one submitted plan; wakes and introspection are scoped
+/// by it so concurrent queries never cross-talk.
+using QueryId = int64_t;
+
+struct SchedulerOptions {
+  /// Worker threads (ignored in manual mode). The pool size bounds
+  /// thread count regardless of how many plans/operators are live.
+  int num_workers = 2;
+  /// Per-edge queue tuning. max_pages is forced to 0 (unbounded) at
+  /// Submit: pooled pushes must never block (see file comment).
+  DataQueueOptions queue{/*page_size=*/128, /*max_pages=*/0};
+  ChargePolicy charge_policy = ChargePolicy::kIgnore;
+  /// When true, each source produces only elements whose
+  /// NextArrivalMs() * pace_scale is due on the scheduler clock; a
+  /// source ahead of time parks WAITING until its due instant.
+  bool pace_sources = false;
+  double pace_scale = 1.0;
+  /// Pages an operator may drain per input per slice before the slice
+  /// ends (control is re-checked between slices). The drain budget
+  /// that keeps one busy operator from starving the pool.
+  int max_pages_per_wake = 1;
+  /// Elements a source may produce per slice (its drain budget).
+  int source_batch_per_slice = 32;
+  /// SPSC-eligible edges get the unbounded lock-free chain; others the
+  /// unbounded mutex deque. Off = mutex deque everywhere (A/B hedge).
+  bool use_lockfree_queues = true;
+  /// Manual mode: no worker threads; drive with ReadyCount /
+  /// StepReadyAt / ReleaseDue / NextDueMs. Single-threaded by design.
+  bool manual = false;
+  /// Deterministic time source for manual mode (implies manual; the
+  /// driver owns clock advancement). ChargeMs then accrues to the
+  /// running slice and BUSY-PARKS the task until now + charge instead
+  /// of sleeping/spinning: a charged operator is unavailable for that
+  /// long while free operators keep running at the current instant —
+  /// exact, box-speed-independent cost dynamics (wakes landing in a
+  /// busy window coalesce into the release).
+  VirtualClock* virtual_clock = nullptr;
+};
+
+/// Monotonic counters (tests/benches). Aggregated across all queries.
+struct SchedulerStats {
+  uint64_t slices = 0;            // task slices executed
+  uint64_t wakes_delivered = 0;   // wake moved a task WAITING → QUEUED
+  uint64_t wakes_coalesced = 0;   // wake landed on a RUNNING task
+  uint64_t wakes_ignored = 0;     // wake on a QUEUED/KILLED task
+  uint64_t requeues = 0;          // slice did work and re-enqueued
+  uint64_t tasks_created = 0;
+  uint64_t tasks_killed = 0;
+  uint64_t affinity_violations = 0;  // summed over all edges' queues
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Register a plan: build its runtime (non-blocking transports),
+  /// wire queue/control notifiers to task wakes, Open every operator,
+  /// and enqueue all tasks. Returns the query's id. The plan must
+  /// outlive the scheduler (or its Wait call).
+  Result<QueryId> Submit(QueryPlan* plan);
+
+  /// Pool mode: block until the query completes, then Close its
+  /// operators and return the first error (slice or Close). Manual
+  /// mode: FailedPrecondition unless the query is already done.
+  Status Wait(QueryId id);
+
+  bool Done(QueryId id);
+  /// True when every submitted query has completed (true when none).
+  bool AllDone();
+
+  /// Spurious-wake storm: wake every live task of every query. Wakes
+  /// must be idempotent; tests hammer this concurrently with runs.
+  void WakeAll();
+
+  // ---- Manual-mode driving surface ----
+  /// Number of tasks currently ready to step.
+  size_t ReadyCount();
+  /// Run one slice of the index-th ready task (0-based). OutOfRange
+  /// if the index is stale; slice errors are recorded in the owning
+  /// query (returned by Wait), not here — the drive loop goes on.
+  Status StepReadyAt(size_t index);
+  /// Enqueue every WAITING task whose paced due time is <= now_ms.
+  /// Returns how many were released.
+  int ReleaseDue(TimeMs now_ms);
+  /// Earliest paced due time among WAITING tasks, if any.
+  std::optional<TimeMs> NextDueMs();
+  /// Manual-mode wake interception: return true to swallow the wake
+  /// (the harness re-injects it later via InjectWake). Install before
+  /// submitting; manual mode only.
+  using WakeHook = std::function<bool(QueryId id, int64_t op_id)>;
+  void SetWakeHook(WakeHook hook);
+  /// Deliver a (possibly deferred) wake to one task. No-op on
+  /// unknown ids; bypasses the wake hook.
+  void InjectWake(QueryId id, int64_t op_id);
+
+  // ---- Introspection ----
+  SchedulerStats stats() const;
+  TaskState task_state(QueryId id, int64_t op_id) const;
+  /// Bitmask of workers that ever ran the task (bit i = worker i).
+  uint32_t task_worker_mask(QueryId id, int64_t op_id) const;
+  Clock* clock() { return clock_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Stop the pool and join workers. In-flight queries are abandoned
+  /// (their Wait unblocks with Cancelled). The destructor calls this.
+  void Shutdown();
+
+ private:
+  struct Task;
+  struct QueryRun;
+  struct SliceResult;
+
+  void WorkerLoop(int worker);
+  SliceResult RunSlice(Task* t);
+  SliceResult RunSliceBody(Task* t);
+  void OnSliceDoneLocked(Task* t, const SliceResult& r, int worker);
+  void EnqueueLocked(Task* t);
+  void WakeLocked(Task* t);
+  void Wake(Task* t);
+  void KillTaskLocked(Task* t);
+  void FailRunLocked(QueryRun* run, const Status& status);
+  Task* PopReadyLocked(int worker);
+  void PruneKilledLocked();
+  int PromoteDueLocked(TimeMs now_ms);
+  std::optional<TimeMs> NextDueLocked() const;
+  QueryRun* FindRunLocked(QueryId id) const;
+
+  SchedulerOptions options_;
+  WallClock wall_clock_;
+  Clock* clock_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  int idle_workers_ = 0;
+  std::vector<std::thread> workers_;
+  // Ready set: the shared deque plus one pinned deque per worker
+  // (affinity-tagged tasks; only worker i pops pinned_[i]). Entries
+  // may be stale (task killed while queued) — pops skip them.
+  std::deque<Task*> ready_;
+  std::vector<std::deque<Task*>> pinned_;
+  std::vector<std::unique_ptr<QueryRun>> runs_;
+  QueryId next_query_id_ = 1;
+  SchedulerStats stats_;
+  WakeHook wake_hook_;
+};
+
+/// Drop-in executor facade over Scheduler, mirroring the other
+/// executors' Run(plan) shape for a single plan — or Submit several
+/// and Wait on each for multi-query serving.
+struct PooledExecutorOptions {
+  int pool_size = 2;
+  DataQueueOptions queue{/*page_size=*/128, /*max_pages=*/0};
+  ChargePolicy charge_policy = ChargePolicy::kIgnore;
+  bool pace_sources = false;
+  double pace_scale = 1.0;
+  int max_pages_per_wake = 1;
+  int source_batch_per_slice = 32;
+  bool use_lockfree_queues = true;
+};
+
+class PooledExecutor {
+ public:
+  explicit PooledExecutor(PooledExecutorOptions options = {});
+
+  /// Submit + Wait: run one plan to completion on the pool.
+  Status Run(QueryPlan* plan);
+
+  Result<QueryId> Submit(QueryPlan* plan);
+  Status Wait(QueryId id);
+
+  Scheduler* scheduler() { return scheduler_.get(); }
+
+ private:
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_EXEC_SCHEDULER_H_

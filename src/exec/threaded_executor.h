@@ -17,13 +17,8 @@
 
 namespace nstream {
 
-/// What ExecContext::ChargeMs does under real threads.
-enum class ChargePolicy : uint8_t {
-  kIgnore = 0,  // cost accounting is a no-op (real CPU time rules)
-  kSleep,       // sleep for the charged duration (models blocking I/O,
-                // e.g. IMPUTE's per-tuple database query)
-  kSpin,        // busy-spin for the charged duration (models CPU work)
-};
+// ChargePolicy (what ExecContext::ChargeMs does under real threads)
+// lives in exec/exec_context.h — the pooled scheduler shares it.
 
 struct ThreadedExecutorOptions {
   DataQueueOptions queue{/*page_size=*/128, /*max_pages=*/64};

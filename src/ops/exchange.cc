@@ -420,6 +420,9 @@ Result<PartitionedJoinPlan> MakePartitionedJoin(QueryPlan* plan,
     shard_options.shard_count = num_shards;
     auto* shard = plan->AddOp(std::make_unique<SymmetricHashJoin>(
         name + ".shard" + std::to_string(s), std::move(shard_options)));
+    // Pin shard s to worker (s mod pool) under the pooled scheduler:
+    // each shard's hash state and input queues stay on one worker.
+    shard->set_scheduler_affinity(s);
     out.shards.push_back(shard);
     NSTREAM_RETURN_NOT_OK(
         plan->Connect(out.left_exchange->id(), s, shard->id(), 0));

@@ -1,11 +1,40 @@
 #include "stream/data_queue.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 
 #include "punct/compiled_pattern.h"
 
 namespace nstream {
+
+namespace {
+// Thread-local task token + process-wide fatality switch for the
+// consumer-affinity tripwire (see header).
+thread_local uint64_t t_consumer_token = 0;
+std::atomic<bool> g_affinity_violations_fatal{true};
+}  // namespace
+
+void DataQueue::SetThreadConsumerToken(uint64_t token) {
+  t_consumer_token = token;
+}
+
+uint64_t DataQueue::ThreadConsumerToken() { return t_consumer_token; }
+
+void DataQueue::SetAffinityViolationsFatal(bool fatal) {
+  g_affinity_violations_fatal.store(fatal, std::memory_order_relaxed);
+}
+
+void DataQueue::CheckConsumerAffinity() const {
+  uint64_t expected = expected_consumer_.load(std::memory_order_relaxed);
+  if (expected == 0 || expected == t_consumer_token) return;
+  affinity_violations_.fetch_add(1, std::memory_order_relaxed);
+  if (g_affinity_violations_fatal.load(std::memory_order_relaxed)) {
+    assert(false &&
+           "DataQueue consumer-affinity violated: consumer-side call "
+           "from a task other than the pinned consumer");
+  }
+}
 
 DataQueue::DataQueue(DataQueueOptions options) : options_(options) {
   if (options_.page_size <= 0) options_.page_size = 1;
@@ -282,6 +311,7 @@ std::optional<Page> DataQueue::TryPopSpsc() {
 }
 
 std::optional<Page> DataQueue::TryPopPage() {
+  CheckConsumerAffinity();
   if (lockfree()) return TryPopSpsc();
   std::optional<Page> out;
   {
@@ -297,6 +327,7 @@ std::optional<Page> DataQueue::TryPopPage() {
 
 std::optional<Page> DataQueue::PopPageBlocking(
     const std::function<bool()>& cancel) {
+  CheckConsumerAffinity();
   if (lockfree()) {
     while (true) {
       if (std::optional<Page> out = TryPopSpsc()) return out;
@@ -348,6 +379,7 @@ void DataQueue::DrainRingToSideLocked() {
 }
 
 int DataQueue::PurgeMatching(const PunctPattern& pattern) {
+  CheckConsumerAffinity();
   // Compile once (shared across relay hops exploiting the same
   // pattern), then a single in-place erase-remove pass per page — no
   // per-element re-interpretation, no rebuilt element vectors.
@@ -398,6 +430,7 @@ int DataQueue::PurgeMatching(const PunctPattern& pattern) {
 }
 
 int DataQueue::PromoteMatching(const PunctPattern& pattern) {
+  CheckConsumerAffinity();
   std::shared_ptr<const CompiledPattern> compiled_ptr =
       CompiledPatternCache::Global().Get(pattern);
   const CompiledPattern& compiled = *compiled_ptr;

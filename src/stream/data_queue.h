@@ -177,6 +177,33 @@ class DataQueue {
   /// queue — install-then-poll sees them without any notification.
   void SetConsumerNotifier(std::function<void()> fn);
 
+  // ---- Consumer-affinity tripwire ----
+  // The SPSC transports are only sound when one logical consumer
+  // drains the queue. Under the pooled scheduler that consumer is a
+  // *task* that migrates between workers, so thread identity cannot
+  // police the contract; instead the scheduler pins each queue to its
+  // consumer task's token and sets a thread-local token around every
+  // slice. A consumer-side call (pop / purge / promote) from any
+  // other task trips the wire: always counted, and a debug assert
+  // unless tests disable fatality. Token 0 (the default everywhere
+  // else) disarms the check — one relaxed load on the pop path.
+  /// Expected consumer token; 0 disarms the tripwire.
+  void set_consumer_affinity_token(uint64_t token) {
+    expected_consumer_.store(token, std::memory_order_relaxed);
+  }
+  uint64_t consumer_affinity_token() const {
+    return expected_consumer_.load(std::memory_order_relaxed);
+  }
+  /// Consumer-side calls observed with a mismatched thread token.
+  uint64_t affinity_violations() const {
+    return affinity_violations_.load(std::memory_order_relaxed);
+  }
+  /// Token of the task currently running on this thread (0 = none).
+  static void SetThreadConsumerToken(uint64_t token);
+  static uint64_t ThreadConsumerToken();
+  /// When false, violations only count (tests exercising the wire).
+  static void SetAffinityViolationsFatal(bool fatal);
+
   DataQueueStats stats() const;
 
  private:
@@ -220,6 +247,7 @@ class DataQueue {
   void DrainRingToSideLocked();
   std::optional<Page> TryPopSpsc();
   void NotifyConsumer();
+  void CheckConsumerAffinity() const;
 
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
@@ -242,6 +270,8 @@ class DataQueue {
   std::atomic<bool> producer_waiting_{false};
   std::atomic<bool> consumer_waiting_{false};
   std::atomic<bool> eos_pushed_{false};
+  std::atomic<uint64_t> expected_consumer_{0};
+  mutable std::atomic<uint64_t> affinity_violations_{0};
   AtomicStats stats_;
   // SPSC single-writer mirrors of the hottest counters: each side
   // keeps the running value in a plain field it alone owns and

@@ -57,6 +57,7 @@ ImputationPlan BuildImputationPlan(const ImputationPlanConfig& config) {
   PaceOptions pace_options;
   pace_options.ts_attr = kImpTimestamp;
   pace_options.tolerance_ms = config.tolerance_ms;
+  pace_options.feedback_min_advance_ms = config.feedback_min_advance_ms;
   pace_options.mode = config.feedback_enabled
                           ? PaceMode::kDropAndFeedback
                           : PaceMode::kUnionOnly;

@@ -38,6 +38,11 @@ struct ImputationPlanConfig {
   double impute_cost_ms = 112.0;
   // PACE's tolerated divergence between branches.
   TimeMs tolerance_ms = 5'000;
+  // PACE re-issues feedback only after the watermark advanced this far
+  // past the last issued bound. Short streams (virtual-time tests)
+  // need a cadence far below the 1s default or the single allowed
+  // round can miss the in-flight backlog entirely.
+  TimeMs feedback_min_advance_ms = 1'000;
   bool feedback_enabled = true;
   // Send feedback only to the imputed branch (the paper's setup).
   bool feedback_to_impute_only = true;

@@ -1,0 +1,468 @@
+// Pooled scheduler coverage: pool-mode correctness vs SyncExecutor,
+// task state machine behaviour, wake storms, failure propagation,
+// worker affinity, the DataQueue consumer-affinity tripwire, and the
+// deterministic manual-mode harness (seed reproducibility + virtual
+// time).
+
+#include "exec/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/sync_executor.h"
+#include "ops/exchange.h"
+#include "ops/select.h"
+#include "ops/sink.h"
+#include "ops/symmetric_hash_join.h"
+#include "ops/vector_source.h"
+#include "testing/sched_harness.h"
+#include "testing/test_util.h"
+
+namespace nstream {
+namespace {
+
+using testing_util::AtMillis;
+using testing_util::LinearPlan;
+using testing_util::P;
+using testing_util::SchedHarness;
+using testing_util::SchedHarnessOptions;
+
+SchemaPtr VSchema() {
+  return Schema::Make(
+      {{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+std::vector<TimedElement> VWorkload(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < n; ++i) {
+    tuples.push_back(TupleBuilder()
+                         .I64(rng.NextInt(0, 9))
+                         .I64(rng.NextInt(0, 999))
+                         .Build());
+  }
+  return AtMillis(std::move(tuples));
+}
+
+std::multiset<std::string> Collected(const CollectorSink* sink) {
+  std::multiset<std::string> out;
+  for (const CollectedTuple& c : sink->collected()) {
+    out.insert(c.tuple.ToString());
+  }
+  return out;
+}
+
+std::multiset<std::string> RunSelectPipeline(int pool_size) {
+  LinearPlan lp(VSchema(), VWorkload(700, 11));
+  lp.Add(Select::FromPattern("sel", P("[*,>=300]")));
+  CollectorSink* sink = lp.Finish();
+  Status st;
+  if (pool_size <= 0) {
+    st = lp.RunSync();
+  } else {
+    PooledExecutorOptions opts;
+    opts.pool_size = pool_size;
+    st = lp.RunPooled(opts);
+  }
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return Collected(sink);
+}
+
+TEST(PooledExecutor, SelectPipelineMatchesSyncAtAllPoolSizes) {
+  std::multiset<std::string> expect = RunSelectPipeline(0);
+  ASSERT_FALSE(expect.empty());
+  for (int pool : {1, 2, 4}) {
+    EXPECT_EQ(expect, RunSelectPipeline(pool)) << "pool=" << pool;
+  }
+}
+
+TEST(PooledExecutor, MultiQuerySubmitWaitIsolates) {
+  Scheduler sched(SchedulerOptions{});
+  std::vector<std::unique_ptr<LinearPlan>> plans;
+  std::vector<QueryId> ids;
+  const int64_t bounds[3] = {100, 500, 900};
+  for (int q = 0; q < 3; ++q) {
+    plans.push_back(std::make_unique<LinearPlan>(
+        VSchema(), VWorkload(400, 7 + static_cast<uint64_t>(q))));
+    plans.back()->Add(Select::FromPattern(
+        "sel", P("[*,>=" + std::to_string(bounds[q]) + "]")));
+    plans.back()->Finish();
+    Result<QueryId> id = sched.Submit(plans.back()->plan());
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_TRUE(sched.Wait(ids[static_cast<size_t>(q)]).ok());
+    // Against a fresh sync run of the identical plan.
+    LinearPlan ref(VSchema(), VWorkload(400, 7 + static_cast<uint64_t>(q)));
+    ref.Add(Select::FromPattern(
+        "sel", P("[*,>=" + std::to_string(bounds[q]) + "]")));
+    CollectorSink* ref_sink = ref.Finish();
+    ASSERT_TRUE(ref.RunSync().ok());
+    EXPECT_EQ(Collected(ref_sink),
+              Collected(plans[static_cast<size_t>(q)]->sink()))
+        << "query " << q;
+  }
+  EXPECT_TRUE(sched.AllDone());
+  SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.tasks_created, 9u);  // 3 plans x (source, sel, sink)
+  EXPECT_EQ(stats.tasks_killed, 9u);
+  EXPECT_GT(stats.slices, 0u);
+  EXPECT_EQ(stats.affinity_violations, 0u);
+}
+
+TEST(PooledExecutor, WakeStormDuringRunIsHarmless) {
+  Scheduler sched(SchedulerOptions{});
+  LinearPlan lp(VSchema(), VWorkload(2000, 23));
+  lp.Add(Select::FromPattern("sel", P("[*,>=100]")));
+  CollectorSink* sink = lp.Finish();
+  Result<QueryId> id = sched.Submit(lp.plan());
+  ASSERT_TRUE(id.ok());
+  std::atomic<bool> done{false};
+  std::thread storm([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      sched.WakeAll();  // spurious wakes must be idempotent
+      std::this_thread::yield();
+    }
+  });
+  Status st = sched.Wait(id.value());
+  done.store(true, std::memory_order_relaxed);
+  storm.join();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  LinearPlan ref(VSchema(), VWorkload(2000, 23));
+  ref.Add(Select::FromPattern("sel", P("[*,>=100]")));
+  CollectorSink* ref_sink = ref.Finish();
+  ASSERT_TRUE(ref.RunSync().ok());
+  EXPECT_EQ(Collected(ref_sink), Collected(sink));
+}
+
+class FailingOp final : public Operator {
+ public:
+  explicit FailingOp(int fail_after)
+      : Operator("failer", 1, 1), fail_after_(fail_after) {}
+  Status ProcessTuple(int, const Tuple& t) override {
+    if (++seen_ > fail_after_) {
+      return Status::Internal("failer: injected fault");
+    }
+    Emit(0, t);
+    return Status::OK();
+  }
+
+ private:
+  int fail_after_;
+  int seen_ = 0;
+};
+
+TEST(PooledExecutor, OperatorErrorPropagatesThroughWait) {
+  LinearPlan lp(VSchema(), VWorkload(500, 3));
+  lp.Add(std::make_unique<FailingOp>(/*fail_after=*/50));
+  lp.Finish();
+  PooledExecutorOptions opts;
+  opts.pool_size = 2;
+  Status st = lp.RunPooled(opts);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("injected fault"), std::string::npos);
+}
+
+TEST(PooledExecutor, ShardAffinityPinsWorkersAndTripwireStaysQuiet) {
+  QueryPlan plan;
+  Rng rng(5);
+  std::vector<TimedElement> left, right;
+  for (int i = 0; i < 800; ++i) {
+    int64_t lk = rng.NextInt(0, 96);
+    int64_t rk = rng.NextInt(0, 96);
+    left.push_back(TimedElement::OfTuple(
+        i, TupleBuilder().I64(lk).Ts(i).I64(lk * 10 + 1).Build()));
+    right.push_back(TimedElement::OfTuple(
+        i, TupleBuilder().I64(rk).Ts(i).I64(rk * 10 + 2).Build()));
+  }
+  SchemaPtr schema = Schema::Make({{"k", ValueType::kInt64},
+                                   {"ts", ValueType::kTimestamp},
+                                   {"v", ValueType::kInt64}});
+  auto* lsrc = plan.AddOp(
+      std::make_unique<VectorSource>("L", schema, std::move(left)));
+  auto* rsrc = plan.AddOp(
+      std::make_unique<VectorSource>("R", schema, std::move(right)));
+  JoinOptions jo;
+  jo.left_keys = {0};
+  jo.right_keys = {0};
+  Result<PartitionedJoinPlan> pj =
+      MakePartitionedJoin(&plan, "pjoin", jo, /*num_shards=*/4);
+  ASSERT_TRUE(pj.ok()) << pj.status().ToString();
+  auto* sink = plan.AddOp(std::make_unique<CollectorSink>("sink"));
+  ASSERT_TRUE(plan.Connect(*lsrc, 0, *pj.value().left_exchange, 0).ok());
+  ASSERT_TRUE(
+      plan.Connect(*rsrc, 0, *pj.value().right_exchange, 0).ok());
+  ASSERT_TRUE(
+      plan.Connect(pj.value().merge->id(), 0, sink->id(), 0).ok());
+
+  SchedulerOptions sopts;
+  sopts.num_workers = 2;
+  Scheduler sched(sopts);
+  Result<QueryId> id = sched.Submit(&plan);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(sched.Wait(id.value()).ok());
+  ASSERT_GT(sink->consumed(), 0u);
+
+  // Every shard task must only ever have run on its pinned worker
+  // (affinity key mod pool size).
+  for (size_t s = 0; s < pj.value().shards.size(); ++s) {
+    SymmetricHashJoin* shard = pj.value().shards[s];
+    ASSERT_EQ(shard->scheduler_affinity(), static_cast<int>(s));
+    uint32_t mask = sched.task_worker_mask(id.value(), shard->id());
+    ASSERT_NE(mask, 0u) << "shard " << s << " never ran";
+    uint32_t allowed = 1u << (s % 2);
+    EXPECT_EQ(mask & ~allowed, 0u)
+        << "shard " << s << " ran on foreign workers, mask=" << mask;
+  }
+  EXPECT_EQ(sched.stats().affinity_violations, 0u);
+}
+
+TEST(PooledExecutor, TaskStateIntrospectionAndNames) {
+  EXPECT_STREQ(TaskStateName(TaskState::kQueued), "QUEUED");
+  EXPECT_STREQ(TaskStateName(TaskState::kRunning), "RUNNING");
+  EXPECT_STREQ(TaskStateName(TaskState::kWaiting), "WAITING");
+  EXPECT_STREQ(TaskStateName(TaskState::kKilled), "KILLED");
+
+  Scheduler sched(SchedulerOptions{});
+  LinearPlan lp(VSchema(), VWorkload(50, 1));
+  lp.Finish();
+  Result<QueryId> id = sched.Submit(lp.plan());
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(sched.Wait(id.value()).ok());
+  for (int64_t op = 0; op < lp.plan()->num_operators(); ++op) {
+    EXPECT_EQ(sched.task_state(id.value(), op), TaskState::kKilled);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Consumer-affinity tripwire
+// ---------------------------------------------------------------------------
+
+/// Scoped non-fatal mode + thread-token reset so a failing test can't
+/// poison later ones.
+struct TripwireGuard {
+  TripwireGuard() { DataQueue::SetAffinityViolationsFatal(false); }
+  ~TripwireGuard() {
+    DataQueue::SetAffinityViolationsFatal(true);
+    DataQueue::SetThreadConsumerToken(0);
+  }
+};
+
+TEST(AffinityTripwire, ForeignConsumerIsCaughtAndCounted) {
+  TripwireGuard guard;
+  DataQueueOptions qopts;
+  qopts.page_size = 2;
+  qopts.transport = DataQueueTransport::kSpscChain;
+  DataQueue q(qopts);
+  q.set_consumer_affinity_token(42);
+  for (int i = 0; i < 4; ++i) {
+    q.PushTuple(TupleBuilder().I64(i).Build());
+  }
+
+  // Pinned consumer: clean pops.
+  DataQueue::SetThreadConsumerToken(42);
+  EXPECT_TRUE(q.TryPopPage().has_value());
+  EXPECT_EQ(q.affinity_violations(), 0u);
+
+  // Foreign task: the pop still works (the wire observes, it does not
+  // block) but the violation is counted.
+  DataQueue::SetThreadConsumerToken(7);
+  EXPECT_TRUE(q.TryPopPage().has_value());
+  EXPECT_EQ(q.affinity_violations(), 1u);
+  q.PurgeMatching(P("[*]"));
+  EXPECT_EQ(q.affinity_violations(), 2u);
+
+  // Untagged thread (token 0) is also foreign once the queue is pinned.
+  DataQueue::SetThreadConsumerToken(0);
+  q.TryPopPage();
+  EXPECT_EQ(q.affinity_violations(), 3u);
+}
+
+TEST(AffinityTripwire, UnpinnedQueueNeverTrips) {
+  TripwireGuard guard;
+  DataQueueOptions qopts;
+  qopts.transport = DataQueueTransport::kSpscChain;
+  DataQueue q(qopts);
+  q.PushTuple(TupleBuilder().I64(1).Build());
+  q.Flush();
+  DataQueue::SetThreadConsumerToken(99);  // any thread may drain
+  EXPECT_TRUE(q.TryPopPage().has_value());
+  EXPECT_EQ(q.affinity_violations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Manual mode + harness
+// ---------------------------------------------------------------------------
+
+TEST(ManualMode, WaitBeforeDoneIsFailedPrecondition) {
+  SchedulerOptions sopts;
+  sopts.manual = true;
+  Scheduler sched(sopts);
+  LinearPlan lp(VSchema(), VWorkload(10, 2));
+  lp.Finish();
+  Result<QueryId> id = sched.Submit(lp.plan());
+  ASSERT_TRUE(id.ok());
+  Status st = sched.Wait(id.value());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ManualMode, StepReadyAtRejectsStaleIndex) {
+  SchedulerOptions sopts;
+  sopts.manual = true;
+  Scheduler sched(sopts);
+  EXPECT_EQ(sched.StepReadyAt(0).code(), StatusCode::kOutOfRange);
+}
+
+/// Two-source partitioned-join plan: enough concurrency for pick-order
+/// to matter, so determinism is a real claim.
+struct JoinFixture {
+  QueryPlan plan;
+  CollectorSink* sink = nullptr;
+
+  explicit JoinFixture(uint64_t seed) {
+    Rng rng(seed);
+    SchemaPtr schema = Schema::Make({{"k", ValueType::kInt64},
+                                     {"ts", ValueType::kTimestamp},
+                                     {"v", ValueType::kInt64}});
+    std::vector<TimedElement> left, right;
+    for (int i = 0; i < 600; ++i) {
+      int64_t lk = rng.NextInt(0, 48);
+      int64_t rk = rng.NextInt(0, 48);
+      left.push_back(TimedElement::OfTuple(
+          i, TupleBuilder().I64(lk).Ts(i).I64(lk + 100).Build()));
+      right.push_back(TimedElement::OfTuple(
+          i, TupleBuilder().I64(rk).Ts(i).I64(rk + 200).Build()));
+    }
+    auto* lsrc = plan.AddOp(
+        std::make_unique<VectorSource>("L", schema, std::move(left)));
+    auto* rsrc = plan.AddOp(
+        std::make_unique<VectorSource>("R", schema, std::move(right)));
+    JoinOptions jo;
+    jo.left_keys = {0};
+    jo.right_keys = {0};
+    Result<PartitionedJoinPlan> pj =
+        MakePartitionedJoin(&plan, "pjoin", jo, /*num_shards=*/2);
+    EXPECT_TRUE(pj.ok());
+    sink = plan.AddOp(std::make_unique<CollectorSink>("sink"));
+    EXPECT_TRUE(plan.Connect(*lsrc, 0, *pj.value().left_exchange, 0).ok());
+    EXPECT_TRUE(
+        plan.Connect(*rsrc, 0, *pj.value().right_exchange, 0).ok());
+    EXPECT_TRUE(
+        plan.Connect(pj.value().merge->id(), 0, sink->id(), 0).ok());
+  }
+};
+
+std::vector<std::string> HarnessJoinRun(uint64_t harness_seed,
+                                        double defer_prob,
+                                        uint64_t* steps_out) {
+  JoinFixture fx(/*seed=*/31);
+  SchedHarnessOptions hopts;
+  hopts.seed = harness_seed;
+  hopts.wake_defer_prob = defer_prob;
+  SchedHarness harness(hopts);
+  Status st = harness.Run(&fx.plan);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  if (steps_out != nullptr) *steps_out = harness.steps();
+  std::vector<std::string> rows;
+  for (const CollectedTuple& c : fx.sink->collected()) {
+    rows.push_back(c.tuple.ToString());
+  }
+  return rows;
+}
+
+TEST(SchedHarnessTest, SameSeedReproducesExactInterleaving) {
+  uint64_t steps_a = 0, steps_b = 0;
+  std::vector<std::string> a = HarnessJoinRun(1234, 0.3, &steps_a);
+  std::vector<std::string> b = HarnessJoinRun(1234, 0.3, &steps_b);
+  ASSERT_FALSE(a.empty());
+  // EXACT sequence equality (not just multiset): same seed, same
+  // pick order, same wake deferrals, same element order end to end.
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(steps_a, steps_b);
+}
+
+TEST(SchedHarnessTest, ResultsMatchSyncAcrossSeedsAndDeferral) {
+  JoinFixture ref(/*seed=*/31);
+  SyncExecutor sync;
+  ASSERT_TRUE(sync.Run(&ref.plan).ok());
+  std::multiset<std::string> expect;
+  for (const CollectedTuple& c : ref.sink->collected()) {
+    expect.insert(c.tuple.ToString());
+  }
+  ASSERT_FALSE(expect.empty());
+  for (uint64_t seed : {7ULL, 99ULL, 4242ULL}) {
+    std::vector<std::string> rows =
+        HarnessJoinRun(seed, /*defer_prob=*/0.4, nullptr);
+    EXPECT_EQ(expect, std::multiset<std::string>(rows.begin(),
+                                                 rows.end()))
+        << "seed=" << seed;
+  }
+}
+
+TEST(SchedHarnessTest, VirtualTimePacingAndChargeAdvanceTheClock) {
+  // 10 arrivals 5ms apart; the sink charges 2ms per tuple. Under the
+  // harness this all happens in VIRTUAL time: the drive loop advances
+  // the clock to each due arrival, each charge busy-parks the sink
+  // for 2ms (the drive loop then advances to the park's due time),
+  // and no wall-clock sleeping happens anywhere.
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10; ++i) {
+    tuples.push_back(TupleBuilder().I64(i).I64(i).Build());
+  }
+  LinearPlan lp(VSchema(), AtMillis(std::move(tuples), /*start=*/0,
+                                    /*step=*/5));
+  CollectorSinkOptions sopt;
+  sopt.charge_ms_per_tuple = 2.0;
+  CollectorSink* sink = lp.Finish(sopt);
+
+  SchedHarnessOptions hopts;
+  hopts.seed = 5;
+  hopts.sched.pace_sources = true;
+  hopts.sched.queue.page_size = 1;  // deliver per-arrival
+  SchedHarness harness(hopts);
+  ASSERT_TRUE(harness.Run(lp.plan()).ok());
+  ASSERT_EQ(sink->collected().size(), 10u);
+  // The last arrival is due at 45ms of virtual time and its charge
+  // lands after that, so the clock must end at >= 47ms. (Earlier
+  // charges overlap the arrival span, so 47 — not 45 + 20 — is the
+  // guaranteed floor.)
+  EXPECT_GE(harness.clock()->NowMs(), 47);
+  // Arrival pacing is visible in the recorded output times: tuple i
+  // cannot be seen before its 5i ms due time.
+  for (size_t i = 0; i < sink->collected().size(); ++i) {
+    EXPECT_GE(sink->collected()[i].out_ms,
+              static_cast<TimeMs>(5 * i))
+        << "tuple " << i << " surfaced before its arrival was due";
+  }
+}
+
+TEST(SchedHarnessTest, StallReportsSeedInMessage) {
+  // A plan whose source never finishes would stall the harness; here
+  // we fake the simpler variant: drive an empty scheduler with a
+  // deferred wake that never releases is impossible, so instead check
+  // the seed lands in the step-budget message path by exhausting a
+  // tiny budget.
+  JoinFixture fx(/*seed=*/31);
+  SchedHarnessOptions hopts;
+  hopts.seed = 777;
+  hopts.max_steps = 3;  // absurdly small: guaranteed overrun
+  SchedHarness harness(hopts);
+  Status st = harness.Run(&fx.plan);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("seed=777"), std::string::npos)
+      << st.ToString();
+}
+
+}  // namespace
+}  // namespace nstream

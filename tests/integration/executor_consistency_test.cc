@@ -1,6 +1,7 @@
 // Cross-executor consistency: the same plan over the same workload
 // must produce the same result multiset under the synchronous,
-// discrete-event, and thread-per-operator executors (order may vary).
+// discrete-event, thread-per-operator, and pooled executors (order
+// may vary).
 
 #include <gtest/gtest.h>
 
@@ -8,6 +9,7 @@
 
 #include "ops/select.h"
 #include "ops/window_aggregate.h"
+#include "testing/sched_harness.h"
 #include "testing/test_util.h"
 #include "workload/pipelines.h"
 
@@ -16,6 +18,8 @@ namespace {
 
 using testing_util::LinearPlan;
 using testing_util::P;
+using testing_util::SchedHarness;
+using testing_util::SchedHarnessOptions;
 
 SchemaPtr GVSchema() {
   return Schema::Make({{"g", ValueType::kInt64},
@@ -64,9 +68,25 @@ std::multiset<std::string> RunUnder(int executor) {
     case 1:
       st = lp.RunSim();
       break;
-    default:
+    case 2:
       st = lp.RunThreaded();
       break;
+    case 3: {
+      PooledExecutorOptions opts;
+      opts.pool_size = 2;
+      st = lp.RunPooled(opts);
+      break;
+    }
+    default: {
+      // Seeded manual-mode harness with wake deferral: the adversarial
+      // scheduling variant of the same consistency claim.
+      SchedHarnessOptions hopts;
+      hopts.seed = 97;
+      hopts.wake_defer_prob = 0.25;
+      SchedHarness harness(hopts);
+      st = harness.Run(lp.plan());
+      break;
+    }
   }
   EXPECT_TRUE(st.ok()) << st.ToString();
   std::multiset<std::string> out;
@@ -88,28 +108,42 @@ TEST(ExecutorConsistency, ThreadedIsStableAcrossRuns) {
   EXPECT_EQ(RunUnder(2), RunUnder(2));
 }
 
-// The Experiment 1 plan under the threaded executor with real sleeps:
-// the architecture demo — PACE feedback must flow through the real
-// control channels and reach IMPUTE.
+TEST(ExecutorConsistency, SyncVsPooled) {
+  EXPECT_EQ(RunUnder(0), RunUnder(3));
+}
+
+TEST(ExecutorConsistency, SyncVsSchedHarness) {
+  EXPECT_EQ(RunUnder(0), RunUnder(4));
+}
+
+// The Experiment 1 plan with live PACE feedback — the architecture
+// demo. Formerly ran under ThreadedExecutor with real sleeps
+// (ChargePolicy::kSleep + wall-clock pacing), which made the timing
+// dynamics hostage to box speed and sleep jitter. Now it runs on the
+// scheduling harness in VIRTUAL time: arrivals release on a
+// VirtualClock and each ChargeMs busy-parks the charged operator for
+// that long, so IMPUTE genuinely falls behind its free neighbors and
+// the divergence dynamics are exact arithmetic — reproducible from
+// the harness seed.
 TEST(ThreadedFeedback, ImputationPlanExerciseControlChannel) {
   ImputationPlanConfig config;
   config.stream.num_tuples = 300;
   config.stream.inter_arrival_ms = 1;  // dense stream
-  // Dirty tuples arrive every ~2ms; a 4ms lookup makes the impute
-  // branch fall behind by ~2ms per dirty tuple, so divergence crosses
-  // the 50ms tolerance deterministically (2ms would only match the
-  // arrival rate and leave the test at the mercy of sleep jitter).
+  // Dirty tuples arrive every ~2ms (virtual); a 4ms lookup makes the
+  // impute branch fall behind by ~2ms per dirty tuple, so divergence
+  // crosses the 50ms tolerance after ~26 dirty tuples — deterministic
+  // arithmetic on the virtual clock, not a race against wall time.
   config.impute_cost_ms = 4.0;
   config.tolerance_ms = 50;
   config.feedback_enabled = true;
 
   ImputationPlan built = BuildImputationPlan(config);
-  ThreadedExecutorOptions opts;
-  opts.charge_policy = ChargePolicy::kSleep;
-  opts.pace_sources = true;  // real-time arrival pacing
-  opts.queue.page_size = 8;
-  ThreadedExecutor exec(opts);
-  Status st = exec.Run(built.plan.get());
+  SchedHarnessOptions hopts;
+  hopts.seed = 9;
+  hopts.sched.pace_sources = true;  // virtual-time arrival pacing
+  hopts.sched.queue.page_size = 8;
+  SchedHarness harness(hopts);
+  Status st = harness.Run(built.plan.get());
   ASSERT_TRUE(st.ok()) << st.ToString();
 
   // All clean tuples arrive; feedback was produced and exploited.
@@ -118,6 +152,9 @@ TEST(ThreadedFeedback, ImputationPlanExerciseControlChannel) {
   EXPECT_GT(built.impute->stats().feedback_received, 0u);
   // Work was genuinely avoided (purged backlog or guarded arrivals).
   EXPECT_LT(built.impute->imputations(), 150u);
+  // The run consumed virtual, not wall, time: the last of 300 arrivals
+  // at 1ms spacing lands at >= 299ms on the harness clock.
+  EXPECT_GE(harness.clock()->NowMs(), 299);
 }
 
 }  // namespace

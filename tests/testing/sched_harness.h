@@ -1,0 +1,149 @@
+// SchedHarness: deterministic, seeded, virtual-time driver for the
+// pooled scheduler's manual mode. The harness owns a VirtualClock and
+// an Rng; each step it
+//
+//   1. releases paced sources whose due time has arrived,
+//   2. maybe re-injects wakes it previously deferred (wake_defer_prob
+//      intercepts wakes via Scheduler::SetWakeHook — the injectable
+//      wake-reordering knob),
+//   3. picks a ready task UNIFORMLY AT RANDOM from the seeded Rng and
+//      runs one slice of it,
+//   4. when nothing is ready, flushes deferred wakes, then advances
+//      the virtual clock to the next paced due time.
+//
+// Same seed → same pick sequence → same interleaving, element orders,
+// stats — reproducible on any box at any speed. On stall or step
+// overrun the error message carries the seed so a failing interleaving
+// can be replayed exactly. ChargeMs advances the virtual clock
+// (Scheduler wires that when given a virtual_clock), so cost-model
+// dynamics like PACE/IMPUTE divergence run in virtual time too.
+
+#ifndef NSTREAM_TESTS_TESTING_SCHED_HARNESS_H_
+#define NSTREAM_TESTS_TESTING_SCHED_HARNESS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "exec/scheduler.h"
+
+namespace nstream {
+namespace testing_util {
+
+struct SchedHarnessOptions {
+  uint64_t seed = 1;
+  /// Probability a wake is swallowed and re-injected later (0 = wakes
+  /// deliver immediately; determinism holds either way).
+  double wake_defer_prob = 0.0;
+  /// Per-step probability of releasing one deferred wake early.
+  double wake_release_prob = 0.25;
+  /// Abort the drive (with the seed in the message) past this many
+  /// slices — runaway-loop backstop, not a tuning knob.
+  uint64_t max_steps = 2'000'000;
+  /// Scheduler knobs; manual and virtual_clock are overridden.
+  SchedulerOptions sched;
+};
+
+class SchedHarness {
+ public:
+  explicit SchedHarness(SchedHarnessOptions options = {})
+      : options_(options), rng_(options.seed) {
+    options_.sched.manual = true;
+    options_.sched.virtual_clock = &clock_;
+    sched_ = std::make_unique<Scheduler>(options_.sched);
+    if (options_.wake_defer_prob > 0.0) {
+      sched_->SetWakeHook([this](QueryId q, int64_t op) {
+        if (!rng_.NextBernoulli(options_.wake_defer_prob)) return false;
+        deferred_.push_back({q, op});
+        return true;  // swallowed; re-injected by the drive loop
+      });
+    }
+  }
+
+  Result<QueryId> Submit(QueryPlan* plan) {
+    return sched_->Submit(plan);
+  }
+
+  /// Drive every submitted query to completion (or a seed-stamped
+  /// error). Query-level failures are NOT errors here — they surface
+  /// from Wait(), exactly like the pool.
+  Status Drive() {
+    while (!sched_->AllDone()) {
+      if (++steps_ > options_.max_steps) {
+        return Status::Internal(SeedMsg("step budget exhausted"));
+      }
+      sched_->ReleaseDue(clock_.NowMs());
+      while (!deferred_.empty() &&
+             rng_.NextBernoulli(options_.wake_release_prob)) {
+        ReleaseOneDeferred();
+      }
+      const size_t n = sched_->ReadyCount();
+      if (n == 0) {
+        if (!deferred_.empty()) {
+          ReleaseOneDeferred();
+          continue;
+        }
+        if (std::optional<TimeMs> due = sched_->NextDueMs()) {
+          clock_.AdvanceTo(*due);
+          continue;
+        }
+        return Status::Internal(SeedMsg("stalled: no ready tasks, no "
+                                        "deferred wakes, no due times"));
+      }
+      const size_t pick = static_cast<size_t>(
+          rng_.NextBounded(static_cast<uint64_t>(n)));
+      NSTREAM_RETURN_NOT_OK(sched_->StepReadyAt(pick));
+    }
+    return Status::OK();
+  }
+
+  /// Submit + Drive + Wait: one plan, start to finish.
+  Status Run(QueryPlan* plan) {
+    NSTREAM_ASSIGN_OR_RETURN(QueryId id, Submit(plan));
+    NSTREAM_RETURN_NOT_OK(Drive());
+    return sched_->Wait(id);
+  }
+
+  Status Wait(QueryId id) { return sched_->Wait(id); }
+
+  Scheduler* scheduler() { return sched_.get(); }
+  VirtualClock* clock() { return &clock_; }
+  uint64_t steps() const { return steps_; }
+  uint64_t seed() const { return options_.seed; }
+  size_t deferred_wakes() const { return deferred_.size(); }
+
+ private:
+  void ReleaseOneDeferred() {
+    // Random pick, not FIFO: deferral order is part of the explored
+    // reordering space.
+    const size_t i = static_cast<size_t>(
+        rng_.NextBounded(static_cast<uint64_t>(deferred_.size())));
+    auto [q, op] = deferred_[i];
+    deferred_[i] = deferred_.back();
+    deferred_.pop_back();
+    sched_->InjectWake(q, op);
+  }
+
+  std::string SeedMsg(const std::string& what) const {
+    return "sched harness " + what +
+           " (reproduce with seed=" + std::to_string(options_.seed) +
+           ", steps=" + std::to_string(steps_) + ")";
+  }
+
+  SchedHarnessOptions options_;
+  Rng rng_;
+  VirtualClock clock_;
+  std::unique_ptr<Scheduler> sched_;
+  std::vector<std::pair<QueryId, int64_t>> deferred_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace testing_util
+}  // namespace nstream
+
+#endif  // NSTREAM_TESTS_TESTING_SCHED_HARNESS_H_

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exec/query_plan.h"
+#include "exec/scheduler.h"
 #include "exec/sim_executor.h"
 #include "exec/sync_executor.h"
 #include "exec/threaded_executor.h"
@@ -94,6 +95,10 @@ class LinearPlan {
   }
   Status RunThreaded(ThreadedExecutorOptions options = {}) {
     ThreadedExecutor exec(options);
+    return exec.Run(&plan_);
+  }
+  Status RunPooled(PooledExecutorOptions options = {}) {
+    PooledExecutor exec(options);
     return exec.Run(&plan_);
   }
 
