@@ -26,6 +26,7 @@ enum class StatusCode {
   kResourceExhausted, // queue/capacity limits
   kInternal,          // invariant broken inside the library
   kCancelled,         // execution stopped by shutdown
+  kDeadlineExceeded,  // a bounded wait expired (stall watchdog)
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -33,7 +34,13 @@ const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the success case (no
 /// allocation); error case carries a message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how broken invariants
+/// (a failed restore, an ignored checkpoint error) turn into corrupt
+/// state three calls later — every ignored return is a compiler
+/// warning. Call sites that genuinely don't care must say so with a
+/// cast-to-void (or better, log the failure).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -73,6 +80,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -88,6 +98,9 @@ class Status {
   }
   bool IsUnsafe() const { return code_ == StatusCode::kUnsafe; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "recovery/snapshot.h"
 
 namespace nstream {
 
@@ -90,6 +91,37 @@ Status Operator::OnAllInputsEos() {
 }
 
 Status Operator::Close() { return Status::OK(); }
+
+Status Operator::SnapshotState(SnapshotWriter* w) {
+  // EOS bookkeeping — the base-class state every operator carries.
+  // finished_ is implied by eos_count_ == num_inputs_ for non-sources,
+  // but sources (no inputs) track it independently, so it is stored.
+  w->WriteU32(static_cast<uint32_t>(num_inputs_));
+  for (int p = 0; p < num_inputs_; ++p) {
+    w->WriteBool(eos_seen_[static_cast<size_t>(p)]);
+  }
+  w->WriteBool(finished_);
+  return Status::OK();
+}
+
+Status Operator::RestoreState(SnapshotReader* r) {
+  uint32_t n = 0;
+  NSTREAM_RETURN_NOT_OK(r->ReadU32(&n));
+  if (n != static_cast<uint32_t>(num_inputs_)) {
+    return Status::InvalidArgument(
+        name_ + ": snapshot has " + std::to_string(n) +
+        " inputs, operator has " + std::to_string(num_inputs_));
+  }
+  eos_count_ = 0;
+  for (int p = 0; p < num_inputs_; ++p) {
+    bool seen = false;
+    NSTREAM_RETURN_NOT_OK(r->ReadBool(&seen));
+    eos_seen_[static_cast<size_t>(p)] = seen;
+    if (seen) ++eos_count_;
+  }
+  NSTREAM_RETURN_NOT_OK(r->ReadBool(&finished_));
+  return Status::OK();
+}
 
 Status Operator::ProcessControl(int out_port, const ControlMessage& msg) {
   switch (msg.type) {

@@ -29,6 +29,9 @@
 
 namespace nstream {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Per-operator counters; the currency of the experimental harness.
 struct OperatorStats {
   uint64_t tuples_in = 0;
@@ -106,6 +109,26 @@ class Operator {
   /// count and ignore.
   virtual Status ProcessFeedback(int out_port,
                                  const FeedbackPunctuation& feedback);
+
+  // ---- Durability (checkpoint/recovery) ----
+  /// Serialize this operator's state into `w` at a punctuation-aligned
+  /// quiescent point (no slice is running, all in-flight work drained
+  /// to the barrier). The base implementation captures the EOS
+  /// bookkeeping every operator carries; stateful overrides call it
+  /// FIRST, then append their own state. Non-const: serialization may
+  /// normalize internal representations (e.g. materializing a staged
+  /// columnar page's row layout), never observable changes.
+  ///
+  /// Canonicalization contract: state kept in unordered containers
+  /// must be written in a deterministic order (sort by key or by
+  /// serialized bytes), so snapshot(restore(snapshot(x))) ==
+  /// snapshot(x) byte-for-byte — the round-trip equality the recovery
+  /// tests lean on.
+  virtual Status SnapshotState(SnapshotWriter* w);
+  /// Inverse of SnapshotState, called on a freshly constructed +
+  /// Open()ed operator before any element is processed. Overrides call
+  /// the base FIRST, mirroring the write order.
+  virtual Status RestoreState(SnapshotReader* r);
 
   // ---- Scheduler placement ----
   /// Pooled-scheduler placement hint: tasks whose operators share a

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 #include "exec/exec_context.h"
+#include "recovery/recover.h"
 #include "stream/data_queue.h"
 
 namespace nstream {
@@ -166,6 +169,21 @@ struct Scheduler::Task {
   TimeMs due_ms = -1;  // >= 0: parked until this instant (pace / busy)
   uint32_t worker_mask = 0;
   Status status;
+
+  // ---- Checkpoint-barrier bookkeeping ----
+  // barrier_seen is mutated ONLY under mu_ (hit merges in
+  // OnSliceDoneLocked, resets at StartCheckpoint / ServiceCheckpoint);
+  // the running slice reads its own snapshot, slice_barrier_seen,
+  // copied under mu_ at pop (PrepareSliceLocked) — the same
+  // hand-off-at-pop ownership rule as source_eos_emitted.
+  std::vector<bool> barrier_seen;        // per input port, current epoch
+  std::vector<bool> slice_barrier_seen;  // slice-owned copy of the above
+  bool ckpt_parked = false;  // WAITING at the barrier, not idleness
+  // Barrier id the running slice acts for; 0 = no checkpoint. A source
+  // slice with a nonzero epoch has never emitted this epoch's barrier
+  // (it parks immediately after emitting, and a new epoch is only
+  // issued after the previous checkpoint finished or aborted).
+  int64_t ckpt_epoch = 0;
 };
 
 struct Scheduler::QueryRun {
@@ -180,6 +198,17 @@ struct Scheduler::QueryRun {
   bool closed = false;  // operators Close()d (by the first Wait)
   Status status;
   TimeMs start_ms = 0;  // pacing origin
+
+  // ---- Active checkpoint (at most one per query) ----
+  bool ckpt_active = false;
+  // Quiesced and claimed by a serializer; cleared when the snapshot
+  // file is published and tasks are unparked.
+  bool ckpt_serializing = false;
+  int64_t ckpt_barrier_id = 0;
+  CheckpointOptions ckpt_opts;
+  int ckpt_parked_count = 0;  // tasks parked at the barrier
+  bool ckpt_result_ready = false;
+  Status ckpt_result;
 };
 
 struct Scheduler::SliceResult {
@@ -187,6 +216,15 @@ struct Scheduler::SliceResult {
   bool finished = false;
   TimeMs due_ms = -1;   // >= 0: paced source, park until then
   TimeMs busy_ms = 0;   // virtual ms the slice charged (busy-park)
+  // Slice reached its barrier alignment (source: emitted the barrier;
+  // other: saw it on every live input and forwarded it) — park until
+  // the snapshot is written.
+  bool ckpt_parked = false;
+  // Barrier punctuations stripped from popped pages: (port, barrier
+  // id). Merged into Task::barrier_seen under mu_ at slice end — also
+  // catches the pool-mode race where a slice that began before
+  // StartCheckpoint (epoch 0) pops a freshly injected barrier.
+  std::vector<std::pair<int, int64_t>> barrier_hits;
   Status status;
 };
 
@@ -217,6 +255,7 @@ void Scheduler::Shutdown() {
   }
   work_cv_.notify_all();
   done_cv_.notify_all();
+  ckpt_cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -224,6 +263,16 @@ void Scheduler::Shutdown() {
 }
 
 Result<QueryId> Scheduler::Submit(QueryPlan* plan) {
+  return SubmitInternal(plan, nullptr);
+}
+
+Result<QueryId> Scheduler::SubmitRecovered(QueryPlan* plan,
+                                           const std::string& path) {
+  return SubmitInternal(plan, &path);
+}
+
+Result<QueryId> Scheduler::SubmitInternal(QueryPlan* plan,
+                                          const std::string* snapshot_path) {
   if (!plan->finalized()) {
     Status st = plan->Finalize();
     if (!st.ok()) return st;
@@ -259,6 +308,8 @@ Result<QueryId> Scheduler::Submit(QueryPlan* plan) {
     task->token = (static_cast<uint64_t>(run->id) << 20) ^
                   static_cast<uint64_t>(id + 1);
     task->affinity = plan->op(id)->scheduler_affinity();
+    task->barrier_seen.assign(
+        static_cast<size_t>(plan->op(id)->num_inputs()), false);
     run->tasks.push_back(std::move(task));
   }
 
@@ -281,6 +332,15 @@ Result<QueryId> Scheduler::Submit(QueryPlan* plan) {
   for (int64_t id = 0; id < n; ++id) {
     Status st = plan->op(id)->Open(
         run->contexts[static_cast<size_t>(id)].get());
+    if (!st.ok()) return st;
+  }
+
+  if (snapshot_path != nullptr) {
+    // Recovery: rewind operators to the checkpoint cut and refill the
+    // edge queues before any slice runs. Sources resume from their
+    // restored offsets; operators already finished at the checkpoint
+    // are killed by their first slice (op->finished()).
+    Status st = RestorePlanAndQueues(*snapshot_path, plan, run->rt.get());
     if (!st.ok()) return st;
   }
 
@@ -324,10 +384,11 @@ void Scheduler::WakeLocked(Task* t) {
       ++stats_.wakes_coalesced;
       return;
     case TaskState::kWaiting:
-      if (t->busy) {
-        // Busy-parked (virtual time): the operator is mid-"work" and
-        // cannot react before its busy window ends. The release
-        // re-enqueues unconditionally, so the event is not lost.
+      if (t->busy || t->ckpt_parked) {
+        // Busy-parked (virtual time) or parked at a checkpoint
+        // barrier: the task cannot react until released. Both
+        // releases re-enqueue unconditionally, so the event is not
+        // lost.
         t->wake_pending = true;
         ++stats_.wakes_coalesced;
         return;
@@ -365,14 +426,33 @@ void Scheduler::FailRunLocked(QueryRun* run, const Status& status) {
     run->failed = true;
     run->status = status;
   }
+  // A pending checkpoint can never quiesce once tasks start dying —
+  // fail it out so waiters unblock. (ckpt_serializing is impossible
+  // here: serialization only starts with every task parked, so no
+  // slice is running to fail.)
+  AbortCheckpointLocked(run, status);
   // Kill everything not currently running; RUNNING tasks die at their
-  // own OnSliceDoneLocked (they observe run->failed).
+  // own OnSliceDoneLocked (they observe run->failed). Only THIS
+  // query's tasks are touched: sibling queries sharing the pool keep
+  // their tasks, queues, and ready-set entries untouched.
   for (auto& task : run->tasks) {
     if (task->state == TaskState::kQueued ||
         task->state == TaskState::kWaiting) {
       KillTaskLocked(task.get());
     }
   }
+}
+
+void Scheduler::AbortCheckpointLocked(QueryRun* run, const Status& status) {
+  if (!run->ckpt_active || run->ckpt_serializing) return;
+  run->ckpt_active = false;
+  run->ckpt_parked_count = 0;
+  run->ckpt_result = status.ok()
+                         ? Status::Cancelled("query failed mid-checkpoint")
+                         : status;
+  run->ckpt_result_ready = true;
+  for (auto& task : run->tasks) task->ckpt_parked = false;
+  ckpt_cv_.notify_all();
 }
 
 Scheduler::SliceResult Scheduler::RunSlice(Task* t) {
@@ -404,6 +484,19 @@ Scheduler::SliceResult Scheduler::RunSliceBody(Task* t) {
 
   // 2. Sources produce a bounded batch (their drain budget).
   if (op->is_source()) {
+    if (t->ckpt_epoch != 0) {
+      // Checkpoint cut: inject the barrier on every output and park —
+      // BEFORE the exhaustion check, so a drained-but-live source
+      // still aligns the cut instead of finishing mid-checkpoint.
+      // (This epoch's barrier cannot have been emitted yet: the source
+      // parks right here and only wakes once the checkpoint is over.)
+      for (int p = 0; p < op->num_outputs(); ++p) {
+        rt->output_conn(t->op_id, p)->data->PushPunctuation(
+            Punctuation::Barrier(t->ckpt_epoch));
+      }
+      r.ckpt_parked = true;
+      return r;
+    }
     if (t->source_eos_emitted) {
       r.finished = true;
       return r;
@@ -438,20 +531,72 @@ Scheduler::SliceResult Scheduler::RunSliceBody(Task* t) {
   // 3. Drain up to max_pages_per_wake pages per input — one batch
   // call per page — then end the slice (control is re-checked next
   // slice).
+  const int nin = op->num_inputs();
+  // Ports whose barrier arrived during THIS slice (sized only while a
+  // checkpoint is active — the hot no-checkpoint path allocates
+  // nothing).
+  std::vector<bool> hit_now(
+      t->ckpt_epoch != 0 ? static_cast<size_t>(nin) : 0, false);
   const int budget = std::max(1, options_.max_pages_per_wake);
   for (int round = 0; round < budget && !op->finished(); ++round) {
     bool popped_any = false;
-    for (int p = 0; p < op->num_inputs(); ++p) {
+    for (int p = 0; p < nin; ++p) {
+      if (t->ckpt_epoch != 0 &&
+          (t->slice_barrier_seen[static_cast<size_t>(p)] ||
+           hit_now[static_cast<size_t>(p)])) {
+        // Aligned port: everything behind it belongs to the next
+        // epoch; it stays queued for the snapshot.
+        continue;
+      }
       DataQueue* q = rt->input_conn(t->op_id, p)->data.get();
       std::optional<Page> page = q->TryPopPage();
       if (!page) continue;
       popped_any = r.did_work = true;
+      // A barrier punctuation flushes its page, so it can only be the
+      // last element (columnar pages are tuples-only). Strip it —
+      // operators never see barriers — and record the hit; the
+      // remainder of the page is pre-cut data, processed normally.
+      if (!page->is_columnar() && !page->empty()) {
+        const StreamElement& last = page->elements().back();
+        if (last.is_punct() && last.punct().is_barrier()) {
+          const int64_t id = last.punct().barrier_id();
+          r.barrier_hits.emplace_back(p, id);
+          if (id == t->ckpt_epoch && !hit_now.empty()) {
+            hit_now[static_cast<size_t>(p)] = true;
+          }
+          page->mutable_elements().pop_back();
+        }
+      }
+      if (page->empty()) continue;
       r.status = op->ProcessPage(p, std::move(*page), nullptr);
       if (!r.status.ok()) return r;
     }
     if (!popped_any) break;
   }
-  if (op->finished()) r.finished = true;  // all inputs hit EOS
+  if (op->finished()) {
+    r.finished = true;  // all inputs hit EOS
+    return r;
+  }
+  if (t->ckpt_epoch != 0) {
+    // Aligned on every live input (EOS ports are trivially aligned —
+    // their producers are gone)? Forward the barrier and park; sinks
+    // (no outputs) just park.
+    bool aligned = true;
+    for (int p = 0; p < nin; ++p) {
+      if (!t->slice_barrier_seen[static_cast<size_t>(p)] &&
+          !hit_now[static_cast<size_t>(p)] && !op->eos_seen(p)) {
+        aligned = false;
+        break;
+      }
+    }
+    if (aligned) {
+      for (int o = 0; o < op->num_outputs(); ++o) {
+        rt->output_conn(t->op_id, o)->data->PushPunctuation(
+            Punctuation::Barrier(t->ckpt_epoch));
+      }
+      r.ckpt_parked = true;
+    }
+  }
   return r;
 }
 
@@ -461,6 +606,18 @@ void Scheduler::OnSliceDoneLocked(Task* t, const SliceResult& r,
   if (worker >= 0 && worker < 32) {
     t->worker_mask |= (1u << static_cast<uint32_t>(worker));
   }
+  QueryRun* run = t->run;
+  // Merge the slice's barrier observations (recorded lock-free) into
+  // the task. Hits from a superseded epoch — an aborted checkpoint's
+  // stale barrier swallowed later — are dropped by the id match.
+  if (!r.barrier_hits.empty() && run->ckpt_active) {
+    for (const auto& hit : r.barrier_hits) {
+      if (hit.second == run->ckpt_barrier_id && hit.first >= 0 &&
+          static_cast<size_t>(hit.first) < t->barrier_seen.size()) {
+        t->barrier_seen[static_cast<size_t>(hit.first)] = true;
+      }
+    }
+  }
   if (!r.status.ok()) {
     t->status = r.status;
     FailRunLocked(t->run, r.status);
@@ -469,6 +626,25 @@ void Scheduler::OnSliceDoneLocked(Task* t, const SliceResult& r,
   }
   if (t->run->failed || r.finished) {
     KillTaskLocked(t);
+    return;
+  }
+  if (r.ckpt_parked) {
+    if (run->ckpt_active && !run->ckpt_serializing &&
+        t->ckpt_epoch == run->ckpt_barrier_id) {
+      // Parked at the barrier until the snapshot is written. Pending
+      // wakes stay flagged; the unpark re-enqueues unconditionally.
+      // A virtual-time busy charge is subsumed by the (longer) park.
+      t->state = TaskState::kWaiting;
+      t->busy = false;
+      t->due_ms = -1;
+      t->ckpt_parked = true;
+      ++run->ckpt_parked_count;
+      return;
+    }
+    // The checkpoint this slice parked for is gone (aborted while the
+    // slice ran) — resume normal scheduling; the emitted barrier is
+    // swallowed downstream as a stale hit.
+    EnqueueLocked(t);
     return;
   }
   if (r.busy_ms > 0) {
@@ -517,8 +693,22 @@ Scheduler::Task* Scheduler::PopReadyLocked(int worker) {
     t = pop_from(pinned_[static_cast<size_t>(worker)]);
   }
   if (t == nullptr) t = pop_from(ready_);
-  if (t != nullptr) t->state = TaskState::kRunning;
+  if (t != nullptr) PrepareSliceLocked(t);
   return t;
+}
+
+void Scheduler::PrepareSliceLocked(Task* t) {
+  t->state = TaskState::kRunning;
+  // Checkpoint epoch hand-off: the slice acts on the epoch visible at
+  // pop time; a checkpoint starting mid-slice reaches the task on its
+  // next pop (its barrier pages are still caught via barrier_hits).
+  QueryRun* run = t->run;
+  if (run->ckpt_active && !run->ckpt_serializing) {
+    t->ckpt_epoch = run->ckpt_barrier_id;
+    t->slice_barrier_seen = t->barrier_seen;
+  } else {
+    t->ckpt_epoch = 0;
+  }
 }
 
 void Scheduler::WorkerLoop(int worker) {
@@ -535,6 +725,13 @@ void Scheduler::WorkerLoop(int worker) {
       DataQueue::SetThreadConsumerToken(0);
       lock.lock();
       OnSliceDoneLocked(t, r, worker);
+      // This slice may have been the last one a pending checkpoint
+      // was waiting on (park or kill) — serialize if so.
+      if (QueryRun* ck = FindQuiescedCheckpointLocked()) {
+        lock.unlock();
+        ServiceCheckpoint(ck);
+        lock.lock();
+      }
       continue;
     }
     // Idle: timed wait (same missed-notify-costs-latency-never-
@@ -546,7 +743,7 @@ void Scheduler::WorkerLoop(int worker) {
   }
 }
 
-Status Scheduler::Wait(QueryId id) {
+Status Scheduler::Wait(QueryId id, double timeout_ms) {
   QueryRun* run = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -559,6 +756,23 @@ Status Scheduler::Wait(QueryId id) {
         return Status::FailedPrecondition(
             "manual-mode query not finished; drive the scheduler "
             "(ReadyCount/StepReadyAt) to completion first");
+      }
+    } else if (timeout_ms >= 0) {
+      // Stall watchdog: a wedged plan (operator swallowing EOS, lost
+      // wake, live-locked feedback loop) trips the deadline and gets
+      // diagnosed instead of hanging the caller forever.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(timeout_ms));
+      if (!done_cv_.wait_until(lock, deadline,
+                               [&] { return run->done || stop_; })) {
+        return Status::DeadlineExceeded(
+            "query " + std::to_string(id) + " still running after " +
+            std::to_string(timeout_ms) + " ms\n" + StallReportLocked());
+      }
+      if (!run->done) {
+        return Status::Cancelled("scheduler shut down before query end");
       }
     } else {
       done_cv_.wait(lock, [&] { return run->done || stop_; });
@@ -630,13 +844,21 @@ Status Scheduler::StepReadyAt(size_t index) {
     }
     t = ready_[index];
     ready_.erase(ready_.begin() + static_cast<ptrdiff_t>(index));
-    t->state = TaskState::kRunning;
+    PrepareSliceLocked(t);
   }
   DataQueue::SetThreadConsumerToken(t->token);
   SliceResult r = RunSlice(t);
   DataQueue::SetThreadConsumerToken(0);
-  std::lock_guard<std::mutex> lock(mu_);
-  OnSliceDoneLocked(t, r, /*worker=*/-1);
+  QueryRun* ck = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OnSliceDoneLocked(t, r, /*worker=*/-1);
+    ck = FindQuiescedCheckpointLocked();
+  }
+  // Manual mode: serialize inline (single-threaded by contract), so
+  // the very next ReadyCount sees the unparked tasks and the harness
+  // drive loop never stalls on a quiesced checkpoint.
+  if (ck != nullptr) ServiceCheckpoint(ck);
   return Status::OK();
 }
 
@@ -708,6 +930,168 @@ Scheduler::QueryRun* Scheduler::FindRunLocked(QueryId id) const {
   return nullptr;
 }
 
+// ---------------------------------------------------------------------------
+// Punctuation-aligned checkpointing
+// ---------------------------------------------------------------------------
+
+Status Scheduler::StartCheckpoint(QueryId id, CheckpointOptions opts) {
+  if (opts.path.empty()) {
+    return Status::InvalidArgument("checkpoint path is empty");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QueryRun* run = FindRunLocked(id);
+    if (run == nullptr) return Status::NotFound("unknown query id");
+    if (run->failed) return run->status;
+    if (run->done) {
+      return Status::FailedPrecondition(
+          "query already finished; nothing to checkpoint");
+    }
+    if (run->ckpt_active) {
+      return Status::FailedPrecondition(
+          "a checkpoint is already in progress for this query");
+    }
+    run->ckpt_active = true;
+    run->ckpt_serializing = false;
+    run->ckpt_result_ready = false;
+    run->ckpt_barrier_id = next_barrier_id_++;
+    run->ckpt_opts = std::move(opts);
+    run->ckpt_parked_count = 0;
+    for (auto& task : run->tasks) {
+      Task* t = task.get();
+      t->ckpt_parked = false;
+      // Safe against a RUNNING slice: slices only read their own
+      // slice_barrier_seen copy, never this vector.
+      t->barrier_seen.assign(t->barrier_seen.size(), false);
+      // Wake everything so idle sources emit their barrier promptly.
+      // Direct WakeLocked, not Wake: checkpoint wakes bypass the
+      // harness wake hook (they are scheduler-internal, not
+      // data-arrival events the harness wants to reorder).
+      if (t->state != TaskState::kKilled) WakeLocked(t);
+    }
+  }
+  work_cv_.notify_all();
+  return Status::OK();
+}
+
+std::optional<Status> Scheduler::CheckpointResult(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryRun* run = FindRunLocked(id);
+  if (run == nullptr) return Status::NotFound("unknown query id");
+  if (!run->ckpt_result_ready) return std::nullopt;
+  run->ckpt_result_ready = false;
+  return run->ckpt_result;
+}
+
+Status Scheduler::Checkpoint(QueryId id, const std::string& path) {
+  if (options_.manual) {
+    return Status::FailedPrecondition(
+        "blocking Checkpoint needs pool workers; in manual mode use "
+        "StartCheckpoint + drive + CheckpointResult");
+  }
+  NSTREAM_RETURN_NOT_OK(StartCheckpoint(id, CheckpointOptions{path, {}}));
+  std::unique_lock<std::mutex> lock(mu_);
+  QueryRun* run = FindRunLocked(id);
+  ckpt_cv_.wait(lock, [&] { return run->ckpt_result_ready || stop_; });
+  if (!run->ckpt_result_ready) {
+    return Status::Cancelled("scheduler shut down during checkpoint");
+  }
+  run->ckpt_result_ready = false;
+  return run->ckpt_result;
+}
+
+Scheduler::QueryRun* Scheduler::FindQuiescedCheckpointLocked() {
+  for (const auto& run : runs_) {
+    if (run->ckpt_active && !run->ckpt_serializing &&
+        run->ckpt_parked_count == run->live) {
+      // live == 0 is a valid quiesce: every remaining task finished
+      // during the checkpoint — the snapshot captures the final state.
+      run->ckpt_serializing = true;
+      return run.get();
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::ServiceCheckpoint(QueryRun* run) {
+  // Every task of this query is parked or killed and this thread holds
+  // the ckpt_serializing claim, so operator state and queue internals
+  // are quiescent; the park transitions went through mu_, giving this
+  // thread happens-before on all task-written state.
+  Status st = CheckpointCoordinator::WriteSnapshot(run->plan, run->rt.get(),
+                                                  run->ckpt_opts);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    run->ckpt_active = false;
+    run->ckpt_serializing = false;
+    run->ckpt_result = st;
+    run->ckpt_result_ready = true;
+    run->ckpt_parked_count = 0;
+    for (auto& task : run->tasks) {
+      Task* t = task.get();
+      t->barrier_seen.assign(t->barrier_seen.size(), false);
+      if (t->ckpt_parked) {
+        t->ckpt_parked = false;
+        t->wake_pending = false;  // the unconditional enqueue services it
+        if (t->state == TaskState::kWaiting) EnqueueLocked(t);
+      }
+    }
+  }
+  ckpt_cv_.notify_all();
+  work_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Stall watchdog
+// ---------------------------------------------------------------------------
+
+std::string Scheduler::StallReport() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StallReportLocked();
+}
+
+std::string Scheduler::StallReportLocked() {
+  std::ostringstream out;
+  out << "=== scheduler stall report ===\n";
+  for (const auto& run : runs_) {
+    out << "query " << run->id << ": live " << run->live << "/"
+        << run->tasks.size() << (run->failed ? " FAILED" : "")
+        << (run->done ? " done" : "");
+    if (run->ckpt_active) {
+      out << " checkpoint barrier#" << run->ckpt_barrier_id << " parked "
+          << run->ckpt_parked_count << "/" << run->live
+          << (run->ckpt_serializing ? " serializing" : "");
+    }
+    out << "\n";
+    for (const auto& task : run->tasks) {
+      const Task* t = task.get();
+      const Operator* op = run->plan->op(t->op_id);
+      out << "  task " << t->op_id << " '" << op->name()
+          << "' state=" << TaskStateName(t->state)
+          << " wake_pending=" << (t->wake_pending ? 1 : 0)
+          << " busy=" << (t->busy ? 1 : 0)
+          << " ckpt_parked=" << (t->ckpt_parked ? 1 : 0);
+      if (t->due_ms >= 0) out << " due_ms=" << t->due_ms;
+      if (!t->status.ok()) out << " status=" << t->status.ToString();
+      out << "\n";
+    }
+    int edge = 0;
+    for (const auto& conn : run->rt->connections()) {
+      const DataQueueStats qs = conn->data->stats();
+      const ControlChannelStats cs = conn->control->stats();
+      const uint64_t data_depth = qs.pages_flushed_total() - qs.pages_popped;
+      const uint64_t ctl_depth = cs.messages_pushed - cs.messages_popped;
+      out << "  edge " << edge++ << " "
+          << run->plan->op(conn->producer_op)->name() << ":"
+          << conn->producer_port << " -> "
+          << run->plan->op(conn->consumer_op)->name() << ":"
+          << conn->consumer_port << " data_pages=" << data_depth
+          << " control_msgs=" << ctl_depth << "\n";
+    }
+  }
+  return out.str();
+}
+
 SchedulerStats Scheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   SchedulerStats out = stats_;
@@ -763,6 +1147,17 @@ Result<QueryId> PooledExecutor::Submit(QueryPlan* plan) {
   return scheduler_->Submit(plan);
 }
 
-Status PooledExecutor::Wait(QueryId id) { return scheduler_->Wait(id); }
+Result<QueryId> PooledExecutor::SubmitRecovered(
+    QueryPlan* plan, const std::string& snapshot_path) {
+  return scheduler_->SubmitRecovered(plan, snapshot_path);
+}
+
+Status PooledExecutor::Wait(QueryId id, double timeout_ms) {
+  return scheduler_->Wait(id, timeout_ms);
+}
+
+Status PooledExecutor::Checkpoint(QueryId id, const std::string& path) {
+  return scheduler_->Checkpoint(id, path);
+}
 
 }  // namespace nstream

@@ -58,6 +58,7 @@
 #include "common/status.h"
 #include "exec/query_plan.h"
 #include "exec/runtime.h"
+#include "recovery/checkpoint.h"
 
 namespace nstream {
 
@@ -136,10 +137,47 @@ class Scheduler {
   /// outlive the scheduler (or its Wait call).
   Result<QueryId> Submit(QueryPlan* plan);
 
+  /// Submit a rebuilt plan and restore it from a snapshot file before
+  /// any slice runs: operator state is rewound to the checkpoint's
+  /// punctuation-aligned cut, in-flight queue pages are refilled, and
+  /// sources resume from their recorded offsets (at-least-once
+  /// replay). The plan must be structurally identical to the one that
+  /// wrote the snapshot.
+  Result<QueryId> SubmitRecovered(QueryPlan* plan,
+                                  const std::string& snapshot_path);
+
   /// Pool mode: block until the query completes, then Close its
   /// operators and return the first error (slice or Close). Manual
   /// mode: FailedPrecondition unless the query is already done.
-  Status Wait(QueryId id);
+  ///
+  /// Stall watchdog: a non-negative `timeout_ms` bounds the wait
+  /// (pool mode); on expiry Wait returns DeadlineExceeded carrying
+  /// StallReport() — every task's state and every edge's queue depths
+  /// — instead of hanging forever on a wedged plan.
+  Status Wait(QueryId id, double timeout_ms = -1);
+
+  // ---- Punctuation-aligned checkpointing ----
+  /// Begin an asynchronous checkpoint of one query: a barrier
+  /// punctuation (Punctuation::Barrier) is injected at every source,
+  /// each task parks once the barrier has arrived on all of its live
+  /// inputs (EOS ports count as aligned), and when the whole plan is
+  /// quiesced the CheckpointCoordinator serializes operators + queues
+  /// and publishes the snapshot atomically — no stop-the-world: tasks
+  /// keep processing pre-barrier work until their own alignment.
+  /// FailedPrecondition if a checkpoint is already in progress.
+  Status StartCheckpoint(QueryId id, CheckpointOptions opts);
+  /// Poll the result of StartCheckpoint: nullopt while in progress,
+  /// the (consumed) outcome once finished. Manual-mode drivers
+  /// interleave this with StepReadyAt.
+  std::optional<Status> CheckpointResult(QueryId id);
+  /// Pool-mode convenience: StartCheckpoint + block for the result.
+  Status Checkpoint(QueryId id, const std::string& path);
+
+  /// Human-readable dump of every live query: per task — operator
+  /// name, state, wake/park flags, due time; per edge — data-queue and
+  /// control-channel depths. The stall watchdog attaches it to
+  /// DeadlineExceeded; harnesses print it on wedged drives.
+  std::string StallReport();
 
   bool Done(QueryId id);
   /// True when every submitted query has completed (true when none).
@@ -197,10 +235,24 @@ class Scheduler {
   void KillTaskLocked(Task* t);
   void FailRunLocked(QueryRun* run, const Status& status);
   Task* PopReadyLocked(int worker);
+  /// Copy checkpoint epoch + barrier bookkeeping into the task's
+  /// slice-owned fields; every RUNNING transition goes through this.
+  void PrepareSliceLocked(Task* t);
   void PruneKilledLocked();
   int PromoteDueLocked(TimeMs now_ms);
   std::optional<TimeMs> NextDueLocked() const;
   QueryRun* FindRunLocked(QueryId id) const;
+  Result<QueryId> SubmitInternal(QueryPlan* plan,
+                                 const std::string* snapshot_path);
+  /// First run whose checkpoint is fully quiesced (every live task
+  /// parked at the barrier); claims it (ckpt_serializing) so exactly
+  /// one caller services it. Null when none.
+  QueryRun* FindQuiescedCheckpointLocked();
+  /// Serialize + publish a claimed quiesced checkpoint, then unpark
+  /// its tasks. Called WITHOUT mu_ held.
+  void ServiceCheckpoint(QueryRun* run);
+  void AbortCheckpointLocked(QueryRun* run, const Status& status);
+  std::string StallReportLocked();
 
   SchedulerOptions options_;
   WallClock wall_clock_;
@@ -209,6 +261,8 @@ class Scheduler {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
+  std::condition_variable ckpt_cv_;
+  int64_t next_barrier_id_ = 1;
   bool stop_ = false;
   int idle_workers_ = 0;
   std::vector<std::thread> workers_;
@@ -245,7 +299,14 @@ class PooledExecutor {
   Status Run(QueryPlan* plan);
 
   Result<QueryId> Submit(QueryPlan* plan);
-  Status Wait(QueryId id);
+  /// Submit a rebuilt plan restored from a snapshot (see
+  /// Scheduler::SubmitRecovered).
+  Result<QueryId> SubmitRecovered(QueryPlan* plan,
+                                  const std::string& snapshot_path);
+  /// Optional watchdog deadline; see Scheduler::Wait.
+  Status Wait(QueryId id, double timeout_ms = -1);
+  /// Blocking punctuation-aligned checkpoint of one live query.
+  Status Checkpoint(QueryId id, const std::string& path);
 
   Scheduler* scheduler() { return scheduler_.get(); }
 

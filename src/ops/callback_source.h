@@ -53,6 +53,41 @@ class CallbackSource final : public SourceOperator {
       case ElementKind::kEndOfStream:
         break;
     }
+    ++produced_;
+    return Status::OK();
+  }
+
+  uint64_t produced() const { return produced_; }
+
+  /// Replay-from-offset recovery: generators are deterministic, so the
+  /// checkpoint records only how many elements were emitted. Restore
+  /// fast-forwards a FRESH generator that many pulls (discarding the
+  /// output) and resumes from there. A pull that was staged in
+  /// `pending_` but not yet emitted is deliberately not counted — the
+  /// fast-forwarded generator re-produces it on the next Fill().
+  Status SnapshotState(SnapshotWriter* w) override {
+    NSTREAM_RETURN_NOT_OK(Operator::SnapshotState(w));
+    w->WriteU64(produced_);
+    w->WriteI64(next_id_);
+    w->WriteBool(done_);
+    return Status::OK();
+  }
+  Status RestoreState(SnapshotReader* r) override {
+    NSTREAM_RETURN_NOT_OK(Operator::RestoreState(r));
+    uint64_t produced = 0;
+    NSTREAM_RETURN_NOT_OK(r->ReadU64(&produced));
+    NSTREAM_RETURN_NOT_OK(r->ReadI64(&next_id_));
+    NSTREAM_RETURN_NOT_OK(r->ReadBool(&done_));
+    pending_.reset();
+    for (uint64_t i = 0; i < produced; ++i) {
+      if (!gen_().has_value()) {
+        return Status::InvalidArgument(
+            name() + ": generator exhausted after " + std::to_string(i) +
+            " pulls while fast-forwarding to offset " +
+            std::to_string(produced));
+      }
+    }
+    produced_ = produced;
     return Status::OK();
   }
 
@@ -68,6 +103,7 @@ class CallbackSource final : public SourceOperator {
   std::optional<TimedElement> pending_;
   bool done_ = false;
   int64_t next_id_ = 0;
+  uint64_t produced_ = 0;
 };
 
 }  // namespace nstream

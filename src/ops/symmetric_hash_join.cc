@@ -6,6 +6,7 @@
 #include "core/propagation.h"
 #include "ops/shard_routing.h"
 #include "punct/compiled_pattern.h"
+#include "recovery/snapshot.h"
 
 namespace nstream {
 
@@ -1063,6 +1064,132 @@ size_t SymmetricHashJoin::table_size(int input) const {
   size_t n = 0;
   for (const auto& [key, entries] : tables_[input]) n += entries.size();
   return n;
+}
+
+namespace {
+
+// Canonical (sorted) key order for the unordered containers, so the
+// snapshot byte stream is independent of insertion history.
+template <typename Map>
+std::vector<uint64_t> SortedKeys(const Map& m) {
+  std::vector<uint64_t> keys;
+  keys.reserve(m.size());
+  for (const auto& kv : m) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<uint64_t> SortedSet(const std::unordered_set<uint64_t>& s) {
+  std::vector<uint64_t> keys(s.begin(), s.end());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+Status SymmetricHashJoin::SnapshotState(SnapshotWriter* w) {
+  NSTREAM_RETURN_NOT_OK(Operator::SnapshotState(w));
+  for (int side = 0; side < 2; ++side) {
+    const Table& table = tables_[side];
+    w->WriteU32(static_cast<uint32_t>(table.size()));
+    for (uint64_t key : SortedKeys(table)) {
+      const std::vector<Entry>& entries = table.at(key);
+      w->WriteU64(key);
+      w->WriteU32(static_cast<uint32_t>(entries.size()));
+      for (const Entry& e : entries) {
+        w->WriteTuple(e.tuple);
+        w->WriteI64(e.wid);
+        w->WriteBool(e.matched);
+        w->WriteBool(e.gated);
+      }
+    }
+    w->WriteGuardSet(input_guards_[side]);
+    w->WriteU32(static_cast<uint32_t>(window_counts_[side].size()));
+    for (const auto& [wid, count] : window_counts_[side]) {
+      w->WriteI64(wid);
+      w->WriteU64(count);
+    }
+    w->WriteI64(min_seen_wid_[side]);
+    w->WriteI64(watermark_[side]);
+  }
+  w->WriteGuardSet(output_guards_);
+  w->WriteI64(emitted_punct_through_);
+  w->WriteI64(thrifty_checked_through_);
+  for (const auto* set : {&impatient_requested_, &gate_requested_}) {
+    std::vector<uint64_t> keys = SortedSet(*set);
+    w->WriteU32(static_cast<uint32_t>(keys.size()));
+    for (uint64_t k : keys) w->WriteU64(k);
+  }
+  w->WriteU64(thrifty_feedbacks_);
+  w->WriteU64(impatient_feedbacks_);
+  w->WriteU64(gate_feedbacks_);
+  w->WriteU64(joined_count_);
+  // Staged-but-unflushed results. Empty at any punctuation-aligned
+  // barrier (ProcessPage flushes before returning), but captured
+  // anyway so the hook is honest for ad-hoc snapshot points too.
+  WritePageElements(w, out_staged_);
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::RestoreState(SnapshotReader* r) {
+  NSTREAM_RETURN_NOT_OK(Operator::RestoreState(r));
+  for (int side = 0; side < 2; ++side) {
+    Table& table = tables_[side];
+    table.clear();
+    uint32_t nkeys = 0;
+    NSTREAM_RETURN_NOT_OK(r->ReadU32(&nkeys));
+    table.reserve(nkeys);
+    for (uint32_t i = 0; i < nkeys; ++i) {
+      uint64_t key = 0;
+      uint32_t nentries = 0;
+      NSTREAM_RETURN_NOT_OK(r->ReadU64(&key));
+      NSTREAM_RETURN_NOT_OK(r->ReadU32(&nentries));
+      std::vector<Entry>& entries = table[key];
+      entries.reserve(nentries);
+      for (uint32_t j = 0; j < nentries; ++j) {
+        Entry e;
+        NSTREAM_RETURN_NOT_OK(r->ReadTuple(&e.tuple));
+        NSTREAM_RETURN_NOT_OK(r->ReadI64(&e.wid));
+        NSTREAM_RETURN_NOT_OK(r->ReadBool(&e.matched));
+        NSTREAM_RETURN_NOT_OK(r->ReadBool(&e.gated));
+        entries.push_back(std::move(e));
+      }
+    }
+    NSTREAM_RETURN_NOT_OK(r->ReadGuardSet(&input_guards_[side]));
+    window_counts_[side].clear();
+    uint32_t nwin = 0;
+    NSTREAM_RETURN_NOT_OK(r->ReadU32(&nwin));
+    for (uint32_t i = 0; i < nwin; ++i) {
+      int64_t wid = 0;
+      uint64_t count = 0;
+      NSTREAM_RETURN_NOT_OK(r->ReadI64(&wid));
+      NSTREAM_RETURN_NOT_OK(r->ReadU64(&count));
+      window_counts_[side][wid] = count;
+    }
+    NSTREAM_RETURN_NOT_OK(r->ReadI64(&min_seen_wid_[side]));
+    NSTREAM_RETURN_NOT_OK(r->ReadI64(&watermark_[side]));
+  }
+  NSTREAM_RETURN_NOT_OK(r->ReadGuardSet(&output_guards_));
+  NSTREAM_RETURN_NOT_OK(r->ReadI64(&emitted_punct_through_));
+  NSTREAM_RETURN_NOT_OK(r->ReadI64(&thrifty_checked_through_));
+  for (auto* set : {&impatient_requested_, &gate_requested_}) {
+    set->clear();
+    uint32_t n = 0;
+    NSTREAM_RETURN_NOT_OK(r->ReadU32(&n));
+    set->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t k = 0;
+      NSTREAM_RETURN_NOT_OK(r->ReadU64(&k));
+      set->insert(k);
+    }
+  }
+  NSTREAM_RETURN_NOT_OK(r->ReadU64(&thrifty_feedbacks_));
+  NSTREAM_RETURN_NOT_OK(r->ReadU64(&impatient_feedbacks_));
+  NSTREAM_RETURN_NOT_OK(r->ReadU64(&gate_feedbacks_));
+  NSTREAM_RETURN_NOT_OK(r->ReadU64(&joined_count_));
+  out_staged_ = Page();
+  NSTREAM_RETURN_NOT_OK(ReadPageInto(r, &out_staged_));
+  return Status::OK();
 }
 
 }  // namespace nstream

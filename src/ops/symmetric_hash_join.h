@@ -180,6 +180,14 @@ class SymmetricHashJoin final : public Operator {
   Status ProcessFeedback(int out_port,
                          const FeedbackPunctuation& fb) override;
 
+  /// Full join state: both hash tables (entries incl. matched/gated
+  /// flags for outer emission), guard sets, window bookkeeping,
+  /// feedback dedup sets, counters, and any staged-but-unflushed
+  /// output page. Unordered containers are written key-sorted so the
+  /// byte stream is canonical.
+  Status SnapshotState(SnapshotWriter* w) override;
+  Status RestoreState(SnapshotReader* r) override;
+
   /// Mixes a window id into a key-subset hash (splitmix64 finalizer) —
   /// the production join-key scheme. Public so the hot-path bench
   /// measures exactly what the join uses.

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "recovery/snapshot.h"
 
 namespace nstream {
 
@@ -72,6 +73,31 @@ class VectorSource final : public SourceOperator {
   }
 
   size_t remaining() const { return elements_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  /// Replay-from-offset recovery: the checkpoint records only the emit
+  /// offset. A recovered plan is rebuilt with the SAME element vector
+  /// (workload generators are deterministic), so restoring `pos_`
+  /// resumes emission exactly after the last element the checkpoint's
+  /// barrier cut off — elements emitted after the checkpoint but
+  /// before the crash are re-emitted (at-least-once).
+  Status SnapshotState(SnapshotWriter* w) override {
+    NSTREAM_RETURN_NOT_OK(Operator::SnapshotState(w));
+    w->WriteU64(pos_);
+    return Status::OK();
+  }
+  Status RestoreState(SnapshotReader* r) override {
+    NSTREAM_RETURN_NOT_OK(Operator::RestoreState(r));
+    uint64_t pos = 0;
+    NSTREAM_RETURN_NOT_OK(r->ReadU64(&pos));
+    if (pos > elements_.size()) {
+      return Status::InvalidArgument(
+          name() + ": snapshot offset " + std::to_string(pos) +
+          " exceeds element count " + std::to_string(elements_.size()));
+    }
+    pos_ = static_cast<size_t>(pos);
+    return Status::OK();
+  }
 
  private:
   std::vector<TimedElement> elements_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "recovery/snapshot.h"
 
 namespace nstream {
 
@@ -735,6 +736,128 @@ Status WindowAggregate::ProcessFeedback(int,
 size_t WindowAggregate::state_size() const { return state_->size(); }
 size_t WindowAggregate::tombstone_count() const {
   return tombstones_->size();
+}
+
+namespace {
+
+// Serialized-key canonical order for the unordered state containers:
+// keys hold Values (group attrs), so "sort by serialized bytes" is
+// the simplest total order that agrees across processes.
+std::string KeyBytes(int64_t wid, const std::vector<Value>& groups) {
+  SnapshotWriter kw;
+  kw.WriteI64(wid);
+  kw.WriteU32(static_cast<uint32_t>(groups.size()));
+  for (const Value& v : groups) kw.WriteValue(v);
+  return kw.Release();
+}
+
+}  // namespace
+
+Status WindowAggregate::SnapshotState(SnapshotWriter* w) {
+  NSTREAM_RETURN_NOT_OK(Operator::SnapshotState(w));
+
+  std::vector<std::pair<std::string, const Partial*>> entries;
+  entries.reserve(state_->size());
+  for (const auto& [key, partial] : *state_) {
+    entries.emplace_back(KeyBytes(key.wid, key.groups), &partial);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w->WriteU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [bytes, partial] : entries) {
+    w->WriteSection(bytes);
+    w->WriteI64(partial->count);
+    w->WriteDouble(partial->sum);
+    w->WriteDouble(partial->max);
+    w->WriteDouble(partial->min);
+  }
+
+  std::vector<std::string> tombs;
+  tombs.reserve(tombstones_->size());
+  for (const Key& key : *tombstones_) {
+    tombs.push_back(KeyBytes(key.wid, key.groups));
+  }
+  std::sort(tombs.begin(), tombs.end());
+  w->WriteU32(static_cast<uint32_t>(tombs.size()));
+  for (const std::string& bytes : tombs) w->WriteSection(bytes);
+
+  w->WriteGuardSet(group_guards_);
+  w->WriteGuardSet(output_guards_);
+  w->WriteU32(static_cast<uint32_t>(purge_partial_patterns_.size()));
+  for (const PunctPattern& p : purge_partial_patterns_) {
+    w->WritePattern(p);
+  }
+  w->WriteI64(closed_through_);
+  w->WriteU64(work_checksum_);
+  w->WriteU64(partials_emitted_);
+  w->WriteU64(updates_applied_);
+  w->WriteU64(updates_skipped_);
+  WritePageElements(w, out_staged_);
+  return Status::OK();
+}
+
+Status WindowAggregate::RestoreState(SnapshotReader* r) {
+  NSTREAM_RETURN_NOT_OK(Operator::RestoreState(r));
+
+  auto read_key = [](SnapshotReader* kr, Key* key) -> Status {
+    NSTREAM_RETURN_NOT_OK(kr->ReadI64(&key->wid));
+    uint32_t ngroups = 0;
+    NSTREAM_RETURN_NOT_OK(kr->ReadU32(&ngroups));
+    key->groups.resize(ngroups);
+    for (uint32_t g = 0; g < ngroups; ++g) {
+      NSTREAM_RETURN_NOT_OK(kr->ReadValue(&key->groups[g]));
+    }
+    return Status::OK();
+  };
+
+  state_->clear();
+  uint32_t nstate = 0;
+  NSTREAM_RETURN_NOT_OK(r->ReadU32(&nstate));
+  state_->reserve(nstate);
+  for (uint32_t i = 0; i < nstate; ++i) {
+    std::string_view key_bytes;
+    NSTREAM_RETURN_NOT_OK(r->ReadSection(&key_bytes));
+    SnapshotReader kr(key_bytes);
+    Key key;
+    NSTREAM_RETURN_NOT_OK(read_key(&kr, &key));
+    Partial partial;
+    NSTREAM_RETURN_NOT_OK(r->ReadI64(&partial.count));
+    NSTREAM_RETURN_NOT_OK(r->ReadDouble(&partial.sum));
+    NSTREAM_RETURN_NOT_OK(r->ReadDouble(&partial.max));
+    NSTREAM_RETURN_NOT_OK(r->ReadDouble(&partial.min));
+    (*state_)[std::move(key)] = partial;
+  }
+
+  tombstones_->clear();
+  uint32_t ntombs = 0;
+  NSTREAM_RETURN_NOT_OK(r->ReadU32(&ntombs));
+  tombstones_->reserve(ntombs);
+  for (uint32_t i = 0; i < ntombs; ++i) {
+    std::string_view key_bytes;
+    NSTREAM_RETURN_NOT_OK(r->ReadSection(&key_bytes));
+    SnapshotReader kr(key_bytes);
+    Key key;
+    NSTREAM_RETURN_NOT_OK(read_key(&kr, &key));
+    tombstones_->insert(std::move(key));
+  }
+
+  NSTREAM_RETURN_NOT_OK(r->ReadGuardSet(&group_guards_));
+  NSTREAM_RETURN_NOT_OK(r->ReadGuardSet(&output_guards_));
+  purge_partial_patterns_.clear();
+  uint32_t npurge = 0;
+  NSTREAM_RETURN_NOT_OK(r->ReadU32(&npurge));
+  purge_partial_patterns_.resize(npurge);
+  for (uint32_t i = 0; i < npurge; ++i) {
+    NSTREAM_RETURN_NOT_OK(r->ReadPattern(&purge_partial_patterns_[i]));
+  }
+  NSTREAM_RETURN_NOT_OK(r->ReadI64(&closed_through_));
+  NSTREAM_RETURN_NOT_OK(r->ReadU64(&work_checksum_));
+  NSTREAM_RETURN_NOT_OK(r->ReadU64(&partials_emitted_));
+  NSTREAM_RETURN_NOT_OK(r->ReadU64(&updates_applied_));
+  NSTREAM_RETURN_NOT_OK(r->ReadU64(&updates_skipped_));
+  out_staged_ = Page();
+  NSTREAM_RETURN_NOT_OK(ReadPageInto(r, &out_staged_));
+  return Status::OK();
 }
 
 }  // namespace nstream

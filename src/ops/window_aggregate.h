@@ -89,6 +89,13 @@ class WindowAggregate final : public Operator {
   Status ProcessFeedback(int out_port,
                          const FeedbackPunctuation& fb) override;
 
+  /// Per-window partial state (all five aggregate kinds share the one
+  /// Partial), tombstones, both guard sets, purge-on-partial feedback
+  /// patterns, window progress, and counters. Hash-map entries are
+  /// written sorted by serialized key bytes so the stream is canonical.
+  Status SnapshotState(SnapshotWriter* w) override;
+  Status RestoreState(SnapshotReader* r) override;
+
   AggMonotonicity monotonicity() const;
 
   // Introspection for tests/benches.

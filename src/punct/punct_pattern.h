@@ -78,28 +78,55 @@ class PunctPattern {
 /// Embedded punctuation (§3.1): flows *with* the data and asserts that
 /// the subset described by `pattern` is complete — no future tuple in
 /// this stream will match it.
+///
+/// A punctuation with a nonzero `barrier_id` is a CHECKPOINT BARRIER:
+/// it carries no completeness claim (its pattern is empty) and exists
+/// only as an in-band consistent-cut marker for the checkpoint
+/// coordinator. Barriers are injected at sources and stripped by the
+/// scheduler before pages reach operators, so operator code never
+/// observes one — but they ride the normal punctuation machinery
+/// (immediate page flush, in-order delivery), which is exactly what
+/// makes the cut punctuation-aligned.
 class Punctuation {
  public:
   Punctuation() = default;
   explicit Punctuation(PunctPattern pattern)
       : pattern_(std::move(pattern)) {}
 
+  /// Checkpoint-barrier marker for checkpoint `id` (must be nonzero).
+  static Punctuation Barrier(int64_t id) {
+    Punctuation p;
+    p.barrier_id_ = id;
+    return p;
+  }
+
   const PunctPattern& pattern() const { return pattern_; }
 
+  int64_t barrier_id() const { return barrier_id_; }
+  bool is_barrier() const { return barrier_id_ != 0; }
+
   /// Does this punctuation promise that no tuple matching `p` will ever
-  /// arrive again? True iff our pattern subsumes `p`.
+  /// arrive again? True iff our pattern subsumes `p`. Barriers promise
+  /// nothing (their pattern is empty and subsumes only same-arity
+  /// patterns, i.e. none in practice).
   bool Covers(const PunctPattern& p) const {
     return pattern_.Subsumes(p);
   }
 
   bool operator==(const Punctuation& o) const {
-    return pattern_ == o.pattern_;
+    return pattern_ == o.pattern_ && barrier_id_ == o.barrier_id_;
   }
 
-  std::string ToString() const { return pattern_.ToString(); }
+  std::string ToString() const {
+    if (is_barrier()) {
+      return "<barrier#" + std::to_string(barrier_id_) + ">";
+    }
+    return pattern_.ToString();
+  }
 
  private:
   PunctPattern pattern_;
+  int64_t barrier_id_ = 0;
 };
 
 }  // namespace nstream

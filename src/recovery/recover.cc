@@ -1,0 +1,19 @@
+#include "recovery/recover.h"
+
+#include "recovery/checkpoint.h"
+#include "recovery/snapshot.h"
+
+namespace nstream {
+
+Status RestorePlanFromSnapshot(const std::string& path, QueryPlan* plan) {
+  NSTREAM_ASSIGN_OR_RETURN(std::string payload, ReadSnapshotFile(path));
+  return CheckpointCoordinator::RestorePayload(payload, plan, nullptr);
+}
+
+Status RestorePlanAndQueues(const std::string& path, QueryPlan* plan,
+                            PlanRuntime* rt) {
+  NSTREAM_ASSIGN_OR_RETURN(std::string payload, ReadSnapshotFile(path));
+  return CheckpointCoordinator::RestorePayload(payload, plan, rt);
+}
+
+}  // namespace nstream

@@ -1,0 +1,33 @@
+// Recovery entry points: load a snapshot file written by the
+// CheckpointCoordinator into a freshly rebuilt plan. The caller
+// reconstructs the plan with the SAME deterministic construction code
+// that built the crashed one (same operators, same source element
+// vectors / generators); restore then rewinds operator state to the
+// checkpoint's punctuation-aligned cut and sources replay from their
+// recorded offsets — at-least-once delivery, with duplicates only for
+// output that left the plan between the checkpoint and the crash.
+
+#ifndef NSTREAM_RECOVERY_RECOVER_H_
+#define NSTREAM_RECOVERY_RECOVER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/query_plan.h"
+#include "exec/runtime.h"
+
+namespace nstream {
+
+/// Operators-only restore: read + verify the snapshot file and restore
+/// every operator's state. The plan must be finalized and Open()ed.
+/// Queue sections in the payload are skipped; use the scheduler's
+/// SubmitRecovered (or RestorePlanAndQueues) to also refill edges.
+Status RestorePlanFromSnapshot(const std::string& path, QueryPlan* plan);
+
+/// Full restore: operators plus each edge queue's in-flight pages.
+Status RestorePlanAndQueues(const std::string& path, QueryPlan* plan,
+                            PlanRuntime* rt);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_RECOVERY_RECOVER_H_

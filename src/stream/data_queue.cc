@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "punct/compiled_pattern.h"
+#include "recovery/snapshot.h"
 
 namespace nstream {
 
@@ -468,6 +469,52 @@ int DataQueue::PromoteMatching(const PunctPattern& pattern) {
   std::lock_guard<std::mutex> lock(mu_);
   for (Page& p : pages_) promote_page(&p);
   return moved;
+}
+
+// ---- Checkpointing ----
+
+Status DataQueue::SnapshotContents(SnapshotWriter* w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lockfree()) {
+    // Move everything published into the staging deque so it can be
+    // walked under mu_; later pops serve the deque first, so nothing
+    // is lost or reordered.
+    DrainRingToSideLocked();
+    side_count_.store(side_pages_.size(), std::memory_order_release);
+  }
+  std::deque<Page>& queued = lockfree() ? side_pages_ : pages_;
+  uint32_t count = static_cast<uint32_t>(queued.size());
+  if (!open_page_.empty()) ++count;
+  w->WriteU32(count);
+  for (Page& p : queued) WritePageElements(w, p);
+  // The open page is producer-local, but the quiesced contract (both
+  // endpoints parked at the barrier) makes reading it race-free. At
+  // full alignment it is empty anyway — the barrier punctuation
+  // flushed it — so this only fires for deque edges checkpointed by
+  // single-threaded harness drivers mid-page.
+  if (!open_page_.empty()) WritePageElements(w, open_page_);
+  return Status::OK();
+}
+
+Status DataQueue::RestoreContents(SnapshotReader* r) {
+  uint32_t count = 0;
+  NSTREAM_RETURN_NOT_OK(r->ReadU32(&count));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i = 0; i < count; ++i) {
+    Page p;
+    NSTREAM_RETURN_NOT_OK(ReadPageInto(r, &p));
+    if (p.empty()) continue;
+    p.set_flush_reason(FlushReason::kExplicit);
+    if (lockfree()) {
+      side_pages_.push_back(std::move(p));
+    } else {
+      pages_.push_back(std::move(p));
+    }
+  }
+  if (lockfree()) {
+    side_count_.store(side_pages_.size(), std::memory_order_release);
+  }
+  return Status::OK();
 }
 
 // ---- Introspection ----

@@ -50,11 +50,15 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "stream/page.h"
 #include "stream/spsc_chain.h"
 #include "stream/spsc_ring.h"
 
 namespace nstream {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 /// Which structure moves pages from producer to consumer.
 enum class DataQueueTransport : uint8_t {
@@ -203,6 +207,23 @@ class DataQueue {
   static uint64_t ThreadConsumerToken();
   /// When false, violations only count (tests exercising the wire).
   static void SetAffinityViolationsFatal(bool fatal);
+
+  // ---- Checkpointing (consumer-side, quiesced only) ----
+  /// Serialize every in-flight element without consuming it. Caller
+  /// contract: the edge is QUIESCED — producer and consumer are both
+  /// parked at a checkpoint barrier — so the producer-local open page
+  /// is stable and safe to read from the (consumer-side) caller.
+  /// Non-destructive: on lock-free transports published pages are
+  /// drained into the consumer staging deque (served before the ring
+  /// by later pops, order preserved) and serialized in place; the
+  /// deque transport serializes pages_ + open_page_ directly.
+  Status SnapshotContents(SnapshotWriter* w);
+  /// Rebuild queued pages from a snapshot, ahead of any pop. The
+  /// restored pages land in the consumer staging deque (lock-free
+  /// transports) or pages_ (deque transport). eos_pushed_ is not part
+  /// of the snapshot: an unconsumed EOS is impossible at barrier
+  /// alignment (EOS ports are exempt from alignment and stay so).
+  Status RestoreContents(SnapshotReader* r);
 
   DataQueueStats stats() const;
 

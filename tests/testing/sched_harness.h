@@ -73,7 +73,20 @@ class SchedHarness {
   /// error). Query-level failures are NOT errors here — they surface
   /// from Wait(), exactly like the pool.
   Status Drive() {
-    while (!sched_->AllDone()) {
+    // The internal max_steps backstop bounds this before the loop cap.
+    NSTREAM_ASSIGN_OR_RETURN(bool done, DriveFor(UINT64_MAX));
+    if (!done) return Status::Internal(SeedMsg("step budget exhausted"));
+    return Status::OK();
+  }
+
+  /// Drive at most `slices` slices. Returns true when every query
+  /// completed, false when the budget ran out with work left — the
+  /// crash-injection tests use that cut to "kill" the engine at a
+  /// seeded slice count. Stalls (nothing ready, deferred, or due) are
+  /// errors carrying the seed and the scheduler's stall report.
+  Result<bool> DriveFor(uint64_t slices) {
+    for (uint64_t i = 0; i < slices; ++i) {
+      if (sched_->AllDone()) return true;
       if (++steps_ > options_.max_steps) {
         return Status::Internal(SeedMsg("step budget exhausted"));
       }
@@ -92,14 +105,16 @@ class SchedHarness {
           clock_.AdvanceTo(*due);
           continue;
         }
-        return Status::Internal(SeedMsg("stalled: no ready tasks, no "
-                                        "deferred wakes, no due times"));
+        return Status::Internal(
+            SeedMsg("stalled: no ready tasks, no deferred wakes, no "
+                    "due times") +
+            "\n" + sched_->StallReport());
       }
       const size_t pick = static_cast<size_t>(
           rng_.NextBounded(static_cast<uint64_t>(n)));
       NSTREAM_RETURN_NOT_OK(sched_->StepReadyAt(pick));
     }
-    return Status::OK();
+    return sched_->AllDone();
   }
 
   /// Submit + Drive + Wait: one plan, start to finish.
