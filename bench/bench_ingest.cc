@@ -1,0 +1,259 @@
+// Ingest front-end characterization (ROADMAP: network ingest edge).
+// Records
+//
+//   ingest.parse_ns_per_tuple      zero-copy wire → arena-page decode
+//                                  (DecodeTupleBatchInto), per tuple;
+//   ingest.parse_ns_per_tuple_ref  the materialize-then-copy reference
+//                                  (DecodeTupleBatchOwned into heap
+//                                  tuples, then re-homed into a page);
+//   ingest.parse_speedup           ref / zero-copy — the acceptance row
+//                                  (must stay >= 1.3);
+//   ingest.frames_per_sec          end-to-end conduit → IngestSource →
+//                                  sink on the pooled executor;
+//   ingest.feedback_roundtrip_ns   engine-edge feedback loop: intent
+//                                  exploited + relayed by the source,
+//                                  decoded back on the client side.
+//
+// Throughput rows depend on how many CPUs the host exposes, so
+// ingest.online_cpus is recorded next to the batch for cross-box
+// comparability.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/logging.h"
+#include "exec/scheduler.h"
+#include "ingest/ingest_client.h"
+#include "ingest/ingest_source.h"
+#include "ops/sink.h"
+#include "punct/pattern_parser.h"
+#include "stream/columnar.h"
+#include "types/tuple_arena.h"
+
+namespace nstream {
+namespace {
+
+// The same mixed shape the ingest tests use: two fixed-width columns
+// around a string column whose lengths straddle the inline/arena
+// boundary — the case where a materializing decode pays for heap
+// strings the zero-copy path never creates.
+SchemaPtr IngestSchema() {
+  return Schema::Make({{"a", ValueType::kInt64},
+                       {"s", ValueType::kString},
+                       {"b", ValueType::kInt64}});
+}
+
+std::vector<Tuple> MakeTuples(int n) {
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(n));
+  const std::string alphabet = "abcdefghijklmnopqrstuvwxyz";
+  for (int i = 0; i < n; ++i) {
+    out.push_back(TupleBuilder()
+                      .I64(i)
+                      .S(alphabet.substr(0, 1 + (i % 24)))
+                      .I64(i * 10)
+                      .Build());
+  }
+  return out;
+}
+
+std::string EncodeStream(const std::vector<Tuple>& tuples,
+                         size_t batch_size) {
+  std::string out;
+  AppendHelloFrame(&out, 3);
+  for (size_t i = 0; i < tuples.size(); i += batch_size) {
+    AppendTupleBatchFrame(&out, tuples.data() + i,
+                          std::min(batch_size, tuples.size() - i));
+  }
+  AppendEosFrame(&out);
+  return out;
+}
+
+double ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// ---- parse path A/B ------------------------------------------------
+
+struct ParseCost {
+  double zero_copy_ns_per_tuple = 0;
+  double ref_ns_per_tuple = 0;
+};
+
+ParseCost MeasureParse(int batch_tuples, int reps) {
+  std::vector<Tuple> tuples = MakeTuples(batch_tuples);
+  std::string frame;
+  AppendTupleBatchFrame(&frame, tuples);
+  FrameView f;
+  size_t consumed = 0;
+  NSTREAM_CHECK(ScanFrame(frame, &f, &consumed).ok());
+
+  ScopedTupleArenasEnabled arenas(true);
+  ScopedPageColumnarEnabled columnar(true);
+  const double denom =
+      static_cast<double>(batch_tuples) * static_cast<double>(reps);
+
+  // Zero-copy: wire payload straight into the page arena.
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    Page page;
+    int64_t next_id = 1;
+    NSTREAM_CHECK(DecodeTupleBatchInto(f.payload, 3, &page,
+                                       /*allow_columnar=*/true, &next_id)
+                      .ok());
+    benchmark::DoNotOptimize(page.size());
+  }
+  ParseCost out;
+  out.zero_copy_ns_per_tuple = ElapsedNs(t0) / denom;
+
+  // Reference: materialize owned tuples, then copy them into a page —
+  // what a front-end without the arena-aware decode has to do.
+  auto t1 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    std::vector<Tuple> owned;
+    NSTREAM_CHECK(DecodeTupleBatchOwned(f.payload, 3, &owned).ok());
+    Page page;
+    int64_t next_id = 1;
+    for (Tuple& t : owned) {
+      if (t.id() == 0) t.set_id(next_id++);
+      page.AddTuple(std::move(t));
+    }
+    benchmark::DoNotOptimize(page.size());
+  }
+  out.ref_ns_per_tuple = ElapsedNs(t1) / denom;
+  return out;
+}
+
+// ---- end-to-end frame throughput (pooled) --------------------------
+
+double MeasureFramesPerSec(int n_tuples, size_t batch_size) {
+  std::vector<Tuple> tuples = MakeTuples(n_tuples);
+  const std::string stream = EncodeStream(tuples, batch_size);
+
+  FrameConduitOptions copts;
+  copts.buffer_bytes = 4096;
+  copts.num_buffers = stream.size() / copts.buffer_bytes + 2;
+  FrameConduit conduit(copts);
+  NSTREAM_CHECK(conduit.WriteAll(stream));
+  conduit.CloseWrite();
+
+  auto plan = std::make_unique<QueryPlan>();
+  auto* src = plan->AddOp(
+      std::make_unique<IngestSource>("ingest", IngestSchema(), &conduit));
+  auto* sink = plan->AddOp(std::make_unique<CollectorSink>(
+      "sink", CollectorSinkOptions{.record_tuples = false}));
+  NSTREAM_CHECK(plan->Connect(*src, *sink).ok());
+  NSTREAM_CHECK(plan->Finalize().ok());
+
+  PooledExecutor exec(PooledExecutorOptions{});
+  auto start = std::chrono::steady_clock::now();
+  NSTREAM_CHECK(exec.Run(plan.get()).ok());
+  const double ns = ElapsedNs(start);
+  return static_cast<double>(src->admitted_frames()) / (ns * 1e-9);
+}
+
+// ---- feedback round-trip at the edge -------------------------------
+
+double MeasureFeedbackRoundTripNs(int reps) {
+  FrameConduit conduit;
+  IngestSource src("ingest", IngestSchema(), &conduit);
+  ConduitClient client(&conduit);
+  FeedbackPunctuation fb = FeedbackPunctuation::Assumed(
+      ParsePattern("[*,*,>=990]").value());
+  auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    NSTREAM_CHECK(src.ProcessFeedback(0, fb).ok());
+    Result<std::optional<FeedbackPunctuation>> got = client.PollFeedback();
+    NSTREAM_CHECK(got.ok() && got.value().has_value());
+    benchmark::DoNotOptimize(got.value()->is_assumed());
+  }
+  return ElapsedNs(start) / static_cast<double>(reps);
+}
+
+// ---- google-benchmark registrations (bench-smoke coverage) ---------
+
+void BM_Ingest_ParseZeroCopy(benchmark::State& state) {
+  for (auto _ : state) {
+    ParseCost c = MeasureParse(static_cast<int>(state.range(0)), 4);
+    benchmark::DoNotOptimize(c.zero_copy_ns_per_tuple);
+  }
+}
+BENCHMARK(BM_Ingest_ParseZeroCopy)->Arg(1 << 10);
+
+void BM_Ingest_FramesPooled(benchmark::State& state) {
+  for (auto _ : state) {
+    double fps = MeasureFramesPerSec(1 << 12, 32);
+    benchmark::DoNotOptimize(fps);
+  }
+}
+BENCHMARK(BM_Ingest_FramesPooled);
+
+void BM_Ingest_FeedbackRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    double ns = MeasureFeedbackRoundTripNs(64);
+    benchmark::DoNotOptimize(ns);
+  }
+}
+BENCHMARK(BM_Ingest_FeedbackRoundTrip);
+
+// ---- Recorded trajectory metrics -----------------------------------
+
+void RecordHotpathJson() {
+  // Parse A/B: warm once, then best (min) of 5 — same methodology as
+  // the other hot-path rows.
+  const int kBatch = 1 << 10;
+  const int kReps = 64;
+  MeasureParse(kBatch, kReps);  // warm-up
+  ParseCost best;
+  best.zero_copy_ns_per_tuple = best.ref_ns_per_tuple = 1e18;
+  for (int i = 0; i < 5; ++i) {
+    ParseCost c = MeasureParse(kBatch, kReps);
+    best.zero_copy_ns_per_tuple =
+        std::min(best.zero_copy_ns_per_tuple, c.zero_copy_ns_per_tuple);
+    best.ref_ns_per_tuple =
+        std::min(best.ref_ns_per_tuple, c.ref_ns_per_tuple);
+  }
+
+  const int kStreamTuples = 1 << 15;
+  MeasureFramesPerSec(kStreamTuples, 32);  // warm-up
+  double fps = 0;
+  for (int i = 0; i < 3; ++i) {
+    fps = std::max(fps, MeasureFramesPerSec(kStreamTuples, 32));
+  }
+
+  MeasureFeedbackRoundTripNs(256);  // warm-up
+  double rt = 1e18;
+  for (int i = 0; i < 5; ++i) {
+    rt = std::min(rt, MeasureFeedbackRoundTripNs(256));
+  }
+
+  benchjson::RecordAll({
+      {"ingest.parse_ns_per_tuple", best.zero_copy_ns_per_tuple},
+      {"ingest.parse_ns_per_tuple_ref", best.ref_ns_per_tuple},
+      {"ingest.parse_speedup",
+       best.ref_ns_per_tuple / best.zero_copy_ns_per_tuple},
+      {"ingest.frames_per_sec", fps},
+      {"ingest.feedback_roundtrip_ns", rt},
+      {"ingest.online_cpus",
+       static_cast<double>(std::thread::hardware_concurrency())},
+  });
+}
+
+}  // namespace
+}  // namespace nstream
+
+int main(int argc, char** argv) {
+  nstream::RecordHotpathJson();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -318,6 +318,16 @@ Status WalkPageElements(Op* op, OperatorStats* stats, int port,
   return Status::OK();
 }
 
+/// Readiness of a source, as seen by an executor's produce loop.
+/// Pre-materialized sources (VectorSource) only ever report kReady or
+/// kExhausted; an external-input source (ingest) adds the third state:
+/// open but momentarily empty, which must NOT end the stream.
+enum class SourcePoll : uint8_t {
+  kReady = 0,  // an element is available; call ProduceNext
+  kIdle,       // open but nothing to produce NOW — park until a wake
+  kExhausted,  // stream over: emit EOS and finish the source
+};
+
 /// A source operator generates the stream. `NextArrivalMs` exposes the
 /// (system-time) instant the next element becomes available, letting
 /// the SimExecutor schedule arrivals and the ThreadedExecutor pace them
@@ -331,6 +341,23 @@ class SourceOperator : public Operator {
   virtual std::optional<TimeMs> NextArrivalMs() = 0;
   /// Emit the element(s) due at NextArrivalMs via ctx().
   virtual Status ProduceNext() = 0;
+
+  /// Readiness check the executors drive the produce loop with. The
+  /// default derives it from NextArrivalMs — exactly the historical
+  /// contract (a value = ready, nullopt = exhausted) — so existing
+  /// sources are untouched. External-input sources override this to
+  /// report kIdle while the connection is open but drained.
+  virtual SourcePoll Poll() {
+    return NextArrivalMs().has_value() ? SourcePoll::kReady
+                                       : SourcePoll::kExhausted;
+  }
+
+  /// Executors that can park an idle source install a wake callback
+  /// here; the source (or its transport) invokes it — possibly from a
+  /// producer thread — when new input arrives, re-scheduling the
+  /// produce loop. Default: dropped; sources that never report kIdle
+  /// have no one to wake.
+  virtual void SetWakeNotifier(std::function<void()> fn) { (void)fn; }
 
   Status ProcessTuple(int, const Tuple&) final {
     return Status::FailedPrecondition("source has no inputs");

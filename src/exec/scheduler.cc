@@ -328,6 +328,12 @@ Result<QueryId> Scheduler::SubmitInternal(QueryPlan* plan,
       run->rt->output_conn(id, p)->control->SetNotifier(
           [this, task] { Wake(task); });
     }
+    if (op->is_source()) {
+      // External-input sources park when idle (SourcePoll::kIdle);
+      // their transport fires this when bytes arrive.
+      static_cast<SourceOperator*>(op)->SetWakeNotifier(
+          [this, task] { Wake(task); });
+    }
   }
   for (int64_t id = 0; id < n; ++id) {
     Status st = plan->op(id)->Open(
@@ -504,17 +510,26 @@ Scheduler::SliceResult Scheduler::RunSliceBody(Task* t) {
     auto* src = static_cast<SourceOperator*>(op);
     const int batch = std::max(1, options_.source_batch_per_slice);
     for (int i = 0; i < batch; ++i) {
-      std::optional<TimeMs> next = src->NextArrivalMs();
-      if (src->shutdown_requested() || !next.has_value()) {
+      const SourcePoll poll = src->Poll();
+      if (src->shutdown_requested() || poll == SourcePoll::kExhausted) {
         for (int p = 0; p < op->num_outputs(); ++p) ctx->EmitEos(p);
         t->source_eos_emitted = true;
         r.finished = true;
         return r;
       }
+      if (poll == SourcePoll::kIdle) {
+        // Open but drained: end the slice without finishing the
+        // source. With no due time and no did_work the task parks
+        // WAITING; the source's wake notifier (wired at submit)
+        // re-enqueues it when input arrives — a wake racing this
+        // slice is caught by the wake_pending requeue.
+        return r;
+      }
       if (options_.pace_sources) {
+        std::optional<TimeMs> next = src->NextArrivalMs();
         const TimeMs due =
             run->start_ms +
-            static_cast<TimeMs>(static_cast<double>(*next) *
+            static_cast<TimeMs>(static_cast<double>(next.value_or(0)) *
                                 options_.pace_scale);
         if (due > clock_->NowMs()) {
           r.due_ms = due;  // park until the arrival is due

@@ -130,8 +130,9 @@ Status SyncExecutor::Run(QueryPlan* plan) {
       if (op->is_source() && !source_done[static_cast<size_t>(id)]) {
         auto* src = static_cast<SourceOperator*>(op);
         for (int k = 0; k < options_.source_batch; ++k) {
+          const SourcePoll poll = src->Poll();
           if (src->shutdown_requested() ||
-              !src->NextArrivalMs().has_value()) {
+              poll == SourcePoll::kExhausted) {
             for (int p = 0; p < op->num_outputs(); ++p) {
               contexts[static_cast<size_t>(id)]->EmitEos(p);
             }
@@ -139,6 +140,11 @@ Status SyncExecutor::Run(QueryPlan* plan) {
             progress = true;
             break;
           }
+          // Open but drained: no progress from this source this round.
+          // Single-threaded, nothing can feed it mid-run, so a source
+          // that stays idle trips the stall valve below instead of
+          // silently truncating the stream.
+          if (poll == SourcePoll::kIdle) break;
           ++now_ms_;
           NSTREAM_RETURN_NOT_OK(src->ProduceNext());
           progress = true;

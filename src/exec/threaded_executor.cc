@@ -164,6 +164,10 @@ Status ThreadedExecutor::Run(QueryPlan* plan) {
       rt->output_conn(id, p)->control->SetNotifier(
           [wake] { wake->Notify(); });
     }
+    if (op->is_source()) {
+      static_cast<SourceOperator*>(op)->SetWakeNotifier(
+          [wake] { wake->Notify(); });
+    }
   }
   for (int64_t id = 0; id < n; ++id) {
     NSTREAM_RETURN_NOT_OK(
@@ -191,16 +195,26 @@ Status ThreadedExecutor::Run(QueryPlan* plan) {
       // 2. Sources produce.
       if (op->is_source() && !source_done) {
         auto* src = static_cast<SourceOperator*>(op);
-        std::optional<TimeMs> next = src->NextArrivalMs();
-        if (src->shutdown_requested() || !next.has_value()) {
+        const SourcePoll poll = src->Poll();
+        if (src->shutdown_requested() ||
+            poll == SourcePoll::kExhausted) {
           for (int p = 0; p < op->num_outputs(); ++p) ctx->EmitEos(p);
           source_done = true;
           break;  // a source's job ends with EOS
         }
+        if (poll == SourcePoll::kIdle) {
+          // Open but drained: park on the wake object. The source's
+          // wake notifier (wired above) fires when input arrives; a
+          // push racing this wait is caught by the wake latch.
+          wake->Wait();
+          continue;
+        }
         if (options_.pace_sources) {
-          TimeMs due = start_wall + static_cast<TimeMs>(
-                                        static_cast<double>(*next) *
-                                        options_.pace_scale);
+          std::optional<TimeMs> next = src->NextArrivalMs();
+          TimeMs due = start_wall +
+                       static_cast<TimeMs>(
+                           static_cast<double>(next.value_or(0)) *
+                           options_.pace_scale);
           TimeMs now = clock.NowMs();
           if (due > now) {
             std::this_thread::sleep_for(

@@ -1,0 +1,97 @@
+#include "ingest/fd_listener.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace nstream {
+
+namespace {
+// Poll/backoff quantum: short enough that feedback latency and Stop()
+// responsiveness stay in the low milliseconds, long enough not to spin.
+constexpr int kPollMs = 2;
+}  // namespace
+
+FdListener::FdListener(int fd, FrameConduit* conduit)
+    : fd_(fd), conduit_(conduit) {
+  // A peer that died between frames must surface as EOF on read, not
+  // as a process-killing SIGPIPE on our feedback write.
+  ::signal(SIGPIPE, SIG_IGN);
+  thread_ = std::thread([this] { Run(); });
+}
+
+FdListener::~FdListener() { Stop(); }
+
+void FdListener::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool FdListener::FlushFeedback() {
+  while (std::optional<std::string> f = conduit_->TryPopFeedbackFrame()) {
+    size_t off = 0;
+    while (off < f->size()) {
+      ssize_t n = ::write(fd_, f->data() + off, f->size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // peer gone (EPIPE etc.): drop remaining feedback
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+  return true;
+}
+
+void FdListener::Run() {
+  bool peer_writable = true;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (peer_writable) peer_writable = FlushFeedback();
+
+    if (eof_.load(std::memory_order_acquire)) {
+      // Nothing left to read; keep draining feedback until stopped so
+      // late plan output (e.g. final assumed guards) still reaches a
+      // half-open peer.
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+      continue;
+    }
+
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, kPollMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      conduit_->CloseWrite();
+      eof_.store(true, std::memory_order_release);
+      continue;
+    }
+    if (pr == 0 || (pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+      continue;
+    }
+
+    char* buf = conduit_->TryAcquireBuffer();
+    if (buf == nullptr) {
+      // Admission pool dry: stop reading. The socket buffer fills and
+      // the producer's send() blocks — backpressure, not drop.
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+      continue;
+    }
+    ssize_t n = ::read(fd_, buf, conduit_->buffer_bytes());
+    if (n > 0) {
+      conduit_->CommitBuffer(buf, static_cast<size_t>(n));
+    } else if (n == 0 || (n < 0 && errno != EINTR)) {
+      conduit_->ReleaseBuffer(buf);
+      conduit_->CloseWrite();
+      eof_.store(true, std::memory_order_release);
+    } else {
+      conduit_->ReleaseBuffer(buf);  // EINTR: retry
+    }
+  }
+}
+
+}  // namespace nstream

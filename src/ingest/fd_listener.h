@@ -1,0 +1,57 @@
+// FdListener: pumps a byte-stream file descriptor (socketpair, pipe,
+// or an accepted TCP connection — anything read(2)/write(2) works on)
+// into a FrameConduit, and pumps feedback frames back out. One thread
+// per connection, blocking I/O with a short poll timeout.
+//
+// The read side is zero-copy into the admission pool: read(2) lands
+// bytes directly in a pooled buffer (TryAcquireBuffer → CommitBuffer).
+// A dry pool pauses reading — the kernel socket buffer fills, the
+// peer's send(2) blocks, and backpressure reaches the producer with no
+// engine-side queue growth: admission control by pool sizing.
+//
+// The write side drains the conduit's feedback queue to the fd, so the
+// paper's feedback punctuations physically reach the producer process.
+
+#ifndef NSTREAM_INGEST_FD_LISTENER_H_
+#define NSTREAM_INGEST_FD_LISTENER_H_
+
+#include <atomic>
+#include <thread>
+
+#include "ingest/frame_conduit.h"
+
+namespace nstream {
+
+class FdListener {
+ public:
+  /// Takes ownership of `fd` (closed on Stop/destruction) and starts
+  /// the pump thread immediately.
+  FdListener(int fd, FrameConduit* conduit);
+  ~FdListener();
+
+  FdListener(const FdListener&) = delete;
+  FdListener& operator=(const FdListener&) = delete;
+
+  /// Join the pump thread and close the fd. Idempotent. Called by the
+  /// destructor if not called explicitly.
+  void Stop();
+
+  /// True once the peer closed its write side (conduit CloseWrite has
+  /// fired).
+  bool eof() const { return eof_.load(std::memory_order_acquire); }
+
+ private:
+  void Run();
+  /// Drain queued feedback frames to the fd. False on a dead peer.
+  bool FlushFeedback();
+
+  int fd_;
+  FrameConduit* conduit_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> eof_{false};
+  std::thread thread_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_INGEST_FD_LISTENER_H_

@@ -1,0 +1,113 @@
+// FrameConduit: the byte-stream channel between one producer and one
+// IngestSource. Bytes flow producer → engine as filled pool buffers
+// (ConduitChunk); feedback frames flow engine → producer as encoded
+// byte strings. Thread-safe on both sides: the producer may be a
+// client thread or the FdListener's socket pump, the consumer is
+// whichever worker runs the IngestSource task.
+//
+// The conduit owns the admission pool (frame_pool.h). OfferBytes
+// copies producer bytes into pooled buffers and accepts only what the
+// pool can hold — the in-memory equivalent of TCP backpressure. The
+// FdListener bypasses the copy entirely with the acquire/commit API:
+// read(2) lands socket bytes directly in a pool buffer.
+//
+// The data notifier makes an idle IngestSource schedulable again: the
+// pooled scheduler wires it to Wake(task) (via SetWakeNotifier), so a
+// byte arriving on a drained conduit re-enqueues the parked source.
+
+#ifndef NSTREAM_INGEST_FRAME_CONDUIT_H_
+#define NSTREAM_INGEST_FRAME_CONDUIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ingest/frame_pool.h"
+
+namespace nstream {
+
+/// A filled admission buffer in flight. `data` stays owned by the
+/// pool; the consumer must Recycle() the chunk when done with it.
+struct ConduitChunk {
+  char* data = nullptr;
+  size_t len = 0;
+};
+
+struct FrameConduitOptions {
+  size_t buffer_bytes = 4096;
+  size_t num_buffers = 256;
+};
+
+class FrameConduit {
+ public:
+  using Options = FrameConduitOptions;
+
+  explicit FrameConduit(Options opts = {})
+      : pool_(opts.buffer_bytes, opts.num_buffers) {}
+
+  FrameConduit(const FrameConduit&) = delete;
+  FrameConduit& operator=(const FrameConduit&) = delete;
+
+  // ---- Producer side (client thread / FdListener) ----
+
+  /// Copy up to `n` bytes into pooled buffers and publish them.
+  /// Returns the number accepted — less than `n` exactly when the
+  /// pool ran dry (admission backpressure; retry after the consumer
+  /// recycles).
+  size_t OfferBytes(const char* p, size_t n);
+
+  /// OfferBytes until everything is accepted, or give up the moment
+  /// the pool is dry. True = all bytes published.
+  bool WriteAll(std::string_view bytes) {
+    return OfferBytes(bytes.data(), bytes.size()) == bytes.size();
+  }
+
+  /// Zero-copy fill: acquire a raw pool buffer, read into it, then
+  /// Commit (publishes as a chunk) or Release (abandon). Null when
+  /// the pool is dry.
+  char* TryAcquireBuffer() { return pool_.TryAcquire(); }
+  void CommitBuffer(char* buf, size_t len);
+  void ReleaseBuffer(char* buf) { pool_.Release(buf); }
+
+  /// Producer is done; once the queued chunks drain the stream ends.
+  void CloseWrite();
+
+  /// Next engine → producer feedback frame (encoded bytes), if any.
+  std::optional<std::string> TryPopFeedbackFrame();
+
+  // ---- Consumer side (IngestSource) ----
+
+  std::optional<ConduitChunk> TryPopChunk();
+  void Recycle(const ConduitChunk& c) { pool_.Release(c.data); }
+  bool HasChunks() const;
+  bool write_closed() const;
+
+  /// Fired (outside the lock) when a chunk is published or the write
+  /// side closes — the IngestSource wake hook.
+  void SetDataNotifier(std::function<void()> fn);
+
+  /// Engine side: send an encoded feedback frame back to the producer.
+  void PushFeedbackFrame(std::string frame_bytes);
+  /// Fired when a feedback frame is queued (FdListener write pump).
+  void SetFeedbackNotifier(std::function<void()> fn);
+
+  size_t buffer_bytes() const { return pool_.buffer_bytes(); }
+  const FrameBufferPool& pool() const { return pool_; }
+
+ private:
+  FrameBufferPool pool_;
+  mutable std::mutex mu_;
+  std::deque<ConduitChunk> chunks_;
+  std::deque<std::string> feedback_;
+  bool write_closed_ = false;
+  std::function<void()> data_notifier_;
+  std::function<void()> feedback_notifier_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_INGEST_FRAME_CONDUIT_H_

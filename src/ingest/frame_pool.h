@@ -1,0 +1,81 @@
+// Fixed-size reusable admission buffers (the event-pool idiom from
+// SNIPPETS.md's ingest exemplar): every byte entering the engine lands
+// in one of `num_buffers` pre-allocated buffers of `buffer_bytes`
+// each. The pool IS the admission policy — when it runs dry the
+// listener stops reading its socket (kernel buffers fill, TCP pushes
+// back on the producer) and an in-memory producer sees a short accept.
+// No per-read allocation, bounded ingest memory, natural backpressure.
+
+#ifndef NSTREAM_INGEST_FRAME_POOL_H_
+#define NSTREAM_INGEST_FRAME_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace nstream {
+
+class FrameBufferPool {
+ public:
+  FrameBufferPool(size_t buffer_bytes, size_t num_buffers)
+      : buffer_bytes_(buffer_bytes) {
+    storage_.reserve(num_buffers);
+    free_.reserve(num_buffers);
+    for (size_t i = 0; i < num_buffers; ++i) {
+      storage_.push_back(std::make_unique<char[]>(buffer_bytes));
+      free_.push_back(storage_.back().get());
+    }
+  }
+
+  FrameBufferPool(const FrameBufferPool&) = delete;
+  FrameBufferPool& operator=(const FrameBufferPool&) = delete;
+
+  /// A free buffer of buffer_bytes(), or null when the pool is dry
+  /// (admission backpressure — the caller backs off, never allocates).
+  char* TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) {
+      ++dry_acquires_;
+      return nullptr;
+    }
+    ++acquires_;
+    char* p = free_.back();
+    free_.pop_back();
+    return p;
+  }
+
+  void Release(char* p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(p);
+  }
+
+  size_t buffer_bytes() const { return buffer_bytes_; }
+  size_t capacity() const { return storage_.size(); }
+  size_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+  uint64_t acquires() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return acquires_;
+  }
+  /// Times a caller wanted a buffer and the pool had none — the
+  /// backpressure counter.
+  uint64_t dry_acquires() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dry_acquires_;
+  }
+
+ private:
+  const size_t buffer_bytes_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<char[]>> storage_;
+  std::vector<char*> free_;
+  uint64_t acquires_ = 0;
+  uint64_t dry_acquires_ = 0;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_INGEST_FRAME_POOL_H_

@@ -1,0 +1,78 @@
+// ConduitClient: the producer-side convenience wrapper tests and
+// benches speak the wire protocol through. Encodes frames onto a
+// FrameConduit and decodes feedback frames coming back. NOT the
+// engine's API surface — a real producer owns a socket and writes the
+// same bytes (see fd_listener.h for the engine's end of that).
+
+#ifndef NSTREAM_INGEST_INGEST_CLIENT_H_
+#define NSTREAM_INGEST_INGEST_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ingest/frame_conduit.h"
+#include "ingest/wire_format.h"
+
+namespace nstream {
+
+class ConduitClient {
+ public:
+  explicit ConduitClient(FrameConduit* conduit) : conduit_(conduit) {}
+
+  Status Hello(uint32_t tuple_arity) {
+    std::string f;
+    AppendHelloFrame(&f, tuple_arity);
+    return Send(f);
+  }
+  Status SendBatch(const std::vector<Tuple>& tuples) {
+    std::string f;
+    AppendTupleBatchFrame(&f, tuples);
+    return Send(f);
+  }
+  Status SendPunctuation(const Punctuation& p) {
+    std::string f;
+    AppendPunctuationFrame(&f, p);
+    return Send(f);
+  }
+  Status SendEos() {
+    std::string f;
+    AppendEosFrame(&f);
+    return Send(f);
+  }
+  /// Raw escape hatch (corruption tests inject damaged bytes here).
+  Status SendRaw(std::string_view bytes) { return Send(bytes); }
+
+  void CloseWrite() { conduit_->CloseWrite(); }
+
+  /// Decode the next engine → producer feedback punctuation, if any.
+  /// A malformed feedback frame is an engine bug, surfaced as a Status.
+  Result<std::optional<FeedbackPunctuation>> PollFeedback() {
+    std::optional<std::string> bytes = conduit_->TryPopFeedbackFrame();
+    if (!bytes.has_value()) return std::optional<FeedbackPunctuation>();
+    FrameView f;
+    size_t consumed = 0;
+    NSTREAM_RETURN_NOT_OK(ScanFrame(*bytes, &f, &consumed));
+    if (consumed != bytes->size() || f.type != FrameType::kFeedback) {
+      return Status::Internal("client: malformed feedback frame");
+    }
+    FeedbackPunctuation fb;
+    NSTREAM_RETURN_NOT_OK(DecodeFeedback(f.payload, &fb));
+    return std::optional<FeedbackPunctuation>(std::move(fb));
+  }
+
+ private:
+  Status Send(std::string_view frame) {
+    if (!conduit_->WriteAll(frame)) {
+      return Status::ResourceExhausted(
+          "client: conduit admission pool dry (backpressure)");
+    }
+    return Status::OK();
+  }
+
+  FrameConduit* conduit_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_INGEST_INGEST_CLIENT_H_

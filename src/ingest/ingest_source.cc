@@ -1,0 +1,330 @@
+#include "ingest/ingest_source.h"
+
+#include <utility>
+
+#include "recovery/snapshot.h"
+
+namespace nstream {
+
+IngestSource::IngestSource(std::string name, SchemaPtr schema,
+                           FrameConduit* conduit, IngestSourceOptions opts)
+    : SourceOperator(std::move(name)),
+      conduit_(conduit),
+      opts_(std::move(opts)) {
+  SetOutputSchema(0, std::move(schema));
+}
+
+Status IngestSource::Open(ExecContext* ctx) {
+  NSTREAM_RETURN_NOT_OK(Operator::Open(ctx));
+  if (!opts_.trace_path.empty()) {
+    NSTREAM_RETURN_NOT_OK(trace_.Open(opts_.trace_path));
+  }
+  return Status::OK();
+}
+
+Status IngestSource::Close() {
+  if (cur_.data != nullptr) {
+    conduit_->Recycle(cur_);
+    cur_ = ConduitChunk{};
+  }
+  Status trace_status = trace_.Close();
+  NSTREAM_RETURN_NOT_OK(Operator::Close());
+  return trace_status;
+}
+
+bool IngestSource::TopUpCarry() {
+  if (cur_.data != nullptr) {
+    if (cur_pos_ < cur_.len) {
+      carry_.append(cur_.data + cur_pos_, cur_.len - cur_pos_);
+      conduit_->Recycle(cur_);
+      cur_ = ConduitChunk{};
+      cur_pos_ = 0;
+      return true;
+    }
+    conduit_->Recycle(cur_);
+    cur_ = ConduitChunk{};
+    cur_pos_ = 0;
+  }
+  std::optional<ConduitChunk> c = conduit_->TryPopChunk();
+  if (!c.has_value()) return false;
+  carry_.append(c->data, c->len);
+  conduit_->Recycle(*c);
+  return true;
+}
+
+void IngestSource::EnsureFrame() {
+  if (pending_ready_ || !pending_error_.ok() || clean_close_) return;
+  for (;;) {
+    if (!carry_.empty()) {
+      // Slow path: a frame straddled a chunk boundary; it is assembled
+      // contiguously in carry_ (copied once) before parsing.
+      FrameView f;
+      size_t consumed = 0;
+      Status s = ScanFrame(carry_, &f, &consumed);
+      if (!s.ok()) {
+        pending_error_ = std::move(s);
+        return;
+      }
+      if (consumed > 0) {
+        pending_frame_ = f;
+        pending_consumed_ = consumed;
+        pending_from_carry_ = true;
+        pending_ready_ = true;
+        return;
+      }
+      if (TopUpCarry()) continue;
+      if (conduit_->write_closed() && !conduit_->HasChunks()) {
+        pending_error_ = Status::InvalidArgument(
+            name() + ": stream closed mid-frame (" +
+            std::to_string(carry_.size()) + " dangling bytes)");
+      }
+      return;  // open but drained: idle
+    }
+    // Fast path: parse frames in place out of the pooled chunk — the
+    // payload view handed to the decoder aliases the admission buffer.
+    if (cur_.data == nullptr || cur_pos_ >= cur_.len) {
+      if (cur_.data != nullptr) {
+        conduit_->Recycle(cur_);
+        cur_ = ConduitChunk{};
+      }
+      cur_pos_ = 0;
+      std::optional<ConduitChunk> c = conduit_->TryPopChunk();
+      if (!c.has_value()) {
+        if (conduit_->write_closed() && !conduit_->HasChunks()) {
+          clean_close_ = true;  // drained at a frame boundary
+        }
+        return;
+      }
+      cur_ = *c;
+    }
+    FrameView f;
+    size_t consumed = 0;
+    Status s = ScanFrame(
+        std::string_view(cur_.data + cur_pos_, cur_.len - cur_pos_), &f,
+        &consumed);
+    if (!s.ok()) {
+      pending_error_ = std::move(s);
+      return;
+    }
+    if (consumed > 0) {
+      pending_frame_ = f;
+      pending_consumed_ = consumed;
+      pending_from_carry_ = false;
+      pending_ready_ = true;
+      return;
+    }
+    // Partial tail in this chunk: spill it to carry_ and recycle the
+    // buffer; the next iteration assembles across chunks.
+    carry_.assign(cur_.data + cur_pos_, cur_.len - cur_pos_);
+    conduit_->Recycle(cur_);
+    cur_ = ConduitChunk{};
+    cur_pos_ = 0;
+  }
+}
+
+void IngestSource::ConsumePending() {
+  if (pending_from_carry_) {
+    carry_.erase(0, pending_consumed_);
+  } else {
+    cur_pos_ += pending_consumed_;
+  }
+  pending_ready_ = false;
+  pending_consumed_ = 0;
+  pending_frame_ = FrameView{};
+}
+
+SourcePoll IngestSource::Poll() {
+  EnsureFrame();
+  if (!pending_error_.ok()) return SourcePoll::kReady;  // surface it
+  if (pending_ready_) return SourcePoll::kReady;
+  if (eos_frame_seen_ || clean_close_) return SourcePoll::kExhausted;
+  return SourcePoll::kIdle;
+}
+
+std::optional<TimeMs> IngestSource::NextArrivalMs() {
+  // Network arrivals are "now or unknown": ready frames are due
+  // immediately, and an idle conduit has no predictable next-arrival
+  // instant (the SimExecutor therefore only drives pre-filled,
+  // write-closed conduits).
+  if (Poll() == SourcePoll::kReady) return 0;
+  return std::nullopt;
+}
+
+Status IngestSource::ProduceNext() {
+  // INVARIANT (no-busy-spin): Poll() only reported kReady if a whole
+  // frame is assembled or an error is pending, so every call below
+  // makes progress — consumes a frame or fails the query.
+  for (int i = 0; i < opts_.max_frames_per_produce; ++i) {
+    EnsureFrame();
+    if (!pending_error_.ok()) return pending_error_;
+    if (!pending_ready_) break;
+    if (skip_remaining_ > 0) {
+      // Recovery replay: this frame was admitted (and emitted) before
+      // the checkpoint — drop it without emitting or re-counting.
+      --skip_remaining_;
+      ++replayed_skips_;
+    } else {
+      const char* base =
+          pending_from_carry_ ? carry_.data() : cur_.data + cur_pos_;
+      Status s = ProcessFrame(pending_frame_,
+                              std::string_view(base, pending_consumed_));
+      if (!s.ok()) {
+        pending_error_ = s;  // stay kReady so the failure is sticky
+        return s;
+      }
+    }
+    ConsumePending();
+    if (eos_frame_seen_) break;  // Poll turns kExhausted; executor EOSes
+  }
+  return Status::OK();
+}
+
+Status IngestSource::ProcessFrame(const FrameView& f, std::string_view raw) {
+  if (eos_frame_seen_) {
+    return Status::InvalidArgument(name() + ": frame after EOS");
+  }
+  if (!hello_seen_ && f.type != FrameType::kHello) {
+    return Status::InvalidArgument(
+        name() + ": stream must open with a hello frame");
+  }
+  switch (f.type) {
+    case FrameType::kHello: {
+      if (hello_seen_) {
+        return Status::InvalidArgument(name() + ": duplicate hello frame");
+      }
+      uint32_t version = 0;
+      uint32_t arity = 0;
+      NSTREAM_RETURN_NOT_OK(DecodeHello(f.payload, &version, &arity));
+      if (version != kWireVersion) {
+        return Status::InvalidArgument(
+            name() + ": wire version " + std::to_string(version) +
+            " != supported " + std::to_string(kWireVersion));
+      }
+      const uint32_t want =
+          static_cast<uint32_t>(output_schema(0)->num_fields());
+      if (arity != want) {
+        return Status::InvalidArgument(
+            name() + ": producer arity " + std::to_string(arity) +
+            " != schema arity " + std::to_string(want));
+      }
+      hello_seen_ = true;
+      break;
+    }
+    case FrameType::kTupleBatch:
+      NSTREAM_RETURN_NOT_OK(EmitBatch(f.payload));
+      break;
+    case FrameType::kPunctuation: {
+      Punctuation p;
+      NSTREAM_RETURN_NOT_OK(DecodePunctuation(f.payload, &p));
+      // §4.4: embedded punctuation covering an admission guard proves
+      // the guard can never block again — expire it at the edge too.
+      admission_guards_.ExpireCovered(p);
+      EmitPunct(0, std::move(p));
+      break;
+    }
+    case FrameType::kEos:
+      if (!f.payload.empty()) {
+        return Status::InvalidArgument(name() + ": EOS frame with payload");
+      }
+      eos_frame_seen_ = true;
+      break;
+    case FrameType::kFeedback:
+      return Status::InvalidArgument(
+          name() + ": feedback frame on the producer→engine direction");
+  }
+  ++admitted_frames_;
+  if (trace_.is_open()) {
+    NSTREAM_RETURN_NOT_OK(trace_.Append(raw));
+  }
+  return Status::OK();
+}
+
+Status IngestSource::EmitBatch(std::string_view payload) {
+  Page page;
+  const uint32_t arity =
+      static_cast<uint32_t>(output_schema(0)->num_fields());
+  NSTREAM_RETURN_NOT_OK(DecodeTupleBatchInto(
+      payload, arity, &page, opts_.allow_columnar, &next_id_));
+  ApplyAdmissionGuards(&page);
+  if (!page.empty()) {
+    page.set_flush_reason(FlushReason::kPageFull);
+    EmitPage(0, std::move(page));
+  }
+  return Status::OK();
+}
+
+void IngestSource::ApplyAdmissionGuards(Page* page) {
+  if (admission_guards_.empty() || page->empty()) return;
+  if (page->is_columnar()) {
+    ColumnarBlock* b = page->columnar();
+    Tuple scratch = b->MakeRowScratch();
+    b->KeepIf([&](uint32_t r) {
+      b->FillRow(r, &scratch);
+      if (admission_guards_.Blocks(scratch)) {
+        ++stats_.input_guard_drops;
+        return false;
+      }
+      return true;
+    });
+    return;
+  }
+  std::vector<StreamElement>& elems = page->mutable_elements();
+  size_t kept = 0;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (admission_guards_.Blocks(elems[i].tuple())) {
+      ++stats_.input_guard_drops;
+      continue;
+    }
+    if (kept != i) elems[kept] = std::move(elems[i]);
+    ++kept;
+  }
+  elems.resize(kept);
+}
+
+Status IngestSource::ProcessFeedback(int out_port,
+                                     const FeedbackPunctuation& feedback) {
+  (void)out_port;
+  // Exploit: assumed subsets are dropped at admission, before they cost
+  // the plan a single queue hop.
+  if (feedback.is_assumed()) {
+    admission_guards_.Add(feedback.pattern());
+  }
+  // Relay: every intent crosses the wire to the producer — assumed
+  // prunes its send set, desired/demanded reorder it.
+  std::string frame;
+  AppendFeedbackFrame(&frame, feedback);
+  conduit_->PushFeedbackFrame(std::move(frame));
+  ++stats_.feedback_propagated;
+  return Status::OK();
+}
+
+Status IngestSource::SnapshotState(SnapshotWriter* w) {
+  NSTREAM_RETURN_NOT_OK(Operator::SnapshotState(w));
+  // The barrier runs between produce slices and frames are processed
+  // atomically within a slice, so admitted_frames_ is exact: every
+  // admitted frame's effects are fully emitted (and thus captured
+  // downstream or in queue sections), none half so.
+  w->WriteU64(admitted_frames_);
+  w->WriteI64(next_id_);
+  w->WriteBool(hello_seen_);
+  w->WriteBool(eos_frame_seen_);
+  w->WriteGuardSet(admission_guards_);
+  return Status::OK();
+}
+
+Status IngestSource::RestoreState(SnapshotReader* r) {
+  NSTREAM_RETURN_NOT_OK(Operator::RestoreState(r));
+  NSTREAM_RETURN_NOT_OK(r->ReadU64(&admitted_frames_));
+  NSTREAM_RETURN_NOT_OK(r->ReadI64(&next_id_));
+  NSTREAM_RETURN_NOT_OK(r->ReadBool(&hello_seen_));
+  NSTREAM_RETURN_NOT_OK(r->ReadBool(&eos_frame_seen_));
+  NSTREAM_RETURN_NOT_OK(r->ReadGuardSet(&admission_guards_));
+  // Replay contract: the producer (or a recorded trace) re-sends the
+  // stream from the beginning; the first admitted_frames_ frames were
+  // already emitted pre-checkpoint and are skipped.
+  skip_remaining_ = admitted_frames_;
+  replayed_skips_ = 0;
+  return Status::OK();
+}
+
+}  // namespace nstream

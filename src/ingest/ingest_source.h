@@ -1,0 +1,137 @@
+// IngestSource: the engine's front door. A SourceOperator that runs as
+// a normal scheduler task, assembles wire frames from a FrameConduit's
+// pooled admission buffers, and zero-copy-parses tuple batches straight
+// into arena-backed pages (columnar when the global toggle is on) —
+// one page per batch frame, emitted through the regular page path.
+//
+// Three things make it more than a deserializer:
+//
+//   Readiness — Poll() reports kIdle while the connection is open but
+//   drained, so the pooled scheduler parks the task instead of
+//   spinning or (worse) declaring EOS; the conduit's data notifier
+//   re-enqueues it when bytes arrive.
+//
+//   Feedback to the producer (§3.2's twist at the edge) — feedback
+//   punctuation arriving on the output's control channel is (a)
+//   EXPLOITED locally: assumed patterns become admission guards that
+//   drop matching tuples at parse time, before they cost the plan
+//   anything; and (b) RELAYED to the producer as a feedback frame on
+//   the conduit's return channel, so an overloaded plan throttles or
+//   prunes the client itself.
+//
+//   Durability — SnapshotState records the acknowledged frame offset
+//   (frames fully parsed AND emitted; a checkpoint barrier is injected
+//   between slices, so there is never a half-emitted frame). Recovery
+//   replays the same byte stream — a recorded trace or a reconnecting
+//   producer — and RestoreState makes the source skip exactly that
+//   many frames: the PR 8 at-least-once contract with a real ingest
+//   edge instead of a rewound vector.
+//
+// Framing errors (bad magic, oversized size field, arity mismatch,
+// bytes after EOS, a connection that dies mid-frame) surface as
+// Status errors from ProduceNext — the scheduler fails this query and
+// kills its tasks; nothing is emitted from a frame that did not parse
+// completely.
+
+#ifndef NSTREAM_INGEST_INGEST_SOURCE_H_
+#define NSTREAM_INGEST_INGEST_SOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/guards.h"
+#include "exec/operator.h"
+#include "ingest/frame_conduit.h"
+#include "ingest/trace.h"
+#include "ingest/wire_format.h"
+
+namespace nstream {
+
+struct IngestSourceOptions {
+  /// Frames fully processed per ProduceNext call (the scheduler's
+  /// source_batch_per_slice multiplies on top).
+  int max_frames_per_produce = 8;
+  /// Stage tuple batches as ColumnarBlocks when PageColumnar is on.
+  bool allow_columnar = true;
+  /// When non-empty, append every admitted frame to this trace file.
+  std::string trace_path;
+};
+
+class IngestSource final : public SourceOperator {
+ public:
+  /// `conduit` must outlive the plan (it is the transport, owned by
+  /// the listener/test/bench harness).
+  IngestSource(std::string name, SchemaPtr schema, FrameConduit* conduit,
+               IngestSourceOptions opts = {});
+
+  Status InferSchemas() override { return Status::OK(); }
+  Status Open(ExecContext* ctx) override;
+  Status Close() override;
+
+  SourcePoll Poll() override;
+  std::optional<TimeMs> NextArrivalMs() override;
+  Status ProduceNext() override;
+  void SetWakeNotifier(std::function<void()> fn) override {
+    conduit_->SetDataNotifier(std::move(fn));
+  }
+
+  Status ProcessFeedback(int out_port,
+                         const FeedbackPunctuation& feedback) override;
+
+  Status SnapshotState(SnapshotWriter* w) override;
+  Status RestoreState(SnapshotReader* r) override;
+
+  /// Frames fully parsed and emitted (including hello/punct/EOS
+  /// frames) — the acknowledged offset a checkpoint captures.
+  uint64_t admitted_frames() const { return admitted_frames_; }
+  /// Frames this incarnation skipped during replay (recovery).
+  uint64_t replayed_skips() const { return replayed_skips_; }
+  const GuardSet& admission_guards() const { return admission_guards_; }
+
+ private:
+  // Assemble the next complete frame into pending_* (views stay valid
+  // until ConsumePending — nothing touches carry_/cur_ in between).
+  // Sets pending_error_ on corruption, clean_close_ on a drained
+  // closed conduit at a frame boundary.
+  void EnsureFrame();
+  void ConsumePending();
+  // Move every buffered byte (current chunk remainder + further
+  // queued chunks, up to one) into carry_. True if bytes were added.
+  bool TopUpCarry();
+  Status ProcessFrame(const FrameView& f, std::string_view raw);
+  Status EmitBatch(std::string_view payload);
+  void ApplyAdmissionGuards(Page* page);
+
+  FrameConduit* conduit_;
+  IngestSourceOptions opts_;
+
+  // Frame assembly state.
+  std::string carry_;      // partial-frame tail copied across chunks
+  ConduitChunk cur_{};     // chunk being parsed in place (fast path)
+  size_t cur_pos_ = 0;
+  bool pending_ready_ = false;
+  bool pending_from_carry_ = false;
+  size_t pending_consumed_ = 0;
+  FrameView pending_frame_{};
+  Status pending_error_ = Status::OK();
+  bool clean_close_ = false;
+
+  // Protocol state.
+  bool hello_seen_ = false;
+  bool eos_frame_seen_ = false;
+
+  // Durability / identity.
+  uint64_t admitted_frames_ = 0;
+  uint64_t skip_remaining_ = 0;
+  uint64_t replayed_skips_ = 0;
+  int64_t next_id_ = 1;
+
+  // Feedback exploitation at the edge.
+  GuardSet admission_guards_;
+
+  FrameTraceWriter trace_;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_INGEST_INGEST_SOURCE_H_

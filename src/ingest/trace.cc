@@ -1,0 +1,64 @@
+#include "ingest/trace.h"
+
+namespace nstream {
+
+Status FrameTraceWriter::Open(const std::string& path) {
+  (void)Close();
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) {
+    return Status::Internal("trace: cannot open " + path + " for writing");
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status FrameTraceWriter::Append(std::string_view frame_bytes) {
+  if (f_ == nullptr) {
+    return Status::FailedPrecondition("trace: writer not open");
+  }
+  if (!frame_bytes.empty() &&
+      std::fwrite(frame_bytes.data(), 1, frame_bytes.size(), f_) !=
+          frame_bytes.size()) {
+    return Status::Internal("trace: short write to " + path_);
+  }
+  return Status::OK();
+}
+
+Status FrameTraceWriter::Close() {
+  if (f_ == nullptr) return Status::OK();
+  int rc = std::fclose(f_);
+  f_ = nullptr;
+  if (rc != 0) {
+    return Status::Internal("trace: close failed for " + path_);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadTraceFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("trace: cannot open " + path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+Status ReplayTraceIntoConduit(const std::string& path,
+                              FrameConduit* conduit) {
+  NSTREAM_ASSIGN_OR_RETURN(std::string bytes, ReadTraceFile(path));
+  if (!conduit->WriteAll(bytes)) {
+    return Status::ResourceExhausted(
+        "trace: conduit pool too small to hold " + path +
+        " (grow num_buffers or replay concurrently)");
+  }
+  conduit->CloseWrite();
+  return Status::OK();
+}
+
+}  // namespace nstream

@@ -1,0 +1,53 @@
+// Frame trace record/replay. A trace file is nothing but the admitted
+// frames, byte-for-byte, concatenated — frames are self-delimiting
+// (magic/size/type headers), so the file needs no envelope of its own.
+// Recording every admitted frame gives (a) reproducible ingest
+// benchmarks, and (b) the replay substrate recovery needs: a crashed
+// plan restores its acknowledged frame offset from the checkpoint and
+// re-ingests the SAME byte stream, skipping what it already admitted.
+
+#ifndef NSTREAM_INGEST_TRACE_H_
+#define NSTREAM_INGEST_TRACE_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "ingest/frame_conduit.h"
+
+namespace nstream {
+
+/// Appends admitted frames to a file as they are parsed. Opened by
+/// IngestSource when its options name a trace path.
+class FrameTraceWriter {
+ public:
+  FrameTraceWriter() = default;
+  ~FrameTraceWriter() { (void)Close(); }
+
+  FrameTraceWriter(const FrameTraceWriter&) = delete;
+  FrameTraceWriter& operator=(const FrameTraceWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Append(std::string_view frame_bytes);
+  Status Close();
+  bool is_open() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::string path_;
+};
+
+/// Whole-file read (trace replay, test fixtures).
+Result<std::string> ReadTraceFile(const std::string& path);
+
+/// Feed a recorded trace through `conduit` byte-identically and close
+/// the write side. The conduit's pool must hold the whole trace (size
+/// it accordingly, or replay from a thread while the plan drains);
+/// a dry pool is reported, never spun on.
+Status ReplayTraceIntoConduit(const std::string& path,
+                              FrameConduit* conduit);
+
+}  // namespace nstream
+
+#endif  // NSTREAM_INGEST_TRACE_H_

@@ -1,0 +1,263 @@
+#include "ingest/wire_format.h"
+
+#include <cstring>
+
+#include "stream/columnar.h"
+
+namespace nstream {
+
+namespace {
+
+inline void AppendHeader(std::string* out, FrameType type,
+                         std::string_view payload) {
+  const uint32_t magic = kFrameMagic;
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  out->append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out->append(reinterpret_cast<const char*>(&size), sizeof(size));
+  out->push_back(static_cast<char>(type));
+  out->append(payload.data(), payload.size());
+}
+
+inline bool KnownFrameType(uint8_t t) {
+  return t <= static_cast<uint8_t>(FrameType::kFeedback);
+}
+
+// A serialized tuple is at least nvals(4) + id(8) + arrival(8) bytes,
+// so a batch of `count` tuples needs ≥ 20·count payload bytes. Checked
+// before any Reserve, so a forged count cannot drive an allocation.
+constexpr size_t kMinTupleBytes = 20;
+
+}  // namespace
+
+Status ScanFrame(std::string_view buf, FrameView* out, size_t* consumed) {
+  *consumed = 0;
+  if (buf.size() < kFrameHeaderBytes) return Status::OK();  // need more
+  uint32_t magic = 0;
+  uint32_t size = 0;
+  std::memcpy(&magic, buf.data(), sizeof(magic));
+  std::memcpy(&size, buf.data() + 4, sizeof(size));
+  const uint8_t type = static_cast<uint8_t>(buf[8]);
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("ingest: bad frame magic");
+  }
+  if (size > kMaxFramePayload) {
+    return Status::InvalidArgument("ingest: frame payload size " +
+                                   std::to_string(size) +
+                                   " exceeds limit");
+  }
+  if (!KnownFrameType(type)) {
+    return Status::InvalidArgument("ingest: unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (buf.size() - kFrameHeaderBytes < size) return Status::OK();
+  out->type = static_cast<FrameType>(type);
+  out->payload = buf.substr(kFrameHeaderBytes, size);
+  *consumed = kFrameHeaderBytes + size;
+  return Status::OK();
+}
+
+// ---- Encoders ----
+
+void AppendHelloFrame(std::string* out, uint32_t tuple_arity) {
+  ByteWriter w;
+  w.WriteU32(kWireVersion);
+  w.WriteU32(tuple_arity);
+  AppendHeader(out, FrameType::kHello, w.buffer());
+}
+
+void AppendTupleBatchFrame(std::string* out, const Tuple* tuples,
+                           size_t count) {
+  ByteWriter w;
+  w.WriteU32(static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    w.WriteTuple(tuples[i]);
+  }
+  AppendHeader(out, FrameType::kTupleBatch, w.buffer());
+}
+
+void AppendPunctuationFrame(std::string* out, const Punctuation& p) {
+  ByteWriter w;
+  w.WritePunctuation(p);
+  AppendHeader(out, FrameType::kPunctuation, w.buffer());
+}
+
+void AppendEosFrame(std::string* out) {
+  AppendHeader(out, FrameType::kEos, std::string_view());
+}
+
+void AppendFeedbackFrame(std::string* out, const FeedbackPunctuation& fb) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(fb.intent()));
+  w.WritePattern(fb.pattern());
+  w.WriteI64(fb.origin_op());
+  w.WriteU32(static_cast<uint32_t>(fb.hop_count()));
+  w.WriteI64(fb.issued_at_ms());
+  w.WriteI64(fb.deadline_ms());
+  AppendHeader(out, FrameType::kFeedback, w.buffer());
+}
+
+// ---- Decoders ----
+
+Status DecodeHello(std::string_view payload, uint32_t* version,
+                   uint32_t* arity) {
+  ByteReader r(payload);
+  NSTREAM_RETURN_NOT_OK(r.ReadU32(version));
+  NSTREAM_RETURN_NOT_OK(r.ReadU32(arity));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("ingest: trailing bytes in hello");
+  }
+  return Status::OK();
+}
+
+Status DecodePunctuation(std::string_view payload, Punctuation* out) {
+  ByteReader r(payload);
+  NSTREAM_RETURN_NOT_OK(r.ReadPunctuation(out));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "ingest: trailing bytes in punctuation frame");
+  }
+  return Status::OK();
+}
+
+Status DecodeFeedback(std::string_view payload, FeedbackPunctuation* out) {
+  ByteReader r(payload);
+  uint8_t intent = 0;
+  PunctPattern pattern;
+  int64_t origin = 0, issued = -1, deadline = -1;
+  uint32_t hops = 0;
+  NSTREAM_RETURN_NOT_OK(r.ReadU8(&intent));
+  if (intent > static_cast<uint8_t>(FeedbackIntent::kDemanded)) {
+    return Status::InvalidArgument("ingest: unknown feedback intent " +
+                                   std::to_string(intent));
+  }
+  NSTREAM_RETURN_NOT_OK(r.ReadPattern(&pattern));
+  NSTREAM_RETURN_NOT_OK(r.ReadI64(&origin));
+  NSTREAM_RETURN_NOT_OK(r.ReadU32(&hops));
+  NSTREAM_RETURN_NOT_OK(r.ReadI64(&issued));
+  NSTREAM_RETURN_NOT_OK(r.ReadI64(&deadline));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "ingest: trailing bytes in feedback frame");
+  }
+  *out = FeedbackPunctuation(static_cast<FeedbackIntent>(intent),
+                             std::move(pattern));
+  out->set_origin_op(origin);
+  out->set_hop_count(static_cast<int>(hops));
+  out->set_issued_at_ms(issued);
+  out->set_deadline_ms(deadline);
+  return Status::OK();
+}
+
+namespace {
+
+/// Shared batch-prefix validation: read + sanity-check the count.
+Status ReadBatchCount(ByteReader* r, size_t payload_size, uint32_t* count) {
+  NSTREAM_RETURN_NOT_OK(r->ReadU32(count));
+  if (*count > payload_size / kMinTupleBytes) {
+    return Status::InvalidArgument(
+        "ingest: batch count " + std::to_string(*count) +
+        " impossible for payload of " + std::to_string(payload_size) +
+        " bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DecodeTupleBatchInto(std::string_view payload,
+                            uint32_t expected_arity, Page* page,
+                            bool allow_columnar, int64_t* next_id) {
+  ByteReader r(payload);
+  uint32_t count = 0;
+  NSTREAM_RETURN_NOT_OK(ReadBatchCount(&r, payload.size(), &count));
+  if (count == 0) {
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument(
+          "ingest: trailing bytes in empty batch");
+    }
+    return Status::OK();
+  }
+
+  // Columnar staging: straight into per-attribute arrays in the page
+  // arena. Falls back to row staging when the global toggle is off or
+  // arenas are disabled (BeginColumnar returns null).
+  ColumnarBlock* block = nullptr;
+  if (allow_columnar && expected_arity > 0 && PageColumnar::enabled()) {
+    block = page->BeginColumnar(expected_arity, count);
+  }
+  if (block != nullptr) {
+    int64_t* ids = block->mutable_ids();
+    TimeMs* arrivals = block->mutable_arrivals();
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t nvals = 0;
+      NSTREAM_RETURN_NOT_OK(r.ReadU32(&nvals));
+      if (nvals != expected_arity) {
+        return Status::InvalidArgument(
+            "ingest: tuple arity " + std::to_string(nvals) +
+            " does not match schema arity " +
+            std::to_string(expected_arity));
+      }
+      const uint32_t row = block->AddRow(0, -1);
+      for (uint32_t c = 0; c < nvals; ++c) {
+        Value v;
+        NSTREAM_RETURN_NOT_OK(r.ReadValueIn(block->arena(), &v));
+        block->Set(c, row, v);
+      }
+      int64_t id = 0;
+      int64_t arrival = 0;
+      NSTREAM_RETURN_NOT_OK(r.ReadI64(&id));
+      NSTREAM_RETURN_NOT_OK(r.ReadI64(&arrival));
+      ids[row] = id != 0 ? id : (*next_id)++;
+      arrivals[row] = arrival;
+    }
+  } else {
+    page->Reserve(count);
+    TupleArena* arena = page->arena();  // null when arenas are off
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t nvals = 0;
+      NSTREAM_RETURN_NOT_OK(r.ReadU32(&nvals));
+      if (nvals != expected_arity) {
+        return Status::InvalidArgument(
+            "ingest: tuple arity " + std::to_string(nvals) +
+            " does not match schema arity " +
+            std::to_string(expected_arity));
+      }
+      Tuple t(arena, nvals);
+      NSTREAM_RETURN_NOT_OK(r.ReadTupleValuesIn(arena, nvals, &t));
+      if (t.id() == 0) t.set_id((*next_id)++);
+      page->AddTuple(std::move(t));  // same arena: moved in untouched
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "ingest: trailing bytes in tuple batch");
+  }
+  return Status::OK();
+}
+
+Status DecodeTupleBatchOwned(std::string_view payload,
+                             uint32_t expected_arity,
+                             std::vector<Tuple>* out) {
+  ByteReader r(payload);
+  uint32_t count = 0;
+  NSTREAM_RETURN_NOT_OK(ReadBatchCount(&r, payload.size(), &count));
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Tuple t;
+    NSTREAM_RETURN_NOT_OK(r.ReadTuple(&t));
+    if (static_cast<uint32_t>(t.size()) != expected_arity) {
+      return Status::InvalidArgument(
+          "ingest: tuple arity " + std::to_string(t.size()) +
+          " does not match schema arity " +
+          std::to_string(expected_arity));
+    }
+    out->push_back(std::move(t));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "ingest: trailing bytes in tuple batch");
+  }
+  return Status::OK();
+}
+
+}  // namespace nstream

@@ -16,296 +16,6 @@ constexpr uint8_t kWireEos = 2;
 
 }  // namespace
 
-uint32_t SnapshotCrc32(std::string_view data) {
-  // Table-driven CRC32 (IEEE 802.3, reflected 0xEDB88320). Built once;
-  // snapshots are cold-path I/O, so a 1 KiB table beats hand-tuning.
-  static const uint32_t* kTable = [] {
-    static uint32_t table[256];
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-      }
-      table[i] = c;
-    }
-    return table;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (unsigned char b : data) {
-    crc = kTable[(crc ^ b) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
-// ---- SnapshotWriter: engine vocabulary ----
-
-void SnapshotWriter::WriteValue(const Value& v) {
-  WriteU8(static_cast<uint8_t>(v.type()));
-  switch (v.type()) {
-    case ValueType::kNull:
-      break;
-    case ValueType::kBool:
-      WriteBool(v.bool_value());
-      break;
-    case ValueType::kInt64:
-    case ValueType::kTimestamp:
-      WriteI64(v.int64_value());
-      break;
-    case ValueType::kDouble:
-      WriteDouble(v.double_value());
-      break;
-    case ValueType::kString:
-      WriteString(v.string_view());
-      break;
-  }
-}
-
-void SnapshotWriter::WriteTuple(const Tuple& t) {
-  WriteU32(static_cast<uint32_t>(t.size()));
-  for (int i = 0; i < t.size(); ++i) {
-    WriteValue(t.value(i));
-  }
-  WriteI64(t.id());
-  WriteI64(t.arrival_ms());
-}
-
-void SnapshotWriter::WriteAttrPattern(const AttrPattern& p) {
-  WriteU8(static_cast<uint8_t>(p.op()));
-  switch (p.op()) {
-    case PatternOp::kAny:
-    case PatternOp::kIsNull:
-    case PatternOp::kNotNull:
-      break;  // no operand
-    case PatternOp::kRange:
-      WriteValue(p.operand());
-      WriteValue(p.hi());
-      break;
-    default:
-      WriteValue(p.operand());
-      break;
-  }
-}
-
-void SnapshotWriter::WritePattern(const PunctPattern& p) {
-  WriteU32(static_cast<uint32_t>(p.attrs().size()));
-  for (const AttrPattern& a : p.attrs()) {
-    WriteAttrPattern(a);
-  }
-}
-
-void SnapshotWriter::WritePunctuation(const Punctuation& p) {
-  WritePattern(p.pattern());
-  WriteI64(p.barrier_id());
-}
-
-void SnapshotWriter::WriteGuardSet(const GuardSet& g) {
-  WriteU32(static_cast<uint32_t>(g.patterns().size()));
-  for (const PunctPattern& p : g.patterns()) {
-    WritePattern(p);
-  }
-}
-
-// ---- SnapshotReader ----
-
-Status SnapshotReader::ReadRaw(void* out, size_t n) {
-  if (data_.size() - pos_ < n) {
-    return Status::InvalidArgument("snapshot truncated: need " +
-                                   std::to_string(n) + " bytes, have " +
-                                   std::to_string(data_.size() - pos_));
-  }
-  std::memcpy(out, data_.data() + pos_, n);
-  pos_ += n;
-  return Status::OK();
-}
-
-Status SnapshotReader::ReadU8(uint8_t* out) { return ReadRaw(out, 1); }
-
-Status SnapshotReader::ReadBool(bool* out) {
-  uint8_t b = 0;
-  NSTREAM_RETURN_NOT_OK(ReadU8(&b));
-  *out = b != 0;
-  return Status::OK();
-}
-
-Status SnapshotReader::ReadU32(uint32_t* out) {
-  return ReadRaw(out, sizeof(*out));
-}
-
-Status SnapshotReader::ReadU64(uint64_t* out) {
-  return ReadRaw(out, sizeof(*out));
-}
-
-Status SnapshotReader::ReadI64(int64_t* out) {
-  return ReadRaw(out, sizeof(*out));
-}
-
-Status SnapshotReader::ReadDouble(double* out) {
-  return ReadRaw(out, sizeof(*out));
-}
-
-Status SnapshotReader::ReadString(std::string* out) {
-  uint32_t n = 0;
-  NSTREAM_RETURN_NOT_OK(ReadU32(&n));
-  if (data_.size() - pos_ < n) {
-    return Status::InvalidArgument("snapshot truncated inside string");
-  }
-  out->assign(data_.data() + pos_, n);
-  pos_ += n;
-  return Status::OK();
-}
-
-Status SnapshotReader::ReadSection(std::string_view* out) {
-  uint32_t n = 0;
-  NSTREAM_RETURN_NOT_OK(ReadU32(&n));
-  if (data_.size() - pos_ < n) {
-    return Status::InvalidArgument("snapshot truncated inside section");
-  }
-  *out = data_.substr(pos_, n);
-  pos_ += n;
-  return Status::OK();
-}
-
-Status SnapshotReader::ReadValue(Value* out) {
-  uint8_t raw = 0;
-  NSTREAM_RETURN_NOT_OK(ReadU8(&raw));
-  switch (static_cast<ValueType>(raw)) {
-    case ValueType::kNull:
-      *out = Value::Null();
-      return Status::OK();
-    case ValueType::kBool: {
-      bool b = false;
-      NSTREAM_RETURN_NOT_OK(ReadBool(&b));
-      *out = Value::Bool(b);
-      return Status::OK();
-    }
-    case ValueType::kInt64: {
-      int64_t i = 0;
-      NSTREAM_RETURN_NOT_OK(ReadI64(&i));
-      *out = Value::Int64(i);
-      return Status::OK();
-    }
-    case ValueType::kTimestamp: {
-      int64_t i = 0;
-      NSTREAM_RETURN_NOT_OK(ReadI64(&i));
-      *out = Value::Timestamp(i);
-      return Status::OK();
-    }
-    case ValueType::kDouble: {
-      double d = 0;
-      NSTREAM_RETURN_NOT_OK(ReadDouble(&d));
-      *out = Value::Double(d);
-      return Status::OK();
-    }
-    case ValueType::kString: {
-      std::string s;
-      NSTREAM_RETURN_NOT_OK(ReadString(&s));
-      *out = Value::String(s);  // self-contained: inline or heap-owned
-      return Status::OK();
-    }
-  }
-  return Status::InvalidArgument("snapshot: unknown value type tag " +
-                                 std::to_string(raw));
-}
-
-Status SnapshotReader::ReadTuple(Tuple* out) {
-  uint32_t n = 0;
-  NSTREAM_RETURN_NOT_OK(ReadU32(&n));
-  Tuple t(nullptr, n);  // owned mode: snapshots outlive any page arena
-  for (uint32_t i = 0; i < n; ++i) {
-    Value v;
-    NSTREAM_RETURN_NOT_OK(ReadValue(&v));
-    t.Append(std::move(v));
-  }
-  int64_t id = 0;
-  int64_t arrival = 0;
-  NSTREAM_RETURN_NOT_OK(ReadI64(&id));
-  NSTREAM_RETURN_NOT_OK(ReadI64(&arrival));
-  t.set_id(id);
-  t.set_arrival_ms(arrival);
-  *out = std::move(t);
-  return Status::OK();
-}
-
-Status SnapshotReader::ReadAttrPattern(AttrPattern* out) {
-  uint8_t raw = 0;
-  NSTREAM_RETURN_NOT_OK(ReadU8(&raw));
-  PatternOp op = static_cast<PatternOp>(raw);
-  switch (op) {
-    case PatternOp::kAny:
-      *out = AttrPattern::Any();
-      return Status::OK();
-    case PatternOp::kIsNull:
-      *out = AttrPattern::IsNull();
-      return Status::OK();
-    case PatternOp::kNotNull:
-      *out = AttrPattern::NotNull();
-      return Status::OK();
-    case PatternOp::kRange: {
-      Value lo, hi;
-      NSTREAM_RETURN_NOT_OK(ReadValue(&lo));
-      NSTREAM_RETURN_NOT_OK(ReadValue(&hi));
-      *out = AttrPattern::Range(std::move(lo), std::move(hi));
-      return Status::OK();
-    }
-    case PatternOp::kEq:
-    case PatternOp::kNe:
-    case PatternOp::kLt:
-    case PatternOp::kLe:
-    case PatternOp::kGt:
-    case PatternOp::kGe: {
-      Value v;
-      NSTREAM_RETURN_NOT_OK(ReadValue(&v));
-      switch (op) {
-        case PatternOp::kEq: *out = AttrPattern::Eq(std::move(v)); break;
-        case PatternOp::kNe: *out = AttrPattern::Ne(std::move(v)); break;
-        case PatternOp::kLt: *out = AttrPattern::Lt(std::move(v)); break;
-        case PatternOp::kLe: *out = AttrPattern::Le(std::move(v)); break;
-        case PatternOp::kGt: *out = AttrPattern::Gt(std::move(v)); break;
-        default: *out = AttrPattern::Ge(std::move(v)); break;
-      }
-      return Status::OK();
-    }
-  }
-  return Status::InvalidArgument("snapshot: unknown pattern op " +
-                                 std::to_string(raw));
-}
-
-Status SnapshotReader::ReadPattern(PunctPattern* out) {
-  uint32_t n = 0;
-  NSTREAM_RETURN_NOT_OK(ReadU32(&n));
-  std::vector<AttrPattern> attrs(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    NSTREAM_RETURN_NOT_OK(ReadAttrPattern(&attrs[i]));
-  }
-  *out = PunctPattern(std::move(attrs));
-  return Status::OK();
-}
-
-Status SnapshotReader::ReadPunctuation(Punctuation* out) {
-  PunctPattern pat;
-  NSTREAM_RETURN_NOT_OK(ReadPattern(&pat));
-  int64_t barrier = 0;
-  NSTREAM_RETURN_NOT_OK(ReadI64(&barrier));
-  if (barrier != 0) {
-    *out = Punctuation::Barrier(barrier);
-  } else {
-    *out = Punctuation(std::move(pat));
-  }
-  return Status::OK();
-}
-
-Status SnapshotReader::ReadGuardSet(GuardSet* g) {
-  uint32_t n = 0;
-  NSTREAM_RETURN_NOT_OK(ReadU32(&n));
-  g->Clear();
-  for (uint32_t i = 0; i < n; ++i) {
-    PunctPattern p;
-    NSTREAM_RETURN_NOT_OK(ReadPattern(&p));
-    g->Add(p);
-  }
-  return Status::OK();
-}
-
 // ---- Page contents ----
 
 void WritePageElements(SnapshotWriter* w, Page& page) {

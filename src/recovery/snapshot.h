@@ -4,12 +4,13 @@
 // and in-flight queue pages at a punctuation-aligned cut, so a plan
 // can resume after a crash with at-least-once delivery.
 //
-// Layering: SnapshotWriter/SnapshotReader are dumb length-checked
-// byte codecs over the engine's scalar vocabulary (Value, Tuple,
-// AttrPattern, PunctPattern, GuardSet, page elements). WHAT an
-// operator writes is the operator's business (Operator::SnapshotState
-// overrides); the file envelope below adds versioning, atomicity, and
-// corruption detection on top.
+// Layering: the byte codec lives in serde/serde.h (ByteWriter /
+// ByteReader) and is SHARED with the ingest wire format — the engine
+// has exactly one binary encoding of Value/Tuple/patterns.
+// SnapshotWriter/SnapshotReader below are those codecs under their
+// recovery-facing names. WHAT an operator writes is the operator's
+// business (Operator::SnapshotState overrides); the file envelope
+// below adds versioning, atomicity, and corruption detection on top.
 //
 // File envelope:
 //
@@ -29,11 +30,8 @@
 #include <string_view>
 
 #include "common/status.h"
-#include "core/guards.h"
-#include "punct/punct_pattern.h"
+#include "serde/serde.h"
 #include "stream/page.h"
-#include "types/tuple.h"
-#include "types/value.h"
 
 namespace nstream {
 
@@ -41,84 +39,18 @@ inline constexpr uint32_t kSnapshotMagic = 0x4E535031;  // "NSP1"
 inline constexpr uint32_t kSnapshotVersion = 1;
 
 /// CRC32 (IEEE 802.3 polynomial, reflected) over `data`.
-uint32_t SnapshotCrc32(std::string_view data);
+inline uint32_t SnapshotCrc32(std::string_view data) {
+  return SerdeCrc32(data);
+}
 
-/// Append-only little-endian byte sink. Writers never fail; sizing
-/// errors surface on the read side.
-class SnapshotWriter {
+/// The shared byte codec under its recovery-facing name. Concrete
+/// classes (not aliases) so `class SnapshotWriter;` forward
+/// declarations — e.g. in exec/operator.h — keep resolving.
+class SnapshotWriter : public ByteWriter {};
+
+class SnapshotReader : public ByteReader {
  public:
-  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
-  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
-  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
-  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
-  void WriteDouble(double v) { AppendRaw(&v, sizeof(v)); }
-  void WriteString(std::string_view s) {
-    WriteU32(static_cast<uint32_t>(s.size()));
-    buf_.append(s.data(), s.size());
-  }
-
-  // Engine vocabulary. Strings inside values are written as raw bytes
-  // and restored self-contained (inline/heap-owned), so snapshots
-  // never reference arena memory.
-  void WriteValue(const Value& v);
-  void WriteTuple(const Tuple& t);
-  void WriteAttrPattern(const AttrPattern& p);
-  void WritePattern(const PunctPattern& p);
-  void WritePunctuation(const Punctuation& p);
-  void WriteGuardSet(const GuardSet& g);
-
-  /// Length-prefixed nested blob: readers can skip a section they do
-  /// not understand (or do not want — e.g. an operators-only restore
-  /// skipping queue sections), and a buggy section codec cannot
-  /// overrun into its neighbours.
-  void WriteSection(std::string_view bytes) { WriteString(bytes); }
-
-  const std::string& buffer() const { return buf_; }
-  std::string Release() { return std::move(buf_); }
-  size_t size() const { return buf_.size(); }
-
- private:
-  void AppendRaw(const void* p, size_t n) {
-    buf_.append(static_cast<const char*>(p), n);
-  }
-  std::string buf_;
-};
-
-/// Bounds-checked reader over a snapshot payload. Every read returns
-/// a Status; a truncated or malformed payload fails cleanly.
-class SnapshotReader {
- public:
-  explicit SnapshotReader(std::string_view data) : data_(data) {}
-
-  Status ReadU8(uint8_t* out);
-  Status ReadBool(bool* out);
-  Status ReadU32(uint32_t* out);
-  Status ReadU64(uint64_t* out);
-  Status ReadI64(int64_t* out);
-  Status ReadDouble(double* out);
-  Status ReadString(std::string* out);
-
-  Status ReadValue(Value* out);
-  Status ReadTuple(Tuple* out);
-  Status ReadAttrPattern(AttrPattern* out);
-  Status ReadPattern(PunctPattern* out);
-  Status ReadPunctuation(Punctuation* out);
-  /// Clears `g` and re-installs the stored patterns (recompiling via
-  /// the global CompiledPatternCache).
-  Status ReadGuardSet(GuardSet* g);
-
-  /// View of the next length-prefixed section (see WriteSection);
-  /// advances past it.
-  Status ReadSection(std::string_view* out);
-
-  size_t remaining() const { return data_.size() - pos_; }
-  bool AtEnd() const { return pos_ == data_.size(); }
-
- private:
-  Status ReadRaw(void* out, size_t n);
-  std::string_view data_;
-  size_t pos_ = 0;
+  using ByteReader::ByteReader;
 };
 
 /// Serialize a page's elements (tuples / punctuation / EOS markers) in

@@ -1,0 +1,138 @@
+// The engine's ONE binary encoding of its scalar vocabulary (Value,
+// Tuple, AttrPattern, PunctPattern, Punctuation, GuardSet), shared by
+// the snapshot format (recovery/snapshot.h) and the wire frame format
+// (ingest/wire_format.h). Factored out of the snapshot codec so the
+// two surfaces cannot drift: a tuple serialized into a checkpoint and
+// a tuple serialized into a network frame are byte-for-byte the same
+// encoding.
+//
+// ByteWriter is an append-only little-endian sink that never fails;
+// sizing errors surface on the read side. ByteReader is bounds-checked:
+// every read returns a Status, so truncated or malformed input fails
+// cleanly — the property both torn snapshot files and corrupted wire
+// frames lean on.
+//
+// Two read flavors for payload-bearing types:
+//
+//   ReadValue / ReadTuple      self-contained results (inline or
+//                              heap-owned strings) — snapshots, whose
+//                              results outlive the input buffer;
+//   ReadValueIn / ReadTupleIn  arena-targeted results: string bytes go
+//                              straight from the input buffer into the
+//                              destination arena (inline when ≤15 B),
+//                              no intermediate std::string — the
+//                              ingest zero-copy parse path. With a
+//                              null arena they degrade to owned
+//                              storage, so arena-off runs share the
+//                              code path.
+
+#ifndef NSTREAM_SERDE_SERDE_H_
+#define NSTREAM_SERDE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/guards.h"
+#include "punct/punct_pattern.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace nstream {
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `data`.
+uint32_t SerdeCrc32(std::string_view data);
+
+/// Append-only little-endian byte sink. Writers never fail; sizing
+/// errors surface on the read side.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { AppendRaw(&v, sizeof(v)); }
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  // Engine vocabulary. Strings inside values are written as raw bytes
+  // and restored self-contained (inline/heap-owned) or into the
+  // reader's target arena, so serialized bytes never reference arena
+  // memory.
+  void WriteValue(const Value& v);
+  void WriteTuple(const Tuple& t);
+  void WriteAttrPattern(const AttrPattern& p);
+  void WritePattern(const PunctPattern& p);
+  void WritePunctuation(const Punctuation& p);
+  void WriteGuardSet(const GuardSet& g);
+
+  /// Length-prefixed nested blob: readers can skip a section they do
+  /// not understand (or do not want — e.g. an operators-only restore
+  /// skipping queue sections), and a buggy section codec cannot
+  /// overrun into its neighbours.
+  void WriteSection(std::string_view bytes) { WriteString(bytes); }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void AppendRaw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a serialized payload. Every read returns
+/// a Status; truncated or malformed input fails cleanly.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadBool(bool* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadDouble(double* out);
+  Status ReadString(std::string* out);
+  /// Zero-copy string read: a view into the underlying buffer, valid
+  /// only while the buffer outlives the view. The ingest parse path
+  /// forwards these views straight into page arenas.
+  Status ReadStringView(std::string_view* out);
+
+  Status ReadValue(Value* out);
+  Status ReadTuple(Tuple* out);
+  /// Arena-targeted flavors: string payloads land inline or in
+  /// `arena` (owned when arena is null) with no intermediate
+  /// materialization. ReadTupleIn appends `nvals` values to `t`,
+  /// which the caller constructs against the same arena.
+  Status ReadValueIn(TupleArena* arena, Value* out);
+  Status ReadTupleValuesIn(TupleArena* arena, uint32_t nvals, Tuple* t);
+  Status ReadAttrPattern(AttrPattern* out);
+  Status ReadPattern(PunctPattern* out);
+  Status ReadPunctuation(Punctuation* out);
+  /// Clears `g` and re-installs the stored patterns (recompiling via
+  /// the global CompiledPatternCache).
+  Status ReadGuardSet(GuardSet* g);
+
+  /// View of the next length-prefixed section (see WriteSection);
+  /// advances past it.
+  Status ReadSection(std::string_view* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status ReadRaw(void* out, size_t n);
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_SERDE_SERDE_H_

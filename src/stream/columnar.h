@@ -136,8 +136,10 @@ class ColumnarBlock {
   const int64_t* ids() const { return ids_; }
   const TimeMs* arrivals() const { return arrivals_; }
   /// Mutable engine-metadata arrays (executors stamp arrival times on
-  /// emission, exactly as they stamp row tuples).
+  /// emission, exactly as they stamp row tuples; the ingest decoder
+  /// stamps ids after a row's values, matching the wire field order).
   TimeMs* mutable_arrivals() { return arrivals_; }
+  int64_t* mutable_ids() { return ids_; }
   TupleArena* arena() const { return arena_; }
 
   /// Selection-vector filter: keep exactly the selected rows for

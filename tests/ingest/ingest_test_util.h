@@ -1,0 +1,130 @@
+// Shared scaffolding for the ingest test suite: a randomized workload
+// generator, a wire-stream encoder, and a tiny ingest → sink plan
+// runner usable under every executor.
+
+#ifndef NSTREAM_TESTS_INGEST_INGEST_TEST_UTIL_H_
+#define NSTREAM_TESTS_INGEST_INGEST_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/query_plan.h"
+#include "exec/scheduler.h"
+#include "exec/sync_executor.h"
+#include "ingest/ingest_client.h"
+#include "ingest/ingest_source.h"
+#include "ops/sink.h"
+#include "testing/test_util.h"
+
+namespace nstream {
+namespace testing_util {
+
+/// The ingest test schema: <a: i64, s: string, b: i64>. The string in
+/// the middle exercises inline (≤15 B), arena-spilled, and owned
+/// storage on the zero-copy path.
+inline SchemaPtr IngestSchema() {
+  return Schema::Make({{"a", ValueType::kInt64},
+                       {"s", ValueType::kString},
+                       {"b", ValueType::kInt64}});
+}
+
+/// Random tuples over IngestSchema: string lengths 0..24 straddle the
+/// 15-byte inline boundary; ids are left 0 so both VectorSource and
+/// IngestSource assign 1..n in arrival order.
+inline std::vector<Tuple> RandomIngestTuples(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string s(rng.NextBounded(25), ' ');
+    for (char& c : s) {
+      c = static_cast<char>('a' + rng.NextBounded(26));
+    }
+    out.push_back(TupleBuilder()
+                      .I64(static_cast<int64_t>(rng.NextBounded(100)))
+                      .S(std::move(s))
+                      .I64(static_cast<int64_t>(rng.NextBounded(1000)))
+                      .Build());
+  }
+  return out;
+}
+
+/// Encode `tuples` as a full wire stream: hello, batches of
+/// `batch_size`, a grouped punctuation every `punct_every` tuples
+/// (0 = none), then EOS.
+inline std::string EncodeIngestStream(const std::vector<Tuple>& tuples,
+                                      size_t batch_size,
+                                      size_t punct_every = 0) {
+  std::string bytes;
+  AppendHelloFrame(&bytes, 3);
+  size_t sent = 0;
+  while (sent < tuples.size()) {
+    const size_t n = std::min(batch_size, tuples.size() - sent);
+    AppendTupleBatchFrame(&bytes, tuples.data() + sent, n);
+    sent += n;
+    if (punct_every != 0 && sent % punct_every == 0) {
+      AppendPunctuationFrame(
+          &bytes, Punctuation(P("[<=" + std::to_string(sent) + ",*,*]")));
+    }
+  }
+  AppendEosFrame(&bytes);
+  return bytes;
+}
+
+/// IngestSource → CollectorSink over a caller-owned conduit.
+struct IngestPlan {
+  std::unique_ptr<QueryPlan> plan;
+  IngestSource* source = nullptr;
+  CollectorSink* sink = nullptr;
+};
+
+inline IngestPlan MakeIngestPlan(FrameConduit* conduit,
+                                 IngestSourceOptions opts = {},
+                                 CollectorSink::FeedbackDriver driver =
+                                     nullptr) {
+  IngestPlan out;
+  out.plan = std::make_unique<QueryPlan>();
+  out.source = out.plan->AddOp(std::make_unique<IngestSource>(
+      "ingest", IngestSchema(), conduit, std::move(opts)));
+  out.sink = out.plan->AddOp(std::make_unique<CollectorSink>(
+      "sink", CollectorSinkOptions{}, std::move(driver)));
+  EXPECT_TRUE(out.plan->Connect(*out.source, *out.sink).ok());
+  return out;
+}
+
+/// Pre-fill a conduit with `bytes` (whole stream buffered, write side
+/// closed) — the deterministic mode the sync/sim runs rely on. The
+/// pool is sized to hold everything.
+inline std::unique_ptr<FrameConduit> PrefilledConduit(
+    std::string_view bytes) {
+  FrameConduitOptions copts;
+  copts.buffer_bytes = 1024;
+  copts.num_buffers = bytes.size() / copts.buffer_bytes + 2;
+  auto conduit = std::make_unique<FrameConduit>(copts);
+  EXPECT_TRUE(conduit->WriteAll(bytes));
+  conduit->CloseWrite();
+  return conduit;
+}
+
+inline std::multiset<std::string> TupleStrings(
+    const std::vector<CollectedTuple>& rows) {
+  std::multiset<std::string> out;
+  for (const CollectedTuple& c : rows) out.insert(c.tuple.ToString());
+  return out;
+}
+
+inline std::multiset<std::string> TupleStrings(
+    const std::vector<Tuple>& tuples) {
+  std::multiset<std::string> out;
+  for (const Tuple& t : tuples) out.insert(t.ToString());
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace nstream
+
+#endif  // NSTREAM_TESTS_INGEST_INGEST_TEST_UTIL_H_

@@ -1,0 +1,296 @@
+// Wire-format unit tests: frame codecs round-trip, incremental
+// scanning, zero-copy vs owned batch-decode equivalence, admission
+// pool accounting + backpressure, and trace record/replay identity.
+
+#include "ingest/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ingest/frame_pool.h"
+#include "ingest/trace.h"
+#include "ingest_test_util.h"
+#include "stream/columnar.h"
+#include "types/tuple_arena.h"
+
+namespace nstream {
+namespace {
+
+using testing_util::FB;
+using testing_util::P;
+using testing_util::RandomIngestTuples;
+
+std::string TempPath(const std::string& stem) {
+  return ::testing::TempDir() + "/" + stem;
+}
+
+TEST(WireFormat, HelloRoundTrip) {
+  std::string bytes;
+  AppendHelloFrame(&bytes, 7);
+  FrameView f;
+  size_t consumed = 0;
+  ASSERT_TRUE(ScanFrame(bytes, &f, &consumed).ok());
+  ASSERT_EQ(consumed, bytes.size());
+  ASSERT_EQ(f.type, FrameType::kHello);
+  uint32_t version = 0, arity = 0;
+  ASSERT_TRUE(DecodeHello(f.payload, &version, &arity).ok());
+  EXPECT_EQ(version, kWireVersion);
+  EXPECT_EQ(arity, 7u);
+}
+
+TEST(WireFormat, PunctuationRoundTrip) {
+  Punctuation p(P("[*,>=50,7]"));
+  std::string bytes;
+  AppendPunctuationFrame(&bytes, p);
+  FrameView f;
+  size_t consumed = 0;
+  ASSERT_TRUE(ScanFrame(bytes, &f, &consumed).ok());
+  ASSERT_EQ(f.type, FrameType::kPunctuation);
+  Punctuation back;
+  ASSERT_TRUE(DecodePunctuation(f.payload, &back).ok());
+  EXPECT_EQ(back.pattern().ToString(), p.pattern().ToString());
+}
+
+TEST(WireFormat, FeedbackRoundTripWithProvenance) {
+  FeedbackPunctuation fb = FB("~[*,>=50]");
+  fb.set_origin_op(42);
+  fb.set_hop_count(3);
+  fb.set_issued_at_ms(12345);
+  fb.set_deadline_ms(99999);
+  std::string bytes;
+  AppendFeedbackFrame(&bytes, fb);
+  FrameView f;
+  size_t consumed = 0;
+  ASSERT_TRUE(ScanFrame(bytes, &f, &consumed).ok());
+  ASSERT_EQ(f.type, FrameType::kFeedback);
+  FeedbackPunctuation back;
+  ASSERT_TRUE(DecodeFeedback(f.payload, &back).ok());
+  EXPECT_TRUE(back.EquivalentTo(fb));
+  EXPECT_EQ(back.origin_op(), 42);
+  EXPECT_EQ(back.hop_count(), 3);
+  EXPECT_EQ(back.issued_at_ms(), 12345);
+  EXPECT_EQ(back.deadline_ms(), 99999);
+}
+
+TEST(WireFormat, EosFrameIsEmpty) {
+  std::string bytes;
+  AppendEosFrame(&bytes);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes);
+  FrameView f;
+  size_t consumed = 0;
+  ASSERT_TRUE(ScanFrame(bytes, &f, &consumed).ok());
+  EXPECT_EQ(f.type, FrameType::kEos);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(WireFormat, IncrementalScanNeedsWholeFrame) {
+  std::vector<Tuple> tuples = RandomIngestTuples(5, 11);
+  std::string bytes;
+  AppendTupleBatchFrame(&bytes, tuples);
+  // Every strict prefix is "need more", never an error, never a frame.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    FrameView f;
+    size_t consumed = 1;
+    Status s = ScanFrame(std::string_view(bytes.data(), len), &f,
+                         &consumed);
+    ASSERT_TRUE(s.ok()) << "prefix len " << len << ": " << s.ToString();
+    ASSERT_EQ(consumed, 0u) << "prefix len " << len;
+  }
+  FrameView f;
+  size_t consumed = 0;
+  ASSERT_TRUE(ScanFrame(bytes, &f, &consumed).ok());
+  EXPECT_EQ(consumed, bytes.size());
+}
+
+TEST(WireFormat, ScanLeavesTrailingBytesAlone) {
+  std::string bytes;
+  AppendEosFrame(&bytes);
+  const size_t first = bytes.size();
+  AppendHelloFrame(&bytes, 3);
+  FrameView f;
+  size_t consumed = 0;
+  ASSERT_TRUE(ScanFrame(bytes, &f, &consumed).ok());
+  EXPECT_EQ(consumed, first);  // exactly one frame consumed
+  EXPECT_EQ(f.type, FrameType::kEos);
+}
+
+// Zero-copy and owned decodes agree, under every storage regime, and
+// id assignment matches the VectorSource rule.
+TEST(WireFormat, BatchDecodeZeroCopyMatchesOwned) {
+  std::vector<Tuple> tuples = RandomIngestTuples(64, 23);
+  std::string bytes;
+  AppendTupleBatchFrame(&bytes, tuples);
+  FrameView f;
+  size_t consumed = 0;
+  ASSERT_TRUE(ScanFrame(bytes, &f, &consumed).ok());
+
+  std::vector<Tuple> owned;
+  uint32_t arity = 3;
+  ASSERT_TRUE(DecodeTupleBatchOwned(f.payload, arity, &owned).ok());
+  ASSERT_EQ(owned.size(), tuples.size());
+
+  for (bool arenas : {false, true}) {
+    for (bool columnar : {false, true}) {
+      SCOPED_TRACE("arenas=" + std::to_string(arenas) +
+                   " columnar=" + std::to_string(columnar));
+      ScopedTupleArenasEnabled a(arenas);
+      ScopedPageColumnarEnabled c(columnar);
+      Page page;
+      int64_t next_id = 1;
+      ASSERT_TRUE(DecodeTupleBatchInto(f.payload, arity, &page,
+                                       /*allow_columnar=*/true, &next_id)
+                      .ok());
+      ASSERT_EQ(page.size(), tuples.size());
+      EXPECT_EQ(page.is_columnar(), arenas && columnar);
+      page.EnsureRowLayout();
+      for (size_t i = 0; i < tuples.size(); ++i) {
+        const Tuple& got = page.elements()[i].tuple();
+        EXPECT_EQ(got.ToString(), owned[i].ToString()) << "row " << i;
+        EXPECT_EQ(got.id(), static_cast<int64_t>(i) + 1)
+            << "id assignment must match VectorSource";
+      }
+      EXPECT_EQ(next_id, static_cast<int64_t>(tuples.size()) + 1);
+    }
+  }
+}
+
+TEST(WireFormat, BatchDecodePreservesExplicitIdsAndArrivals) {
+  std::vector<Tuple> tuples = RandomIngestTuples(4, 31);
+  tuples[1].set_id(500);
+  tuples[1].set_arrival_ms(777);
+  std::string bytes;
+  AppendTupleBatchFrame(&bytes, tuples);
+  FrameView f;
+  size_t consumed = 0;
+  ASSERT_TRUE(ScanFrame(bytes, &f, &consumed).ok());
+  Page page;
+  int64_t next_id = 1;
+  ASSERT_TRUE(DecodeTupleBatchInto(f.payload, 3, &page, true, &next_id)
+                  .ok());
+  page.EnsureRowLayout();
+  EXPECT_EQ(page.elements()[1].tuple().id(), 500);
+  EXPECT_EQ(page.elements()[1].tuple().arrival_ms(), 777);
+  // 0-id tuples got 1,2,3 (the explicit id does not advance next_id).
+  EXPECT_EQ(page.elements()[0].tuple().id(), 1);
+  EXPECT_EQ(page.elements()[3].tuple().id(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Admission pool
+// ---------------------------------------------------------------------------
+
+TEST(FramePool, AccountingAndBackpressure) {
+  FrameBufferPool pool(64, 2);
+  EXPECT_EQ(pool.capacity(), 2u);
+  EXPECT_EQ(pool.available(), 2u);
+  char* a = pool.TryAcquire();
+  char* b = pool.TryAcquire();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.TryAcquire(), nullptr);  // dry
+  EXPECT_EQ(pool.dry_acquires(), 1u);
+  pool.Release(a);
+  EXPECT_EQ(pool.available(), 1u);
+  char* c = pool.TryAcquire();
+  EXPECT_EQ(c, a);  // reuse, not allocation
+  pool.Release(b);
+  pool.Release(c);
+  EXPECT_EQ(pool.available(), 2u);
+  EXPECT_EQ(pool.acquires(), 3u);
+}
+
+TEST(FrameConduitTest, OfferBytesStopsAtDryPool) {
+  FrameConduitOptions opts;
+  opts.buffer_bytes = 8;
+  opts.num_buffers = 2;
+  FrameConduit conduit(opts);
+  std::string big(100, 'x');
+  EXPECT_EQ(conduit.OfferBytes(big.data(), big.size()), 16u);
+  EXPECT_FALSE(conduit.WriteAll("more"));
+  // Consumer recycles → producer can continue.
+  auto c1 = conduit.TryPopChunk();
+  ASSERT_TRUE(c1.has_value());
+  conduit.Recycle(*c1);
+  EXPECT_EQ(conduit.OfferBytes(big.data(), big.size()), 8u);
+}
+
+TEST(FrameConduitTest, ChunksPreserveByteOrder) {
+  FrameConduitOptions opts;
+  opts.buffer_bytes = 4;
+  opts.num_buffers = 64;
+  FrameConduit conduit(opts);
+  std::string in = "the quick brown fox jumps over the lazy dog";
+  ASSERT_TRUE(conduit.WriteAll(in));
+  conduit.CloseWrite();
+  std::string out;
+  while (auto c = conduit.TryPopChunk()) {
+    out.append(c->data, c->len);
+    conduit.Recycle(*c);
+  }
+  EXPECT_EQ(out, in);
+  EXPECT_TRUE(conduit.write_closed());
+}
+
+// ---------------------------------------------------------------------------
+// Trace record / replay
+// ---------------------------------------------------------------------------
+
+TEST(Trace, RecordThenReplayIsByteIdentical) {
+  std::vector<Tuple> tuples = RandomIngestTuples(20, 47);
+  const std::string stream =
+      testing_util::EncodeIngestStream(tuples, 6, 12);
+  const std::string path = TempPath("trace_rt.bin");
+
+  {
+    FrameTraceWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    // Append frame-by-frame, as IngestSource does on admission.
+    std::string_view rest = stream;
+    while (!rest.empty()) {
+      FrameView f;
+      size_t consumed = 0;
+      ASSERT_TRUE(ScanFrame(rest, &f, &consumed).ok());
+      ASSERT_GT(consumed, 0u);
+      ASSERT_TRUE(w.Append(rest.substr(0, consumed)).ok());
+      rest.remove_prefix(consumed);
+    }
+    ASSERT_TRUE(w.Close().ok());
+  }
+
+  Result<std::string> back = ReadTraceFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), stream);
+
+  // Replay through a conduit reproduces the byte stream exactly.
+  FrameConduitOptions opts;
+  opts.buffer_bytes = 512;
+  opts.num_buffers = stream.size() / 512 + 2;
+  FrameConduit conduit(opts);
+  ASSERT_TRUE(ReplayTraceIntoConduit(path, &conduit).ok());
+  std::string replayed;
+  while (auto c = conduit.TryPopChunk()) {
+    replayed.append(c->data, c->len);
+    conduit.Recycle(*c);
+  }
+  EXPECT_EQ(replayed, stream);
+  EXPECT_TRUE(conduit.write_closed());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, MissingFileAndUnopenedWriterFailCleanly) {
+  EXPECT_FALSE(ReadTraceFile(TempPath("nope.bin")).ok());
+  FrameTraceWriter w;
+  EXPECT_FALSE(w.Append("x").ok());
+  EXPECT_TRUE(w.Close().ok());  // closing a never-opened writer is OK
+  FrameConduit conduit;
+  EXPECT_FALSE(
+      ReplayTraceIntoConduit(TempPath("nope.bin"), &conduit).ok());
+}
+
+}  // namespace
+}  // namespace nstream
