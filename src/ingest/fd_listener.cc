@@ -5,6 +5,7 @@
 #include <csignal>
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace nstream {
@@ -13,13 +14,43 @@ namespace {
 // Poll/backoff quantum: short enough that feedback latency and Stop()
 // responsiveness stay in the low milliseconds, long enough not to spin.
 constexpr int kPollMs = 2;
+
+// A peer that died between frames must surface as a write error, not
+// a process-killing SIGPIPE. Sockets are covered by MSG_NOSIGNAL in
+// SendSome; plain pipes still need the signal ignored, but a library
+// must not stomp an embedding application's handler — ignore only
+// when the process still has the default disposition, once.
+void IgnoreSigpipeIfDefault() {
+  static const bool once = [] {
+    struct sigaction cur {};
+    if (::sigaction(SIGPIPE, nullptr, &cur) == 0 &&
+        cur.sa_handler == SIG_DFL) {
+      struct sigaction ign {};
+      ign.sa_handler = SIG_IGN;
+      ::sigemptyset(&ign.sa_mask);
+      ::sigaction(SIGPIPE, &ign, nullptr);
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+// send(MSG_NOSIGNAL | MSG_DONTWAIT) for sockets — per-call
+// non-blocking, so even a frame bigger than the free socket-buffer
+// space cannot wedge the pump (POLLOUT only promises SOME space);
+// write(2) fallback for pipes (which rely on the once-only
+// default-preserving SIGPIPE ignore above, and where POLLOUT promises
+// PIPE_BUF writable bytes).
+ssize_t SendSome(int fd, const char* p, size_t n) {
+  ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+  if (r < 0 && errno == ENOTSOCK) r = ::write(fd, p, n);
+  return r;
+}
 }  // namespace
 
 FdListener::FdListener(int fd, FrameConduit* conduit)
     : fd_(fd), conduit_(conduit) {
-  // A peer that died between frames must surface as EOF on read, not
-  // as a process-killing SIGPIPE on our feedback write.
-  ::signal(SIGPIPE, SIG_IGN);
+  IgnoreSigpipeIfDefault();
   thread_ = std::thread([this] { Run(); });
 }
 
@@ -35,24 +66,61 @@ void FdListener::Stop() {
 }
 
 bool FdListener::FlushFeedback() {
-  while (std::optional<std::string> f = conduit_->TryPopFeedbackFrame()) {
-    size_t off = 0;
-    while (off < f->size()) {
-      ssize_t n = ::write(fd_, f->data() + off, f->size() - off);
-      if (n < 0) {
+  // A peer that stops reading the feedback direction fills the socket
+  // buffer; this pump must never block in write(2) with stop_
+  // unchecked, or Stop()/~FdListener would hang in join(). Writes are
+  // gated on a short POLLOUT poll, and unsent bytes of a frame carry
+  // across calls in fb_frame_/fb_off_.
+  for (;;) {
+    if (fb_off_ >= fb_frame_.size()) {
+      std::optional<std::string> f = conduit_->TryPopFeedbackFrame();
+      if (!f.has_value()) return true;  // drained
+      fb_frame_ = std::move(*f);
+      fb_off_ = 0;
+    }
+    while (fb_off_ < fb_frame_.size()) {
+      if (stop_.load(std::memory_order_acquire)) return true;
+      struct pollfd pfd = {fd_, POLLOUT, 0};
+      int pr = ::poll(&pfd, 1, kPollMs);
+      if (pr < 0) {
         if (errno == EINTR) continue;
+        return false;
+      }
+      if (pr == 0) return true;  // not writable now: retry next pass
+      if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+        return false;  // peer gone: drop remaining feedback
+      }
+      ssize_t n = SendSome(fd_, fb_frame_.data() + fb_off_,
+                           fb_frame_.size() - fb_off_);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
         return false;  // peer gone (EPIPE etc.): drop remaining feedback
       }
-      off += static_cast<size_t>(n);
+      fb_off_ += static_cast<size_t>(n);
     }
+    fb_frame_.clear();
+    fb_off_ = 0;
   }
-  return true;
 }
 
 void FdListener::Run() {
   bool peer_writable = true;
   while (!stop_.load(std::memory_order_acquire)) {
-    if (peer_writable) peer_writable = FlushFeedback();
+    if (peer_writable) {
+      peer_writable = FlushFeedback();
+      if (!peer_writable) {
+        fb_frame_.clear();
+        fb_off_ = 0;
+      }
+    } else {
+      // Dead write side: nobody can receive feedback anymore — keep
+      // draining the queue so a long-running plan's relayed frames do
+      // not pin memory for nothing.
+      while (conduit_->TryPopFeedbackFrame()) {
+      }
+    }
 
     if (eof_.load(std::memory_order_acquire)) {
       // Nothing left to read; keep draining feedback until stopped so

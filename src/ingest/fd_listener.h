@@ -42,13 +42,18 @@ class FdListener {
 
  private:
   void Run();
-  /// Drain queued feedback frames to the fd. False on a dead peer.
+  /// Drain queued feedback frames to the fd without ever blocking in
+  /// write (POLLOUT-gated, stop_-aware; a partially written frame
+  /// carries over in fb_frame_/fb_off_). False on a dead peer.
   bool FlushFeedback();
 
   int fd_;
   FrameConduit* conduit_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> eof_{false};
+  // Feedback frame in flight: bytes [fb_off_, size) are still unsent.
+  std::string fb_frame_;
+  size_t fb_off_ = 0;
   std::thread thread_;
 };
 

@@ -80,10 +80,19 @@ void FrameConduit::PushFeedbackFrame(std::string frame_bytes) {
   std::function<void()> notify;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    while (feedback_.size() >= max_feedback_) {
+      feedback_.pop_front();  // oldest first: newer intent supersedes
+      ++feedback_dropped_;
+    }
     feedback_.push_back(std::move(frame_bytes));
     notify = feedback_notifier_;
   }
   if (notify) notify();
+}
+
+uint64_t FrameConduit::feedback_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return feedback_dropped_;
 }
 
 void FrameConduit::SetFeedbackNotifier(std::function<void()> fn) {

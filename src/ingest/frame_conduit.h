@@ -40,6 +40,12 @@ struct ConduitChunk {
 struct FrameConduitOptions {
   size_t buffer_bytes = 4096;
   size_t num_buffers = 256;
+  /// Bound on queued engine → producer feedback frames. With no
+  /// drainer (no listener attached, or the peer died) the queue must
+  /// not grow for the life of the query; past the cap the OLDEST
+  /// frame is dropped — feedback is advisory and newer intent
+  /// supersedes older.
+  size_t max_feedback_frames = 256;
 };
 
 class FrameConduit {
@@ -47,7 +53,10 @@ class FrameConduit {
   using Options = FrameConduitOptions;
 
   explicit FrameConduit(Options opts = {})
-      : pool_(opts.buffer_bytes, opts.num_buffers) {}
+      : pool_(opts.buffer_bytes, opts.num_buffers),
+        max_feedback_(opts.max_feedback_frames > 0
+                          ? opts.max_feedback_frames
+                          : 1) {}
 
   FrameConduit(const FrameConduit&) = delete;
   FrameConduit& operator=(const FrameConduit&) = delete;
@@ -91,18 +100,23 @@ class FrameConduit {
   void SetDataNotifier(std::function<void()> fn);
 
   /// Engine side: send an encoded feedback frame back to the producer.
+  /// Bounded (max_feedback_frames): when full, drops the oldest.
   void PushFeedbackFrame(std::string frame_bytes);
   /// Fired when a feedback frame is queued (FdListener write pump).
   void SetFeedbackNotifier(std::function<void()> fn);
+  /// Feedback frames dropped to honor max_feedback_frames.
+  uint64_t feedback_dropped() const;
 
   size_t buffer_bytes() const { return pool_.buffer_bytes(); }
   const FrameBufferPool& pool() const { return pool_; }
 
  private:
   FrameBufferPool pool_;
+  const size_t max_feedback_;
   mutable std::mutex mu_;
   std::deque<ConduitChunk> chunks_;
   std::deque<std::string> feedback_;
+  uint64_t feedback_dropped_ = 0;
   bool write_closed_ = false;
   std::function<void()> data_notifier_;
   std::function<void()> feedback_notifier_;

@@ -91,7 +91,19 @@ void IngestSource::EnsureFrame() {
       std::optional<ConduitChunk> c = conduit_->TryPopChunk();
       if (!c.has_value()) {
         if (conduit_->write_closed() && !conduit_->HasChunks()) {
-          clean_close_ = true;  // drained at a frame boundary
+          if (skip_remaining_ > 0) {
+            // A recovered source whose replay ends before covering the
+            // checkpointed prefix has LOST admitted frames. Treating
+            // this as clean exhaustion would silently drop them, so it
+            // is a hard error — at-least-once fails loudly, never
+            // quietly.
+            pending_error_ = Status::FailedPrecondition(
+                name() + ": replayed stream ended " +
+                std::to_string(skip_remaining_) +
+                " frame(s) short of the checkpointed offset");
+          } else {
+            clean_close_ = true;  // drained at a frame boundary
+          }
         }
         return;
       }
@@ -160,7 +172,17 @@ Status IngestSource::ProduceNext() {
     if (!pending_ready_) break;
     if (skip_remaining_ > 0) {
       // Recovery replay: this frame was admitted (and emitted) before
-      // the checkpoint — drop it without emitting or re-counting.
+      // the checkpoint — drop it without emitting or re-counting. It
+      // still goes to the trace: Open() truncated trace_path, so when
+      // recovery records to the SAME path the re-recorded file must
+      // regain the checkpointed prefix, or a second crash would
+      // replay a too-short stream.
+      if (trace_.is_open()) {
+        const char* base =
+            pending_from_carry_ ? carry_.data() : cur_.data + cur_pos_;
+        NSTREAM_RETURN_NOT_OK(
+            trace_.Append(std::string_view(base, pending_consumed_)));
+      }
       --skip_remaining_;
       ++replayed_skips_;
     } else {

@@ -25,7 +25,11 @@
 //   replays the same byte stream — a recorded trace or a reconnecting
 //   producer — and RestoreState makes the source skip exactly that
 //   many frames: the PR 8 at-least-once contract with a real ingest
-//   edge instead of a rewound vector.
+//   edge instead of a rewound vector. Skipped frames are re-appended
+//   to the trace (recovery may record to the SAME path the replay was
+//   read from — the file is truncated on Open, so the prefix must be
+//   regained), and a replay that ends before covering the
+//   checkpointed offset is a hard error, never a silent clean close.
 //
 // Framing errors (bad magic, oversized size field, arity mismatch,
 // bytes after EOS, a connection that dies mid-frame) surface as
@@ -53,7 +57,12 @@ struct IngestSourceOptions {
   int max_frames_per_produce = 8;
   /// Stage tuple batches as ColumnarBlocks when PageColumnar is on.
   bool allow_columnar = true;
-  /// When non-empty, append every admitted frame to this trace file.
+  /// When non-empty, append every admitted frame to this trace file
+  /// (truncated on Open; during recovery replay, skipped frames are
+  /// re-appended so the file regains the checkpointed prefix — safe to
+  /// reuse the path the replay was read from, since
+  /// ReplayTraceIntoConduit reads the whole file before the plan
+  /// opens).
   std::string trace_path;
 };
 

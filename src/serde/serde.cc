@@ -227,6 +227,15 @@ Status ByteReader::ReadTupleValuesIn(TupleArena* arena, uint32_t nvals,
 Status ByteReader::ReadTuple(Tuple* out) {
   uint32_t n = 0;
   NSTREAM_RETURN_NOT_OK(ReadU32(&n));
+  // Each serialized value is at least its 1-byte type tag, so a count
+  // beyond the remaining bytes is forged — reject it before reserving
+  // (counts can arrive from a hostile wire peer, not just snapshots).
+  if (n > remaining()) {
+    return Status::InvalidArgument(
+        "serde: tuple value count " + std::to_string(n) +
+        " impossible for " + std::to_string(remaining()) +
+        " remaining bytes");
+  }
   Tuple t(nullptr, n);  // owned mode: results outlive the input buffer
   NSTREAM_RETURN_NOT_OK(ReadTupleValuesIn(nullptr, n, &t));
   *out = std::move(t);
@@ -280,6 +289,17 @@ Status ByteReader::ReadAttrPattern(AttrPattern* out) {
 Status ByteReader::ReadPattern(PunctPattern* out) {
   uint32_t n = 0;
   NSTREAM_RETURN_NOT_OK(ReadU32(&n));
+  // Each serialized AttrPattern is at least its 1-byte op tag, so a
+  // count beyond the remaining bytes is forged — reject it before the
+  // vector allocation. Punctuation frames cross the wire, and a
+  // hostile peer must not be able to drive a multi-GB allocation out
+  // of a few payload bytes.
+  if (n > remaining()) {
+    return Status::InvalidArgument(
+        "serde: pattern attr count " + std::to_string(n) +
+        " impossible for " + std::to_string(remaining()) +
+        " remaining bytes");
+  }
   std::vector<AttrPattern> attrs(n);
   for (uint32_t i = 0; i < n; ++i) {
     NSTREAM_RETURN_NOT_OK(ReadAttrPattern(&attrs[i]));

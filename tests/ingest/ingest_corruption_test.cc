@@ -119,6 +119,27 @@ TEST(IngestCorruption, ForgedBatchCountRejectsBeforeReserve) {
       << st.ToString();
 }
 
+TEST(IngestCorruption, ForgedPatternCountRejectsBeforeAllocating) {
+  // A punctuation frame whose pattern claims 2^32-1 attrs in a 4-byte
+  // payload: the count/remaining-bytes guard must fire before the
+  // attrs vector is allocated (under ASan an actual multi-GB
+  // allocation attempt would abort the run).
+  ByteWriter w;
+  w.WriteU32(0xFFFFFFFFu);
+  std::string bytes;
+  AppendHelloFrame(&bytes, 3);
+  const uint32_t magic = kFrameMagic;
+  const uint32_t size = static_cast<uint32_t>(w.buffer().size());
+  bytes.append(reinterpret_cast<const char*>(&magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&size), 4);
+  bytes.push_back(static_cast<char>(FrameType::kPunctuation));
+  bytes += w.buffer();
+  Status st = RunBytes(bytes);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("impossible"), std::string::npos)
+      << st.ToString();
+}
+
 TEST(IngestCorruption, UnknownFrameTypeRejects) {
   std::string bytes;
   AppendHelloFrame(&bytes, 3);

@@ -153,5 +153,33 @@ TEST(FdListenerTest, FeedbackReachesTheClientSocket) {
   ::close(client_fd);
 }
 
+TEST(FdListenerTest, StopDoesNotHangWhenPeerStopsReadingFeedback) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int client_fd = fds[0];
+  // Minimize the engine-side send buffer so queued feedback overflows
+  // the transport quickly (the kernel clamps to its floor, a few KiB).
+  int sz = 1;
+  ASSERT_EQ(
+      ::setsockopt(fds[1], SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz)), 0);
+
+  FrameConduit conduit;
+  FdListener listener(fds[1], &conduit);
+
+  // Queue far more feedback bytes than the socket can absorb, with a
+  // client that never reads the feedback direction. The write pump
+  // must park on POLLOUT instead of blocking in write(2).
+  for (int i = 0; i < 200; ++i) {
+    std::string frame;
+    AppendFeedbackFrame(&frame, testing_util::FB("~[*,*,>=1]"));
+    conduit.PushFeedbackFrame(std::move(frame));
+  }
+  // Let the pump wedge against the full buffer, then Stop(): with a
+  // blocking write this join()ed forever; now it must return promptly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  listener.Stop();
+  ::close(client_fd);
+}
+
 }  // namespace
 }  // namespace nstream

@@ -135,7 +135,13 @@ TEST(IngestRecovery, CheckpointCrashReplayFromTrace) {
        // writer flushes on destruction)
 
     // Recovery: identical plan, the recorded trace replayed through a
-    // fresh conduit, state restored from the checkpoint.
+    // fresh conduit, state restored from the checkpoint. The rebuilt
+    // source records to the SAME trace path it is replaying from (the
+    // natural durable setup): the replay reads the whole file into
+    // the conduit before the plan opens (and truncates) it, and the
+    // skip path re-appends the checkpointed prefix.
+    Result<std::string> pre_crash_trace = ReadTraceFile(trace);
+    ASSERT_TRUE(pre_crash_trace.ok()) << pre_crash_trace.status().ToString();
     {
       auto conduit = std::make_unique<FrameConduit>([&] {
         FrameConduitOptions copts;
@@ -145,7 +151,7 @@ TEST(IngestRecovery, CheckpointCrashReplayFromTrace) {
       }());
       ASSERT_TRUE(ReplayTraceIntoConduit(trace, conduit.get()).ok());
       auto rebuilt = MakeIngestPlan(conduit.get(),
-                                    IngestSourceOptions{2, true, ""});
+                                    IngestSourceOptions{2, true, trace});
       SchedHarnessOptions hopts;
       hopts.seed = seed + 100;
       SchedHarness h(hopts);
@@ -160,6 +166,12 @@ TEST(IngestRecovery, CheckpointCrashReplayFromTrace) {
       EXPECT_EQ(rebuilt.source->replayed_skips(), admitted_at_ckpt);
       EXPECT_EQ(rebuilt.source->admitted_frames(), admitted_at_crash);
 
+      // The re-recorded trace regained the checkpointed prefix
+      // byte-for-byte: a SECOND crash could recover from this file.
+      Result<std::string> rerecorded = ReadTraceFile(trace);
+      ASSERT_TRUE(rerecorded.ok()) << rerecorded.status().ToString();
+      EXPECT_EQ(rerecorded.value(), pre_crash_trace.value());
+
       std::multiset<std::string> combined = prefix;
       const std::multiset<std::string> recovered =
           TupleStrings(rebuilt.sink->collected());
@@ -172,7 +184,9 @@ TEST(IngestRecovery, CheckpointCrashReplayFromTrace) {
 }
 
 // A recovered source whose replay stream is SHORTER than the
-// acknowledged offset (truncated trace) must fail cleanly, not hang.
+// acknowledged offset (truncated trace) has lost admitted frames: it
+// must fail LOUDLY — a clean close mid-skip would silently violate
+// at-least-once — and must not hang.
 TEST(IngestRecovery, TruncatedReplayFailsCleanly) {
   const int kN = 60;
   std::vector<Tuple> tuples = RandomIngestTuples(kN, 5);
@@ -204,7 +218,8 @@ TEST(IngestRecovery, TruncatedReplayFailsCleanly) {
   }
 
   // Replay only the hello frame: fewer frames than the acknowledged
-  // offset → the source runs out mid-skip and reports, not hangs.
+  // offset → the source runs out mid-skip and fails the query, not
+  // hangs and not resolves OK with the lost frames swallowed.
   std::string short_stream;
   AppendHelloFrame(&short_stream, 3);
   auto conduit = PrefilledConduit(short_stream);
@@ -214,10 +229,12 @@ TEST(IngestRecovery, TruncatedReplayFailsCleanly) {
       h.scheduler()->SubmitRecovered(rebuilt.plan.get(), ckpt);
   ASSERT_TRUE(id.ok()) << id.status().ToString();
   ASSERT_TRUE(h.Drive().ok());
-  // The plan drains: the source treats the clean close as exhaustion
-  // even mid-skip; nothing was emitted (all replayed frames skipped).
   Status st = h.Wait(id.value());
-  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("short of the checkpointed offset"),
+            std::string::npos)
+      << st.ToString();
+  // Nothing was emitted: every frame that did arrive was skipped.
   EXPECT_EQ(rebuilt.sink->consumed(), 0u);
   EXPECT_GT(rebuilt.source->replayed_skips(), 0u);
   std::remove(ckpt.c_str());

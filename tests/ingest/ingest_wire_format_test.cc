@@ -236,6 +236,23 @@ TEST(FrameConduitTest, ChunksPreserveByteOrder) {
   EXPECT_TRUE(conduit.write_closed());
 }
 
+TEST(FrameConduitTest, FeedbackQueueIsBoundedDropOldest) {
+  FrameConduitOptions opts;
+  opts.max_feedback_frames = 3;
+  FrameConduit conduit(opts);
+  for (int i = 0; i < 10; ++i) {
+    conduit.PushFeedbackFrame("fb" + std::to_string(i));
+  }
+  // With no drainer attached, only the newest max_feedback_frames
+  // survive; the rest were dropped oldest-first.
+  EXPECT_EQ(conduit.feedback_dropped(), 7u);
+  std::vector<std::string> got;
+  while (auto f = conduit.TryPopFeedbackFrame()) {
+    got.push_back(*f);
+  }
+  EXPECT_EQ(got, (std::vector<std::string>{"fb7", "fb8", "fb9"}));
+}
+
 // ---------------------------------------------------------------------------
 // Trace record / replay
 // ---------------------------------------------------------------------------
