@@ -10,6 +10,10 @@
 //                                  (must stay >= 1.3);
 //   ingest.frames_per_sec          end-to-end conduit → IngestSource →
 //                                  sink on the pooled executor;
+//   ingest.frames_per_sec_4p       the same end-to-end path through the
+//                                  TCP serving edge with 4 concurrent
+//                                  producer connections fanned into one
+//                                  conduit (loopback sockets included);
 //   ingest.feedback_roundtrip_ns   engine-edge feedback loop: intent
 //                                  exploited + relayed by the source,
 //                                  decoded back on the client side.
@@ -20,8 +24,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -32,6 +40,7 @@
 #include "exec/scheduler.h"
 #include "ingest/ingest_client.h"
 #include "ingest/ingest_source.h"
+#include "ingest/tcp_acceptor.h"
 #include "ops/sink.h"
 #include "punct/pattern_parser.h"
 #include "stream/columnar.h"
@@ -161,6 +170,90 @@ double MeasureFramesPerSec(int n_tuples, size_t batch_size) {
   return static_cast<double>(src->admitted_frames()) / (ns * 1e-9);
 }
 
+// ---- multi-producer throughput through the TCP serving edge --------
+
+bool SendAllFd(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Graceful producer exit: half-close, then drain engine → producer
+/// frames (the hello ack) until the acceptor closes the connection.
+/// An abrupt close() would RST and discard unread frames acceptor-side.
+void DrainAndClose(int fd) {
+  ::shutdown(fd, SHUT_WR);
+  char tmp[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, tmp, sizeof(tmp));
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+}
+
+double MeasureAcceptorFramesPerSec(int producers, int n_tuples,
+                                   size_t batch_size,
+                                   std::string* stats_out = nullptr) {
+  std::vector<std::string> wire(static_cast<size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    const uint64_t id = static_cast<uint64_t>(p) + 1;
+    std::string& w = wire[static_cast<size_t>(p)];
+    AppendHelloFrame(&w, 3, id, 0);
+    std::vector<Tuple> tuples = MakeTuples(n_tuples);
+    for (size_t i = 0; i < tuples.size(); i += batch_size) {
+      AppendTupleBatchFrame(&w, tuples.data() + i,
+                            std::min(batch_size, tuples.size() - i));
+    }
+    AppendEosFrame(&w);
+  }
+
+  FrameConduit conduit;
+  TcpAcceptor acceptor(&conduit);
+  NSTREAM_CHECK(acceptor.Listen().ok());
+
+  auto plan = std::make_unique<QueryPlan>();
+  IngestSourceOptions sopts;
+  sopts.multi_producer = true;
+  sopts.expected_eos_producers = producers;
+  auto* src = plan->AddOp(std::make_unique<IngestSource>(
+      "ingest", IngestSchema(), &conduit, sopts));
+  auto* sink = plan->AddOp(std::make_unique<CollectorSink>(
+      "sink", CollectorSinkOptions{.record_tuples = false}));
+  NSTREAM_CHECK(plan->Connect(*src, *sink).ok());
+  NSTREAM_CHECK(plan->Finalize().ok());
+
+  PooledExecutor exec(PooledExecutorOptions{});
+  Result<QueryId> id = exec.Submit(plan.get());
+  NSTREAM_CHECK(id.ok());
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(wire.size());
+  for (const std::string& w : wire) {
+    threads.emplace_back([&acceptor, &w] {
+      Result<int> fd = TcpConnectLoopback(acceptor.port());
+      NSTREAM_CHECK(fd.ok());
+      NSTREAM_CHECK(SendAllFd(fd.value(), w));
+      DrainAndClose(fd.value());
+    });
+  }
+  NSTREAM_CHECK(exec.Wait(id.value()).ok());
+  const double ns = ElapsedNs(start);
+  acceptor.Stop();  // closes the conns, releasing the drain loops
+  for (std::thread& t : threads) t.join();
+  NSTREAM_CHECK(src->quarantined_producers() == 0);
+  if (stats_out != nullptr) *stats_out = acceptor.StatsReport().ToString();
+  return static_cast<double>(src->admitted_frames()) / (ns * 1e-9);
+}
+
 // ---- feedback round-trip at the edge -------------------------------
 
 double MeasureFeedbackRoundTripNs(int reps) {
@@ -197,6 +290,14 @@ void BM_Ingest_FramesPooled(benchmark::State& state) {
 }
 BENCHMARK(BM_Ingest_FramesPooled);
 
+void BM_Ingest_FramesAcceptor4P(benchmark::State& state) {
+  for (auto _ : state) {
+    double fps = MeasureAcceptorFramesPerSec(4, 1 << 11, 32);
+    benchmark::DoNotOptimize(fps);
+  }
+}
+BENCHMARK(BM_Ingest_FramesAcceptor4P);
+
 void BM_Ingest_FeedbackRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
     double ns = MeasureFeedbackRoundTripNs(64);
@@ -230,6 +331,23 @@ void RecordHotpathJson() {
     fps = std::max(fps, MeasureFramesPerSec(kStreamTuples, 32));
   }
 
+  // 4 concurrent producers through the TCP acceptor into one conduit.
+  const int kAcceptorProducers = 4;
+  MeasureAcceptorFramesPerSec(kAcceptorProducers, 1 << 12, 32);  // warm-up
+  double fps4 = 0;
+  std::string acceptor_stats;
+  for (int i = 0; i < 3; ++i) {
+    std::string stats;
+    const double run =
+        MeasureAcceptorFramesPerSec(kAcceptorProducers, 1 << 13, 32, &stats);
+    if (run > fps4) {
+      fps4 = run;
+      acceptor_stats = std::move(stats);
+    }
+  }
+  std::fprintf(stdout, "acceptor (%d producers, best run):\n%s\n",
+               kAcceptorProducers, acceptor_stats.c_str());
+
   MeasureFeedbackRoundTripNs(256);  // warm-up
   double rt = 1e18;
   for (int i = 0; i < 5; ++i) {
@@ -242,6 +360,7 @@ void RecordHotpathJson() {
       {"ingest.parse_speedup",
        best.ref_ns_per_tuple / best.zero_copy_ns_per_tuple},
       {"ingest.frames_per_sec", fps},
+      {"ingest.frames_per_sec_4p", fps4},
       {"ingest.feedback_roundtrip_ns", rt},
       {"ingest.online_cpus",
        static_cast<double>(std::thread::hardware_concurrency())},

@@ -48,9 +48,64 @@ void FrameConduit::CloseWrite() {
 std::optional<std::string> FrameConduit::TryPopFeedbackFrame() {
   std::lock_guard<std::mutex> lock(mu_);
   if (feedback_.empty()) return std::nullopt;
-  std::string f = std::move(feedback_.front());
+  std::string f = std::move(feedback_.front().bytes);
   feedback_.pop_front();
   return f;
+}
+
+std::optional<RoutedFeedback> FrameConduit::TryPopRoutedFeedback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (feedback_.empty()) return std::nullopt;
+  RoutedFeedback f = std::move(feedback_.front());
+  feedback_.pop_front();
+  return f;
+}
+
+bool FrameConduit::OfferMuxFrame(uint64_t producer,
+                                 std::string_view frame_bytes) {
+  std::function<void()> notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (mux_bytes_ + frame_bytes.size() > mux_budget_ && !mux_.empty()) {
+      return false;  // over budget: per-connection backpressure
+    }
+    mux_bytes_ += frame_bytes.size();
+    mux_.push_back(MuxFrame{producer, std::string(frame_bytes)});
+    notify = data_notifier_;
+  }
+  if (notify) notify();
+  return true;
+}
+
+void FrameConduit::ForceMuxFrame(uint64_t producer,
+                                 std::string frame_bytes) {
+  std::function<void()> notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mux_bytes_ += frame_bytes.size();
+    mux_.push_back(MuxFrame{producer, std::move(frame_bytes)});
+    notify = data_notifier_;
+  }
+  if (notify) notify();
+}
+
+std::optional<MuxFrame> FrameConduit::TryPopMuxFrame() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mux_.empty()) return std::nullopt;
+  MuxFrame f = std::move(mux_.front());
+  mux_.pop_front();
+  mux_bytes_ -= f.bytes.size();
+  return f;
+}
+
+bool FrameConduit::HasMuxFrames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !mux_.empty();
+}
+
+size_t FrameConduit::mux_queued_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mux_bytes_;
 }
 
 std::optional<ConduitChunk> FrameConduit::TryPopChunk() {
@@ -76,7 +131,8 @@ void FrameConduit::SetDataNotifier(std::function<void()> fn) {
   data_notifier_ = std::move(fn);
 }
 
-void FrameConduit::PushFeedbackFrame(std::string frame_bytes) {
+void FrameConduit::PushFeedbackFrameTo(uint64_t producer,
+                                       std::string frame_bytes) {
   std::function<void()> notify;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -84,7 +140,7 @@ void FrameConduit::PushFeedbackFrame(std::string frame_bytes) {
       feedback_.pop_front();  // oldest first: newer intent supersedes
       ++feedback_dropped_;
     }
-    feedback_.push_back(std::move(frame_bytes));
+    feedback_.push_back(RoutedFeedback{producer, std::move(frame_bytes)});
     notify = feedback_notifier_;
   }
   if (notify) notify();

@@ -1,9 +1,17 @@
-// FrameConduit: the byte-stream channel between one producer and one
-// IngestSource. Bytes flow producer → engine as filled pool buffers
-// (ConduitChunk); feedback frames flow engine → producer as encoded
-// byte strings. Thread-safe on both sides: the producer may be a
-// client thread or the FdListener's socket pump, the consumer is
-// whichever worker runs the IngestSource task.
+// FrameConduit: the channel between the transport edge and one
+// IngestSource. Two producer→engine shapes share it:
+//
+//   * byte-stream chunks (single connection, FdListener / in-memory
+//     client): bytes flow as filled pool buffers (ConduitChunk) and
+//     the source assembles frames;
+//   * whole tagged frames (multi-producer fan-in, TcpAcceptor): the
+//     acceptor assembles frames per connection and enqueues MuxFrames,
+//     so N producers interleave at frame granularity, never mid-frame.
+//
+// Feedback frames flow engine → producer as encoded byte strings with
+// a routing target (one producer, or broadcast). Thread-safe on both
+// sides: the producer may be a client thread or a transport pump, the
+// consumer is whichever worker runs the IngestSource task.
 //
 // The conduit owns the admission pool (frame_pool.h). OfferBytes
 // copies producer bytes into pooled buffers and accepts only what the
@@ -35,6 +43,22 @@ namespace nstream {
 struct ConduitChunk {
   char* data = nullptr;
   size_t len = 0;
+};
+
+/// One whole wire frame from one producer — the multi-producer fan-in
+/// unit. The acceptor assembles frames per connection (so producers'
+/// bytes never interleave mid-frame) and tags each with the
+/// connection's producer id.
+struct MuxFrame {
+  uint64_t producer = 0;
+  std::string bytes;
+};
+
+/// An engine → producer feedback frame with routing: target 0 means
+/// broadcast to every producer, otherwise exactly one.
+struct RoutedFeedback {
+  uint64_t target = 0;
+  std::string bytes;
 };
 
 struct FrameConduitOptions {
@@ -86,7 +110,31 @@ class FrameConduit {
   void CloseWrite();
 
   /// Next engine → producer feedback frame (encoded bytes), if any.
+  /// Single-connection transports (FdListener, ConduitClient) use
+  /// this; it pops regardless of routing target.
   std::optional<std::string> TryPopFeedbackFrame();
+
+  /// Routed flavor for the multi-connection acceptor: the entry keeps
+  /// its target so the acceptor can deliver to one connection or all.
+  std::optional<RoutedFeedback> TryPopRoutedFeedback();
+
+  // ---- Multi-producer fan-in (TcpAcceptor → IngestSource) ----
+
+  /// Enqueue one whole wire frame from `producer`. False when the mux
+  /// queue is at its byte budget (= pool bytes): the acceptor keeps
+  /// the frame pending and pauses reads on that connection — the
+  /// per-connection equivalent of the dry-pool backpressure.
+  bool OfferMuxFrame(uint64_t producer, std::string_view frame_bytes);
+
+  /// Budget-exempt enqueue for small control frames the source MUST
+  /// see (e.g. the acceptor's quarantine notice) and for trusted local
+  /// trace replay. Never fails.
+  void ForceMuxFrame(uint64_t producer, std::string frame_bytes);
+
+  std::optional<MuxFrame> TryPopMuxFrame();
+  bool HasMuxFrames() const;
+  size_t mux_queued_bytes() const;
+  size_t mux_budget_bytes() const { return mux_budget_; }
 
   // ---- Consumer side (IngestSource) ----
 
@@ -101,7 +149,11 @@ class FrameConduit {
 
   /// Engine side: send an encoded feedback frame back to the producer.
   /// Bounded (max_feedback_frames): when full, drops the oldest.
-  void PushFeedbackFrame(std::string frame_bytes);
+  void PushFeedbackFrame(std::string frame_bytes) {
+    PushFeedbackFrameTo(0, std::move(frame_bytes));
+  }
+  /// Routed flavor: target one producer (`producer` != 0) or all (0).
+  void PushFeedbackFrameTo(uint64_t producer, std::string frame_bytes);
   /// Fired when a feedback frame is queued (FdListener write pump).
   void SetFeedbackNotifier(std::function<void()> fn);
   /// Feedback frames dropped to honor max_feedback_frames.
@@ -113,9 +165,15 @@ class FrameConduit {
  private:
   FrameBufferPool pool_;
   const size_t max_feedback_;
+  const size_t mux_budget_ =
+      pool_.buffer_bytes() * pool_.capacity() > 0
+          ? pool_.buffer_bytes() * pool_.capacity()
+          : 1;
   mutable std::mutex mu_;
   std::deque<ConduitChunk> chunks_;
-  std::deque<std::string> feedback_;
+  std::deque<MuxFrame> mux_;
+  size_t mux_bytes_ = 0;
+  std::deque<RoutedFeedback> feedback_;
   uint64_t feedback_dropped_ = 0;
   bool write_closed_ = false;
   std::function<void()> data_notifier_;

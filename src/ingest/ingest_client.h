@@ -1,20 +1,74 @@
-// ConduitClient: the producer-side convenience wrapper tests and
-// benches speak the wire protocol through. Encodes frames onto a
-// FrameConduit and decodes feedback frames coming back. NOT the
-// engine's API surface — a real producer owns a socket and writes the
-// same bytes (see fd_listener.h for the engine's end of that).
+// Producer-side helpers. ConduitClient is the convenience wrapper
+// tests and benches speak the wire protocol through: it encodes
+// frames onto a FrameConduit and decodes feedback frames coming back.
+// NOT the engine's API surface — a real producer owns a socket and
+// writes the same bytes (see fd_listener.h and tcp_acceptor.h for the
+// engine's end of that). ReconnectBackoff is the retry policy such a
+// producer paces its reconnect attempts with.
 
 #ifndef NSTREAM_INGEST_INGEST_CLIENT_H_
 #define NSTREAM_INGEST_INGEST_CLIENT_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "ingest/frame_conduit.h"
 #include "ingest/wire_format.h"
 
 namespace nstream {
+
+struct ReconnectBackoffOptions {
+  int64_t base_delay_ms = 10;
+  int64_t max_delay_ms = 1000;
+  double multiplier = 2.0;
+  /// Each delay is perturbed by ±jitter (fraction), so a herd of
+  /// producers kicked off the same dead server does not retry in
+  /// lockstep. Seeded: the schedule is reproducible per producer.
+  double jitter = 0.2;
+  uint64_t seed = 1;
+};
+
+/// Bounded exponential backoff with deterministic jitter. Pure policy
+/// — no sleeping, no clock: the caller asks NextDelayMs() and decides
+/// how to wait, which keeps tests instant and schedules replayable.
+class ReconnectBackoff {
+ public:
+  using Options = ReconnectBackoffOptions;
+
+  explicit ReconnectBackoff(Options opts = {})
+      : opts_(opts), rng_(opts.seed) {}
+
+  /// Delay to wait before the next attempt, advancing the schedule:
+  /// base · multiplier^attempt, capped at max, then jittered.
+  int64_t NextDelayMs() {
+    double d = static_cast<double>(opts_.base_delay_ms);
+    for (int i = 0; i < attempts_ && d < static_cast<double>(opts_.max_delay_ms);
+         ++i) {
+      d *= opts_.multiplier;
+    }
+    d = std::min(d, static_cast<double>(opts_.max_delay_ms));
+    if (opts_.jitter > 0.0) {
+      d *= rng_.NextDouble(1.0 - opts_.jitter, 1.0 + opts_.jitter);
+    }
+    ++attempts_;
+    return std::max<int64_t>(0, static_cast<int64_t>(d));
+  }
+
+  /// Call on a successful (re)connect: the next failure starts the
+  /// schedule over from the base delay.
+  void Reset() { attempts_ = 0; }
+
+  int attempts() const { return attempts_; }
+
+ private:
+  Options opts_;
+  Rng rng_;
+  int attempts_ = 0;
+};
 
 class ConduitClient {
  public:

@@ -41,6 +41,7 @@
 #define NSTREAM_INGEST_INGEST_SOURCE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "core/guards.h"
@@ -62,8 +63,19 @@ struct IngestSourceOptions {
   /// re-appended so the file regains the checkpointed prefix — safe to
   /// reuse the path the replay was read from, since
   /// ReplayTraceIntoConduit reads the whole file before the plan
-  /// opens).
+  /// opens). In multi-producer mode the trace uses tagged records
+  /// (AppendTagged) and replays via ReplayMuxTraceIntoConduit.
   std::string trace_path;
+  /// Multi-producer fan-in: consume whole tagged frames (MuxFrame)
+  /// from the conduit instead of assembling a single byte stream.
+  /// Per-producer protocol state, session resume, and error
+  /// QUARANTINE (a sick producer is cut off and counted; the query
+  /// survives) replace the single-stream fail-the-query semantics.
+  bool multi_producer = false;
+  /// Multi-producer only: the stream ends once this many distinct
+  /// producers have completed (clean EOS or quarantine). 0 = end only
+  /// when the conduit's write side closes and drains (acceptor Stop).
+  int expected_eos_producers = 0;
 };
 
 class IngestSource final : public SourceOperator {
@@ -95,9 +107,38 @@ class IngestSource final : public SourceOperator {
   uint64_t admitted_frames() const { return admitted_frames_; }
   /// Frames this incarnation skipped during replay (recovery).
   uint64_t replayed_skips() const { return replayed_skips_; }
+  /// Multi-producer: duplicate frames skipped on live reconnect
+  /// resume (the at-least-once dedup at the engine side).
+  uint64_t resume_skips() const { return resume_skips_; }
+  /// Multi-producer: frames dropped because their producer is
+  /// quarantined, plus producers quarantined so far.
+  uint64_t quarantined_frames() const { return quarantined_frames_; }
+  uint64_t quarantined_producers() const { return quarantined_producers_; }
+  /// Multi-producer: the engine's acknowledged per-producer offset
+  /// (frames after the hello admitted from `producer`); 0 if unknown.
+  uint64_t acknowledged_offset(uint64_t producer) const;
   const GuardSet& admission_guards() const { return admission_guards_; }
 
  private:
+  // Per-producer session state (multi-producer mode). `admitted`
+  // counts frames AFTER the hello (data/punct/EOS) — the acknowledged
+  // offset the resume handshake speaks in.
+  struct ProducerState {
+    uint64_t admitted = 0;
+    uint64_t skip_remaining = 0;  // resume duplicates still to drop
+    // Admitted count restored from a checkpoint: frames below this
+    // index were admitted by a PREVIOUS incarnation, so when a replay
+    // skips them they must be re-appended to this incarnation's
+    // (truncated-on-open) trace. reappended_high tracks how far that
+    // re-append has progressed so a later live reconnect covering the
+    // same range cannot duplicate trace records.
+    uint64_t restored_admitted = 0;
+    uint64_t reappended_high = 0;
+    bool hello_seen = false;
+    bool eos_seen = false;
+    bool quarantined = false;
+  };
+
   // Assemble the next complete frame into pending_* (views stay valid
   // until ConsumePending — nothing touches carry_/cur_ in between).
   // Sets pending_error_ on corruption, clean_close_ on a drained
@@ -110,6 +151,18 @@ class IngestSource final : public SourceOperator {
   Status ProcessFrame(const FrameView& f, std::string_view raw);
   Status EmitBatch(std::string_view payload);
   void ApplyAdmissionGuards(Page* page);
+
+  // Multi-producer path.
+  SourcePoll CheckMuxExhausted();
+  Status ProduceNextMux();
+  Status ProcessMuxFrame(const MuxFrame& mux);
+  Status ProcessMuxHello(uint64_t producer, const FrameView& f);
+  // Cut one producer off: mark it quarantined (it counts as done so
+  // the query cannot hang on its EOS), send a kError feedback frame
+  // so the acceptor closes the connection, and count it. The query
+  // itself keeps running — this is the error-isolation point.
+  void QuarantineProducer(uint64_t producer, const std::string& reason);
+  bool AllProducersDone() const;
 
   FrameConduit* conduit_;
   IngestSourceOptions opts_;
@@ -134,6 +187,14 @@ class IngestSource final : public SourceOperator {
   uint64_t skip_remaining_ = 0;
   uint64_t replayed_skips_ = 0;
   int64_t next_id_ = 1;
+
+  // Multi-producer session state, keyed by producer id (ordered so
+  // snapshots are deterministic).
+  std::map<uint64_t, ProducerState> producers_;
+  int done_producers_ = 0;  // EOS'd or quarantined
+  uint64_t resume_skips_ = 0;
+  uint64_t quarantined_frames_ = 0;
+  uint64_t quarantined_producers_ = 0;
 
   // Feedback exploitation at the edge.
   GuardSet admission_guards_;

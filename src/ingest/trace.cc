@@ -1,5 +1,7 @@
 #include "ingest/trace.h"
 
+#include <cstring>
+
 namespace nstream {
 
 Status FrameTraceWriter::Open(const std::string& path) {
@@ -19,6 +21,24 @@ Status FrameTraceWriter::Append(std::string_view frame_bytes) {
   if (!frame_bytes.empty() &&
       std::fwrite(frame_bytes.data(), 1, frame_bytes.size(), f_) !=
           frame_bytes.size()) {
+    return Status::Internal("trace: short write to " + path_);
+  }
+  return Status::OK();
+}
+
+Status FrameTraceWriter::AppendTagged(uint64_t producer,
+                                      std::string_view frame_bytes) {
+  if (f_ == nullptr) {
+    return Status::FailedPrecondition("trace: writer not open");
+  }
+  char header[12];
+  std::memcpy(header, &producer, 8);
+  const uint32_t size = static_cast<uint32_t>(frame_bytes.size());
+  std::memcpy(header + 8, &size, 4);
+  if (std::fwrite(header, 1, sizeof(header), f_) != sizeof(header) ||
+      (size != 0 &&
+       std::fwrite(frame_bytes.data(), 1, frame_bytes.size(), f_) !=
+           frame_bytes.size())) {
     return Status::Internal("trace: short write to " + path_);
   }
   return Status::OK();
@@ -56,6 +76,31 @@ Status ReplayTraceIntoConduit(const std::string& path,
     return Status::ResourceExhausted(
         "trace: conduit pool too small to hold " + path +
         " (grow num_buffers or replay concurrently)");
+  }
+  conduit->CloseWrite();
+  return Status::OK();
+}
+
+Status ReplayMuxTraceIntoConduit(const std::string& path,
+                                 FrameConduit* conduit) {
+  NSTREAM_ASSIGN_OR_RETURN(std::string bytes, ReadTraceFile(path));
+  size_t off = 0;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < 12) {
+      return Status::InvalidArgument("trace: truncated mux record in " +
+                                     path);
+    }
+    uint64_t producer = 0;
+    uint32_t size = 0;
+    std::memcpy(&producer, bytes.data() + off, 8);
+    std::memcpy(&size, bytes.data() + off + 8, 4);
+    off += 12;
+    if (bytes.size() - off < size) {
+      return Status::InvalidArgument("trace: truncated mux record in " +
+                                     path);
+    }
+    conduit->ForceMuxFrame(producer, bytes.substr(off, size));
+    off += size;
   }
   conduit->CloseWrite();
   return Status::OK();

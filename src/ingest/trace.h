@@ -30,6 +30,10 @@ class FrameTraceWriter {
 
   Status Open(const std::string& path);
   Status Append(std::string_view frame_bytes);
+  /// Multi-producer record: `u64 producer | u32 size | frame bytes`.
+  /// Records are written in admission order, so a replay preserves
+  /// both the global interleaving and per-producer frame order.
+  Status AppendTagged(uint64_t producer, std::string_view frame_bytes);
   Status Close();
   bool is_open() const { return f_ != nullptr; }
 
@@ -47,6 +51,12 @@ Result<std::string> ReadTraceFile(const std::string& path);
 /// a dry pool is reported, never spun on.
 Status ReplayTraceIntoConduit(const std::string& path,
                               FrameConduit* conduit);
+
+/// Replay a tagged multi-producer trace: each record re-enters the
+/// conduit as a MuxFrame in recorded (admission) order, then the write
+/// side closes. Trusted local input — records bypass the mux budget.
+Status ReplayMuxTraceIntoConduit(const std::string& path,
+                                 FrameConduit* conduit);
 
 }  // namespace nstream
 

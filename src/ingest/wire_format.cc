@@ -19,7 +19,7 @@ inline void AppendHeader(std::string* out, FrameType type,
 }
 
 inline bool KnownFrameType(uint8_t t) {
-  return t <= static_cast<uint8_t>(FrameType::kFeedback);
+  return t <= static_cast<uint8_t>(FrameType::kShed);
 }
 
 // A serialized tuple is at least nvals(4) + id(8) + arrival(8) bytes,
@@ -58,10 +58,13 @@ Status ScanFrame(std::string_view buf, FrameView* out, size_t* consumed) {
 
 // ---- Encoders ----
 
-void AppendHelloFrame(std::string* out, uint32_t tuple_arity) {
+void AppendHelloFrame(std::string* out, uint32_t tuple_arity,
+                      uint64_t producer_id, uint64_t resume_offset) {
   ByteWriter w;
   w.WriteU32(kWireVersion);
   w.WriteU32(tuple_arity);
+  w.WriteU64(producer_id);
+  w.WriteU64(resume_offset);
   AppendHeader(out, FrameType::kHello, w.buffer());
 }
 
@@ -96,16 +99,79 @@ void AppendFeedbackFrame(std::string* out, const FeedbackPunctuation& fb) {
   AppendHeader(out, FrameType::kFeedback, w.buffer());
 }
 
+void AppendHelloAckFrame(std::string* out, uint64_t acknowledged_offset) {
+  ByteWriter w;
+  w.WriteU64(acknowledged_offset);
+  AppendHeader(out, FrameType::kHelloAck, w.buffer());
+}
+
+void AppendErrorFrame(std::string* out, std::string_view message) {
+  ByteWriter w;
+  w.WriteString(message);
+  AppendHeader(out, FrameType::kError, w.buffer());
+}
+
+void AppendHeartbeatFrame(std::string* out) {
+  AppendHeader(out, FrameType::kHeartbeat, std::string_view());
+}
+
+void AppendShedFrame(std::string* out, ShedIntent intent, uint32_t level) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(intent));
+  w.WriteU32(level);
+  AppendHeader(out, FrameType::kShed, w.buffer());
+}
+
 // ---- Decoders ----
 
 Status DecodeHello(std::string_view payload, uint32_t* version,
-                   uint32_t* arity) {
+                   uint32_t* arity, uint64_t* producer_id,
+                   uint64_t* resume_offset) {
   ByteReader r(payload);
   NSTREAM_RETURN_NOT_OK(r.ReadU32(version));
   NSTREAM_RETURN_NOT_OK(r.ReadU32(arity));
+  NSTREAM_RETURN_NOT_OK(r.ReadU64(producer_id));
+  NSTREAM_RETURN_NOT_OK(r.ReadU64(resume_offset));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("ingest: trailing bytes in hello");
   }
+  return Status::OK();
+}
+
+Status DecodeHelloAck(std::string_view payload,
+                      uint64_t* acknowledged_offset) {
+  ByteReader r(payload);
+  NSTREAM_RETURN_NOT_OK(r.ReadU64(acknowledged_offset));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("ingest: trailing bytes in hello-ack");
+  }
+  return Status::OK();
+}
+
+Status DecodeError(std::string_view payload, std::string* message) {
+  ByteReader r(payload);
+  NSTREAM_RETURN_NOT_OK(r.ReadString(message));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "ingest: trailing bytes in error frame");
+  }
+  return Status::OK();
+}
+
+Status DecodeShed(std::string_view payload, ShedIntent* intent,
+                  uint32_t* level) {
+  ByteReader r(payload);
+  uint8_t raw = 0;
+  NSTREAM_RETURN_NOT_OK(r.ReadU8(&raw));
+  if (raw > static_cast<uint8_t>(ShedIntent::kDropSubset)) {
+    return Status::InvalidArgument("ingest: unknown shed intent " +
+                                   std::to_string(raw));
+  }
+  NSTREAM_RETURN_NOT_OK(r.ReadU32(level));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("ingest: trailing bytes in shed frame");
+  }
+  *intent = static_cast<ShedIntent>(raw);
   return Status::OK();
 }
 

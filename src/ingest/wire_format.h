@@ -18,12 +18,23 @@
 // Payloads reuse the engine's ONE binary encoding (serde/serde.h):
 // a tuple on the wire is byte-for-byte a tuple in a checkpoint.
 //
-//   kHello       u32 version, u32 tuple arity
+//   kHello       u32 version, u32 tuple arity, u64 producer id,
+//                u64 resume offset (the per-producer frame index the
+//                producer will resume sending from — 0 on a fresh
+//                stream; on reconnect the engine skips duplicates up
+//                to its acknowledged offset)
 //   kTupleBatch  u32 count, count × Tuple
 //   kPunctuation Punctuation
 //   kEos         (empty)
 //   kFeedback    u8 intent, PunctPattern, i64 origin_op, u32 hops,
 //                i64 issued_at_ms, i64 deadline_ms   [engine → producer]
+//   kHelloAck    u64 acknowledged offset              [engine → producer]
+//   kError       string message — the connection is being quarantined
+//                and will be closed                   [engine → producer]
+//   kHeartbeat   (empty) — liveness, either direction; consumed by the
+//                transport, never forwarded into the plan
+//   kShed        u8 intent (slow-down / drop-subset), u32 level —
+//                overload shedding advice             [engine → producer]
 //
 // Decode is zero-copy where it matters: DecodeTupleBatchInto parses
 // tuple batches STRAIGHT into an arena-backed Page — string bytes go
@@ -51,7 +62,9 @@
 namespace nstream {
 
 inline constexpr uint32_t kFrameMagic = 0xDEADBEEFu;
-inline constexpr uint32_t kWireVersion = 1;
+/// v2 grew the hello handshake (producer id + resume offset) and the
+/// connection-lifecycle frames (hello-ack, error, heartbeat, shed).
+inline constexpr uint32_t kWireVersion = 2;
 /// magic(4) + size(4) + type(1).
 inline constexpr size_t kFrameHeaderBytes = 9;
 /// Upper bound on a frame payload; a size field above this is treated
@@ -59,11 +72,22 @@ inline constexpr size_t kFrameHeaderBytes = 9;
 inline constexpr uint32_t kMaxFramePayload = 1u << 20;
 
 enum class FrameType : uint8_t {
-  kHello = 0,        // stream opener: version + arity
+  kHello = 0,        // stream opener: version + arity + session
   kTupleBatch = 1,   // producer → engine data
   kPunctuation = 2,  // producer → engine embedded punctuation
   kEos = 3,          // producer → engine end of stream
   kFeedback = 4,     // engine → producer feedback punctuation
+  kHelloAck = 5,     // engine → producer acknowledged resume offset
+  kError = 6,        // engine → producer quarantine notice (then close)
+  kHeartbeat = 7,    // either direction liveness; transport-consumed
+  kShed = 8,         // engine → producer overload shedding advice
+};
+
+/// What an overloaded serving edge asks of its producers, in
+/// escalation order: first pace yourself, then thin the stream.
+enum class ShedIntent : uint8_t {
+  kSlowDown = 0,    // level = suggested pause between sends, ms
+  kDropSubset = 1,  // level = suggested drop rate, permille
 };
 
 /// A decoded frame header + a view of its payload bytes (borrowed
@@ -82,7 +106,13 @@ Status ScanFrame(std::string_view buf, FrameView* out, size_t* consumed);
 
 // ---- Frame encoders (producer side + engine feedback) ----
 
-void AppendHelloFrame(std::string* out, uint32_t tuple_arity);
+/// `producer_id` names the session for multi-producer fan-in and
+/// reconnect resume; 0 = anonymous single-producer stream.
+/// `resume_offset` is the per-producer frame index (frames after the
+/// hello) the producer will resume sending from.
+void AppendHelloFrame(std::string* out, uint32_t tuple_arity,
+                      uint64_t producer_id = 0,
+                      uint64_t resume_offset = 0);
 void AppendTupleBatchFrame(std::string* out, const Tuple* tuples,
                            size_t count);
 inline void AppendTupleBatchFrame(std::string* out,
@@ -92,11 +122,26 @@ inline void AppendTupleBatchFrame(std::string* out,
 void AppendPunctuationFrame(std::string* out, const Punctuation& p);
 void AppendEosFrame(std::string* out);
 void AppendFeedbackFrame(std::string* out, const FeedbackPunctuation& fb);
+void AppendHelloAckFrame(std::string* out, uint64_t acknowledged_offset);
+void AppendErrorFrame(std::string* out, std::string_view message);
+void AppendHeartbeatFrame(std::string* out);
+void AppendShedFrame(std::string* out, ShedIntent intent, uint32_t level);
 
 // ---- Payload decoders ----
 
 Status DecodeHello(std::string_view payload, uint32_t* version,
-                   uint32_t* arity);
+                   uint32_t* arity, uint64_t* producer_id,
+                   uint64_t* resume_offset);
+inline Status DecodeHello(std::string_view payload, uint32_t* version,
+                          uint32_t* arity) {
+  uint64_t producer = 0, resume = 0;
+  return DecodeHello(payload, version, arity, &producer, &resume);
+}
+Status DecodeHelloAck(std::string_view payload,
+                      uint64_t* acknowledged_offset);
+Status DecodeError(std::string_view payload, std::string* message);
+Status DecodeShed(std::string_view payload, ShedIntent* intent,
+                  uint32_t* level);
 Status DecodePunctuation(std::string_view payload, Punctuation* out);
 Status DecodeFeedback(std::string_view payload, FeedbackPunctuation* out);
 

@@ -215,7 +215,7 @@ TEST(IngestCorruption, ProtocolOrderViolations) {
     AppendFeedbackFrame(&bytes, testing_util::FB("~[*,*,>=5]"));
     Status st = RunBytes(bytes);
     ASSERT_FALSE(st.ok());
-    EXPECT_NE(st.message().find("feedback"), std::string::npos);
+    EXPECT_NE(st.message().find("engine-direction"), std::string::npos);
   }
 }
 

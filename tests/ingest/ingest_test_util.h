@@ -6,6 +6,7 @@
 #define NSTREAM_TESTS_INGEST_INGEST_TEST_UTIL_H_
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -108,6 +109,78 @@ inline std::unique_ptr<FrameConduit> PrefilledConduit(
   EXPECT_TRUE(conduit->WriteAll(bytes));
   conduit->CloseWrite();
   return conduit;
+}
+
+/// Tuples whose fields witness their origin: a = producer id, b =
+/// per-producer sequence number. Lets multi-producer tests attribute
+/// every collected row to its producer and assert per-producer order.
+inline std::vector<Tuple> SequencedTuples(uint64_t producer, int n,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string s(rng.NextBounded(25), ' ');
+    for (char& c : s) {
+      c = static_cast<char>('a' + rng.NextBounded(26));
+    }
+    out.push_back(TupleBuilder()
+                      .I64(static_cast<int64_t>(producer))
+                      .S(std::move(s))
+                      .I64(i)
+                      .Build());
+  }
+  return out;
+}
+
+/// One producer's session against the multi-producer serving edge:
+/// the hello (resume 0) plus the resumable frame list — batches then
+/// EOS, indexed exactly as the wire protocol's per-producer frame
+/// offsets, so tests can cut, resend, and resume at any index.
+struct ProducerStream {
+  uint64_t producer = 0;
+  std::vector<Tuple> tuples;
+  std::string hello;                // resume offset 0
+  std::vector<std::string> frames;  // batches then EOS
+};
+
+inline ProducerStream MakeProducerStream(uint64_t producer, int n,
+                                         uint64_t seed,
+                                         size_t batch_size) {
+  ProducerStream out;
+  out.producer = producer;
+  out.tuples = SequencedTuples(producer, n, seed);
+  AppendHelloFrame(&out.hello, 3, producer, 0);
+  size_t sent = 0;
+  while (sent < out.tuples.size()) {
+    const size_t k = std::min(batch_size, out.tuples.size() - sent);
+    std::string f;
+    AppendTupleBatchFrame(&f, out.tuples.data() + sent, k);
+    out.frames.push_back(std::move(f));
+    sent += k;
+  }
+  std::string eos;
+  AppendEosFrame(&eos);
+  out.frames.push_back(std::move(eos));
+  return out;
+}
+
+/// Per-producer order check: rows attributed by field a (producer id)
+/// must carry non-decreasing b (sequence). Cross-producer interleave
+/// is free; within one producer the edge must preserve arrival order.
+inline void ExpectPerProducerOrder(
+    const std::vector<CollectedTuple>& rows) {
+  std::map<int64_t, int64_t> last;
+  for (const CollectedTuple& c : rows) {
+    const int64_t producer = c.tuple.value(0).int64_value();
+    const int64_t seq = c.tuple.value(2).int64_value();
+    auto it = last.find(producer);
+    if (it != last.end()) {
+      EXPECT_GE(seq, it->second)
+          << "producer " << producer << " rows reordered";
+    }
+    last[producer] = seq;
+  }
 }
 
 inline std::multiset<std::string> TupleStrings(

@@ -1,0 +1,143 @@
+// Seeded network fault injection for the TCP serving edge. FaultyNetIo
+// sits in the TcpAcceptor's NetIo seam and misbehaves the way real
+// networks do — partial reads, partial writes, EINTR, connection
+// resets, scheduling delays — but DETERMINISTICALLY per seed, so a
+// soak failure replays exactly from its seed number.
+//
+// Faults are injected on the engine side of the socket; producer-side
+// failures (disconnects, mid-frame closes, crash-and-resume) are the
+// tests' own job, driven by closing their fds at seeded points.
+
+#ifndef NSTREAM_TESTS_TESTING_NET_FAULT_H_
+#define NSTREAM_TESTS_TESTING_NET_FAULT_H_
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+#include "ingest/tcp_acceptor.h"
+
+namespace nstream {
+
+struct NetFaultOptions {
+  uint64_t seed = 1;
+  /// Probability a Read/Send call fails with EINTR (retried by the
+  /// acceptor — proves no byte is lost or doubled across retries).
+  double p_eintr = 0.05;
+  /// Probability a read is truncated to a random prefix (frames then
+  /// straddle read boundaries, exercising per-connection assembly).
+  double p_short_read = 0.25;
+  /// Probability a send accepts only a random prefix (feedback and
+  /// error frames then straddle send boundaries).
+  double p_short_write = 0.25;
+  /// Probability a Read fails with ECONNRESET — the acceptor drops
+  /// the connection; the producer must reconnect and resume.
+  double p_reset = 0.0;
+  /// Probability of a busy-wait delay before the syscall (reorders
+  /// thread interleavings; keep small, it is real time).
+  double p_delay = 0.05;
+  int max_delay_us = 200;
+};
+
+class FaultyNetIo final : public NetIo {
+ public:
+  explicit FaultyNetIo(NetFaultOptions opts = {})
+      : opts_(opts), rng_(opts.seed) {}
+
+  ssize_t Read(int fd, char* buf, size_t n) override {
+    const Plan p = NextPlan(n);
+    if (p.delay_us > 0) SpinFor(p.delay_us);
+    if (p.eintr) {
+      ++eintr_injected_;
+      errno = EINTR;
+      return -1;
+    }
+    if (p.reset) {
+      ++resets_injected_;
+      errno = ECONNRESET;
+      return -1;
+    }
+    ssize_t r = NetIo::Read(fd, buf, p.truncated_n);
+    if (r > 0 && p.truncated_n < n) ++short_reads_;
+    return r;
+  }
+
+  ssize_t Send(int fd, const char* p_, size_t n) override {
+    const Plan p = NextPlan(n);
+    if (p.delay_us > 0) SpinFor(p.delay_us);
+    if (p.eintr) {
+      ++eintr_injected_;
+      errno = EINTR;
+      return -1;
+    }
+    ssize_t r = NetIo::Send(fd, p_, p.truncated_n);
+    if (r > 0 && p.truncated_n < n) ++short_writes_;
+    return r;
+  }
+
+  uint64_t eintr_injected() const { return eintr_injected_.load(); }
+  uint64_t resets_injected() const { return resets_injected_.load(); }
+  uint64_t short_reads() const { return short_reads_.load(); }
+  uint64_t short_writes() const { return short_writes_.load(); }
+
+ private:
+  struct Plan {
+    bool eintr = false;
+    bool reset = false;
+    size_t truncated_n = 0;
+    int delay_us = 0;
+  };
+
+  // The rng is shared across whatever threads drive I/O; a mutex keeps
+  // the draw sequence itself deterministic per seed (the interleaving
+  // of READS across threads still varies — that is the point).
+  Plan NextPlan(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Plan p;
+    p.truncated_n = n;
+    if (rng_.NextBernoulli(opts_.p_delay)) {
+      p.delay_us = 1 + static_cast<int>(rng_.NextBounded(
+                           static_cast<uint64_t>(opts_.max_delay_us)));
+    }
+    if (rng_.NextBernoulli(opts_.p_eintr)) {
+      p.eintr = true;
+      return p;
+    }
+    if (rng_.NextBernoulli(opts_.p_reset)) {
+      p.reset = true;
+      return p;
+    }
+    const double p_trunc =
+        opts_.p_short_read > opts_.p_short_write ? opts_.p_short_read
+                                                 : opts_.p_short_write;
+    // One truncation draw serves both directions (callers pass their
+    // own n); distinct read/write rates just gate how often it bites.
+    if (n > 1 && rng_.NextBernoulli(p_trunc)) {
+      p.truncated_n = 1 + rng_.NextBounded(n - 1);
+    }
+    return p;
+  }
+
+  static void SpinFor(int us) {
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(us);
+    while (std::chrono::steady_clock::now() < until) {
+      std::this_thread::yield();
+    }
+  }
+
+  NetFaultOptions opts_;
+  std::mutex mu_;
+  Rng rng_;
+  std::atomic<uint64_t> eintr_injected_{0};
+  std::atomic<uint64_t> resets_injected_{0};
+  std::atomic<uint64_t> short_reads_{0};
+  std::atomic<uint64_t> short_writes_{0};
+};
+
+}  // namespace nstream
+
+#endif  // NSTREAM_TESTS_TESTING_NET_FAULT_H_
